@@ -1,0 +1,123 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! bloom filtering on/off, clustering threshold, packed vs unpacked
+//! engine, and explanation tracking overhead.
+
+use bolt_bench::train_workload;
+use bolt_core::layout::PackedBolt;
+use bolt_core::{BoltConfig, BoltForest};
+use bolt_data::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_bloom_ablation(c: &mut Criterion) {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 1500, 100);
+    let sample = trained.test.sample(0).to_vec();
+    let mut group = c.benchmark_group("ablation_bloom");
+    for (label, bits) in [("off", 0usize), ("10bpk", 10), ("16bpk", 16)] {
+        let bolt = BoltForest::compile(
+            &trained.forest,
+            &BoltConfig::default()
+                .with_cluster_threshold(2)
+                .with_bloom_bits_per_key(bits),
+        )
+        .expect("compiles");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bits, |b, _| {
+            b.iter(|| black_box(bolt.classify(black_box(&sample))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_ablation(c: &mut Criterion) {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 1500, 100);
+    let sample = trained.test.sample(0).to_vec();
+    let mut group = c.benchmark_group("ablation_cluster_threshold");
+    for threshold in [0usize, 2, 4, 8, 16] {
+        let bolt = BoltForest::compile(
+            &trained.forest,
+            &BoltConfig::default().with_cluster_threshold(threshold),
+        )
+        .expect("compiles");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, _| {
+                b.iter(|| black_box(bolt.classify(black_box(&sample))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_packed_vs_unpacked(c: &mut Criterion) {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 1500, 100);
+    let bolt = BoltForest::compile(
+        &trained.forest,
+        &BoltConfig::default().with_cluster_threshold(2),
+    )
+    .expect("compiles");
+    let packed = PackedBolt::from_bolt(&bolt);
+    let bits = bolt.encode(trained.test.sample(0));
+    let mut group = c.benchmark_group("ablation_layout");
+    group.bench_function("unpacked", |b| {
+        b.iter(|| black_box(bolt.classify_bits(black_box(&bits))));
+    });
+    group.bench_function("packed", |b| {
+        b.iter(|| black_box(packed.classify_bits(black_box(&bits))));
+    });
+    group.finish();
+}
+
+fn bench_explanations(c: &mut Criterion) {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 1500, 100);
+    let sample = trained.test.sample(0).to_vec();
+    let explained = BoltForest::compile(
+        &trained.forest,
+        &BoltConfig::default()
+            .with_cluster_threshold(2)
+            .with_explanations(true),
+    )
+    .expect("compiles");
+    let mut group = c.benchmark_group("ablation_explanations");
+    group.bench_function("classify", |b| {
+        b.iter(|| black_box(explained.classify(black_box(&sample))));
+    });
+    group.bench_function("classify_explained", |b| {
+        b.iter(|| black_box(explained.classify_explained(black_box(&sample)).class));
+    });
+    group.finish();
+}
+
+/// §2.1: "when batching queries Ranger can benefit from its optimizations
+/// and achieve very low response times" — compare Ranger's amortized
+/// per-sample cost in a 256-batch against its single-sample service cost
+/// and against Bolt's single-sample cost.
+fn bench_ranger_batching(c: &mut Criterion) {
+    use bolt_baselines::{InferenceEngine, RangerLikeForest};
+    let trained = train_workload(Workload::MnistLike, 10, 4, 1500, 256);
+    let ranger = RangerLikeForest::from_forest(&trained.forest);
+    let batch: Vec<&[f32]> = (0..trained.test.len())
+        .map(|i| trained.test.sample(i))
+        .collect();
+    let mut group = c.benchmark_group("ablation_ranger_batching");
+    group.bench_function("single_sample", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let class = ranger.classify(black_box(batch[i % batch.len()]));
+            i += 1;
+            black_box(class)
+        });
+    });
+    group.bench_function("batch_256_amortized", |b| {
+        b.iter(|| black_box(ranger.classify_batch(black_box(&batch))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bloom_ablation, bench_threshold_ablation, bench_packed_vs_unpacked,
+              bench_explanations, bench_ranger_batching
+);
+criterion_main!(benches);

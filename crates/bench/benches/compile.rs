@@ -1,0 +1,63 @@
+//! Compilation-cost benchmarks — preprocessing the paper does not report.
+//!
+//! Bolt's speedup is bought with an offline compile step (path enumeration,
+//! clustering, table recombination, bloom construction). These benches
+//! quantify that cost across forest sizes and thresholds, so a deployer can
+//! weigh it against the paper's latency wins.
+
+use bolt_bench::train_workload;
+use bolt_core::{BoltConfig, BoltForest};
+use bolt_data::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_compile_by_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_by_tree_count");
+    group.sample_size(10);
+    for n_trees in [10usize, 20, 30] {
+        let trained = train_workload(Workload::MnistLike, n_trees, 4, 1500, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n_trees), &n_trees, |b, _| {
+            b.iter(|| {
+                black_box(
+                    BoltForest::compile(
+                        black_box(&trained.forest),
+                        &BoltConfig::default().with_cluster_threshold(2),
+                    )
+                    .expect("compiles"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_by_threshold(c: &mut Criterion) {
+    let trained = train_workload(Workload::MnistLike, 10, 6, 1500, 10);
+    let mut group = c.benchmark_group("compile_by_threshold");
+    group.sample_size(10);
+    for threshold in [0usize, 2, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    black_box(
+                        BoltForest::compile(
+                            black_box(&trained.forest),
+                            &BoltConfig::default().with_cluster_threshold(t),
+                        )
+                        .expect("compiles"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default();
+    targets = bench_compile_by_trees, bench_compile_by_threshold
+);
+criterion_main!(benches);

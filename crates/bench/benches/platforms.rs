@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of single-sample classification on all four
+//! platforms (the statistical backbone behind Figs. 10/11/14).
+
+use bolt_bench::{train_workload, Platforms};
+use bolt_data::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_small_forest(c: &mut Criterion) {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 1500, 200);
+    let platforms = Platforms::build(&trained, 2);
+    let samples: Vec<&[f32]> = (0..trained.test.len())
+        .map(|i| trained.test.sample(i))
+        .collect();
+
+    let mut group = c.benchmark_group("mnist_10trees_h4");
+    for (name, engine) in platforms.engines() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let class = engine.classify(black_box(samples[i % samples.len()]));
+                i += 1;
+                black_box(class)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_count_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bolt_by_tree_count");
+    for n_trees in [10usize, 20, 30] {
+        let trained = train_workload(Workload::MnistLike, n_trees, 4, 1500, 100);
+        let platforms = Platforms::build(&trained, 2);
+        let sample = trained.test.sample(0).to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n_trees), &n_trees, |b, _| {
+            b.iter(|| black_box(platforms.bolt.classify(black_box(&sample))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bolt_by_dataset");
+    for workload in Workload::all() {
+        let trained = train_workload(workload, 10, 4, 1000, 100);
+        let platforms = Platforms::build(&trained, 2);
+        let sample = trained.test.sample(0).to_vec();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.name()),
+            &workload,
+            |b, _| {
+                b.iter(|| black_box(platforms.bolt.classify(black_box(&sample))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_small_forest, bench_tree_count_scaling, bench_datasets
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Micro-benchmarks of the substrate crates: bitpack primitives, bloom
+//! probes, table lookups, predicate encoding, and the cache simulator.
+
+use bolt_bench::train_workload;
+use bolt_bitpack::{Mask, PackedIntVec};
+use bolt_core::filter::table_key;
+use bolt_core::{BloomFilter, BoltConfig, BoltForest};
+use bolt_data::Workload;
+use bolt_simcpu::{hw, CacheSim, SimCpu};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_mask_ops(c: &mut Criterion) {
+    let mut input = Mask::zeros(512);
+    let mut mask = Mask::zeros(512);
+    let mut key = Mask::zeros(512);
+    for i in (0..512).step_by(7) {
+        input.set(i, true);
+        mask.set(i, i % 3 == 0);
+        key.set(i, i % 3 == 0);
+    }
+    c.bench_function("mask_masked_eq_512b", |b| {
+        b.iter(|| black_box(input.masked_eq(black_box(&mask), black_box(&key))));
+    });
+}
+
+fn bench_packed_int(c: &mut Criterion) {
+    let values: Vec<u64> = (0..4096).map(|i| i % 509).collect();
+    let packed = PackedIntVec::from_values(9, values.iter().copied());
+    c.bench_function("packed_int_get_4k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let v = packed.get(i % packed.len());
+            i += 1;
+            black_box(v)
+        });
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..10_000u64).map(|i| table_key(0, i)).collect();
+    let filter = BloomFilter::from_keys(keys.iter().copied(), 10);
+    c.bench_function("bloom_contains", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let hit = filter.contains(black_box(table_key(1, i)));
+            i += 1;
+            black_box(hit)
+        });
+    });
+}
+
+fn bench_table_lookup(c: &mut Criterion) {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 1500, 50);
+    let bolt = BoltForest::compile(
+        &trained.forest,
+        &BoltConfig::default().with_cluster_threshold(2),
+    )
+    .expect("compiles");
+    let cells: Vec<(u32, u64)> = bolt
+        .table()
+        .cells()
+        .map(|cell| (cell.entry_id, cell.address))
+        .collect();
+    c.bench_function("recombined_table_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (e, a) = cells[i % cells.len()];
+            i += 1;
+            black_box(bolt.table().lookup(e, a))
+        });
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 1500, 50);
+    let bolt = BoltForest::compile(&trained.forest, &BoltConfig::default()).expect("compiles");
+    let sample = trained.test.sample(0).to_vec();
+    c.bench_function("predicate_encode_mnist", |b| {
+        b.iter(|| black_box(bolt.encode(black_box(&sample))));
+    });
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    c.bench_function("cache_sim_1k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = CacheSim::new(1 << 16, 64, 8);
+            for i in 0..1000u64 {
+                cache.access(black_box(i * 48));
+            }
+            black_box(cache.misses())
+        });
+    });
+    c.bench_function("simcpu_instrumented_load", |b| {
+        let mut cpu = SimCpu::new(&hw::xeon_e5_2650_v4());
+        let mut i = 0u64;
+        b.iter(|| {
+            cpu.load(black_box(i * 64), 8);
+            i += 1;
+        });
+    });
+}
+
+fn bench_forest_substrate(c: &mut Criterion) {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 1500, 50);
+    let sample = trained.test.sample(0).to_vec();
+    c.bench_function("random_forest_predict", |b| {
+        b.iter(|| black_box(trained.forest.predict(black_box(&sample))));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mask_ops, bench_packed_int, bench_bloom, bench_table_lookup,
+              bench_encode, bench_cache_sim, bench_forest_substrate
+);
+criterion_main!(benches);

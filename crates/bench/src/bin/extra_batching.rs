@@ -1,0 +1,80 @@
+//! Extra experiment (beyond the paper's figures): the batching trade-off of
+//! §2.1 — "when batching queries Ranger can benefit from its optimizations
+//! and achieve very low response times", whereas Bolt targets the no-batching
+//! service regime. Compares single-sample vs amortized-batch cost for
+//! Ranger-style traversal and for Bolt (sequential and sample-parallel).
+//!
+//! Run: `cargo run -p bolt-bench --release --bin extra_batching`
+
+use bolt_baselines::{InferenceEngine, RangerLikeForest};
+use bolt_bench::{fmt_us, print_table, test_samples, train_workload, Platforms};
+use bolt_core::{PartitionPlan, PartitionedBolt};
+use bolt_data::Workload;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 2000, test_samples());
+    let platforms = Platforms::build_tuned(&trained);
+    let ranger = RangerLikeForest::from_forest(&trained.forest);
+    let samples: Vec<&[f32]> = (0..trained.test.len())
+        .map(|i| trained.test.sample(i))
+        .collect();
+    let n = samples.len() as f64;
+
+    let time_it = |f: &dyn Fn()| {
+        f(); // warm
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed().as_nanos() as f64 / n);
+        }
+        best
+    };
+
+    let ranger_single = time_it(&|| {
+        for s in &samples {
+            std::hint::black_box(ranger.classify(s));
+        }
+    });
+    let ranger_batch = time_it(&|| {
+        std::hint::black_box(ranger.classify_batch(&samples));
+    });
+    let bolt_single = time_it(&|| {
+        let mut scratch = platforms.bolt.scratch();
+        for s in &samples {
+            std::hint::black_box(platforms.bolt.classify_with(s, &mut scratch));
+        }
+    });
+    let partitioned = PartitionedBolt::new(Arc::clone(&platforms.bolt), PartitionPlan::new(2, 2))
+        .expect("valid plan");
+    let bolt_parallel_batch = time_it(&|| {
+        std::hint::black_box(partitioned.classify_batch(&samples));
+    });
+
+    print_table(
+        "Batching trade-off (amortized µs/sample) [MNIST, 10 trees, height 4]",
+        &["configuration", "µs/sample"],
+        &[
+            vec![
+                "Ranger, single-sample service".into(),
+                fmt_us(ranger_single),
+            ],
+            vec![
+                "Ranger, full-batch (its §2.1 strength)".into(),
+                fmt_us(ranger_batch),
+            ],
+            vec!["BOLT, single-sample service".into(), fmt_us(bolt_single)],
+            vec![
+                "BOLT, sample-parallel batch (4 workers)".into(),
+                fmt_us(bolt_parallel_batch),
+            ],
+        ],
+    );
+    println!(
+        "\nthe paper's positioning: batching favours traversal engines, but \
+         \"inference workloads increasingly demand low response times and \
+         cannot wait to batch queries\" (§1)."
+    );
+}

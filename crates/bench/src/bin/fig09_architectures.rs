@@ -1,0 +1,67 @@
+//! Fig. 9 — Bolt execution time across architectures (MNIST, 10 trees,
+//! height 4).
+//!
+//! The paper shows Bolt's average response time in the hundreds of
+//! nanoseconds on an on-prem Xeon E5-2650 v4 and two Google Cloud E2
+//! instances. Per DESIGN.md's substitution note, the three machines are
+//! reproduced as hardware profiles driving the CPU-metrics simulator; the
+//! host machine's wall clock is printed alongside for reference.
+//!
+//! Run: `cargo run -p bolt-bench --release --bin fig09_architectures`
+
+use bolt_bench::{
+    fmt_us, print_table, test_samples, time_engine_hot_ns, train_workload, BoltAdapter,
+};
+use bolt_core::{BoltConfig, BoltForest};
+use bolt_data::Workload;
+use bolt_simcpu::{hw, instrument, SimCpu};
+
+fn main() {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 2000, test_samples());
+    let bolt = BoltForest::compile(
+        &trained.forest,
+        &BoltConfig::default().with_cluster_threshold(2),
+    )
+    .expect("MNIST forest is table-mappable");
+
+    let mut rows = Vec::new();
+    for profile in hw::all_profiles() {
+        let mut cpu = SimCpu::new(&profile);
+        // Warm-up then steady-state measurement.
+        for (sample, _) in trained.test.iter().take(64) {
+            instrument::run_bolt(&bolt, &bolt.encode(sample), &mut cpu);
+        }
+        let warm_ns = cpu.elapsed_ns();
+        let warm_n = 64.min(trained.test.len());
+        for (sample, _) in trained.test.iter() {
+            instrument::run_bolt(&bolt, &bolt.encode(sample), &mut cpu);
+        }
+        let per_sample_ns = (cpu.elapsed_ns() - warm_ns) / trained.test.len() as f64;
+        let _ = warm_n;
+        rows.push(vec![
+            profile.name.clone(),
+            fmt_us(per_sample_ns),
+            format!("{}", profile.cores),
+            format!("{}", profile.llc_bytes / (1024 * 1024)),
+            format!("{:.2}", profile.freq_ghz),
+        ]);
+    }
+
+    print_table(
+        "Figure 9: Bolt avg response time by architecture [MNIST, 10 trees, height 4]",
+        &[
+            "architecture",
+            "modeled µs/sample",
+            "cores",
+            "LLC MiB",
+            "GHz",
+        ],
+        &rows,
+    );
+
+    let host_ns = time_engine_hot_ns(&BoltAdapter::new(&bolt), &trained.test);
+    println!(
+        "\nhost wall-clock reference: {} µs/sample on this machine",
+        fmt_us(host_ns)
+    );
+}

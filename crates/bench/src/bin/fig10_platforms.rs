@@ -1,0 +1,58 @@
+//! Fig. 10 — Bolt vs Scikit vs Ranger vs Forest Packing on a small random
+//! forest (MNIST, 10 trees, height 4, single core, no batching).
+//!
+//! The paper: "Bolt can process samples in an average time of 0.4µs against
+//! the 0.9µs of Forest Packing, while Scikit-Learn achieves 1460µs and
+//! Ranger 160µs." The *shape* to reproduce: BOLT < FP < Ranger < Scikit,
+//! with Bolt at least ~2× ahead of FP. (The Scikit/Ranger columns here lack
+//! their Python/R interpreter overhead, so their gap is smaller than the
+//! paper's; see EXPERIMENTS.md.)
+//!
+//! Run: `cargo run -p bolt-bench --release --bin fig10_platforms`
+
+use bolt_bench::{
+    fmt_us, print_table, test_samples, time_engine_hot_ns, train_workload, Platforms,
+};
+use bolt_data::Workload;
+
+fn main() {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 2000, test_samples());
+    let platforms = Platforms::build_tuned(&trained);
+
+    let mut results: Vec<(&'static str, f64)> = platforms
+        .engines()
+        .iter()
+        .map(|(name, engine)| (*name, time_engine_hot_ns(engine.as_ref(), &trained.test)))
+        .collect();
+    let bolt_ns = results
+        .iter()
+        .find(|(n, _)| *n == "BOLT")
+        .map(|&(_, ns)| ns)
+        .expect("BOLT timed");
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|&(name, ns)| vec![name.to_owned(), fmt_us(ns), format!("{:.1}x", ns / bolt_ns)])
+        .collect();
+    print_table(
+        "Figure 10: avg response time, small forest [MNIST, 10 trees, height 4]",
+        &["platform", "µs/sample", "vs BOLT"],
+        &rows,
+    );
+
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite latencies"));
+    println!(
+        "\nfastest to slowest: {}",
+        results
+            .iter()
+            .map(|&(n, _)| n)
+            .collect::<Vec<_>>()
+            .join(" < ")
+    );
+    println!(
+        "samples: {}   bolt dictionary entries: {}   table cells: {}",
+        trained.test.len(),
+        platforms.bolt.dictionary().len(),
+        platforms.bolt.table().n_cells(),
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig. 11 — latency scaling with (A) maximum tree height and (B) number
+//! of trees, for all four platforms (MNIST).
+//!
+//! Expected shapes from the paper: Bolt wins at shallow heights but Forest
+//! Packing overtakes it as height grows past ~8 (lookup tables and
+//! dictionaries balloon with depth); when the *tree count* grows at fixed
+//! height, Bolt's advantage persists across all settings because paths grow
+//! linearly.
+//!
+//! Run: `cargo run -p bolt-bench --release --bin fig11_scaling [-- height|trees]`
+
+use bolt_bench::{
+    fmt_us, print_table, test_samples, time_engine_hot_ns, train_workload, Platforms,
+};
+use bolt_data::Workload;
+
+/// The paper's Fig. 11A x-axis.
+const HEIGHTS: [usize; 5] = [4, 5, 6, 8, 10];
+/// The paper's Fig. 11B x-axis.
+const TREE_COUNTS: [usize; 6] = [10, 14, 18, 22, 26, 30];
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let n_test = test_samples();
+    if mode == "height" || mode == "all" {
+        let mut rows = Vec::new();
+        for height in HEIGHTS {
+            let trained = train_workload(Workload::MnistLike, 10, height, 2000, n_test);
+            let platforms = Platforms::build_tuned(&trained);
+            let mut row = vec![format!("{height}")];
+            for (_, engine) in platforms.engines() {
+                row.push(fmt_us(time_engine_hot_ns(engine.as_ref(), &trained.test)));
+            }
+            rows.push(row);
+        }
+        print_table(
+            "Figure 11A: µs/sample by max tree height [MNIST, 10 trees]",
+            &["height", "BOLT", "Scikit", "Ranger", "FP"],
+            &rows,
+        );
+    }
+    if mode == "trees" || mode == "all" {
+        let mut rows = Vec::new();
+        for n_trees in TREE_COUNTS {
+            let trained = train_workload(Workload::MnistLike, n_trees, 4, 2000, n_test);
+            let platforms = Platforms::build_tuned(&trained);
+            let mut row = vec![format!("{n_trees}")];
+            for (_, engine) in platforms.engines() {
+                row.push(fmt_us(time_engine_hot_ns(engine.as_ref(), &trained.test)));
+            }
+            rows.push(row);
+        }
+        print_table(
+            "Figure 11B: µs/sample by number of trees [MNIST, height 4]",
+            &["trees", "BOLT", "Scikit", "Ranger", "FP"],
+            &rows,
+        );
+    }
+}

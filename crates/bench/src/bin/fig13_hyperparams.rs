@@ -1,0 +1,110 @@
+//! Fig. 13 — (A) the impact of parallelizing one sample across cores and
+//! (B) the latency spread across hyper-parameter settings.
+//!
+//! Expected shapes from the paper: partitioning helps roughly linearly up
+//! to ~4 cores for a small forest, then aggregation overhead wins; and
+//! arbitrary (threshold, partition) settings spread latency by up to ≈4×,
+//! motivating Phase-2 search.
+//!
+//! Run: `cargo run -p bolt-bench --release --bin fig13_hyperparams [-- cores|grid]`
+
+use bolt_bench::{fmt_us, print_table, train_workload};
+use bolt_core::{BoltConfig, BoltForest, ParameterSearch, PartitionPlan, PartitionedBolt};
+use bolt_data::Workload;
+use bolt_simcpu::hw;
+use std::sync::Arc;
+
+const CORE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let trained = train_workload(Workload::MnistLike, 10, 4, 2000, 400);
+    let model = hw::xeon_e5_2650_v4().to_cost_model();
+
+    if mode == "cores" || mode == "all" {
+        let bolt = Arc::new(
+            BoltForest::compile(
+                &trained.forest,
+                &BoltConfig::default().with_cluster_threshold(2),
+            )
+            .expect("compiles"),
+        );
+        let bits = bolt.encode(trained.test.sample(0));
+        let mut rows = Vec::new();
+        for cores in CORE_COUNTS {
+            // Best plan for this core count (the paper picks the best
+            // dictionary/table split per setting).
+            let best = PartitionPlan::plans_for_cores(cores)
+                .into_iter()
+                .filter_map(|plan| {
+                    let p = PartitionedBolt::new(Arc::clone(&bolt), plan).ok()?;
+                    Some((plan, p.estimate_latency_ns(&bits, &model)))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("at least the 1x1 plan");
+            rows.push(vec![
+                format!("{cores}"),
+                fmt_us(best.1),
+                format!("{}x{}", best.0.dict_parts, best.0.table_parts),
+            ]);
+        }
+        print_table(
+            "Figure 13A: modeled µs/sample by available cores [MNIST, 10 trees, height 4]",
+            &["cores", "µs/sample", "best plan (dict x table)"],
+            &rows,
+        );
+    }
+
+    if mode == "grid" || mode == "all" {
+        let report = ParameterSearch::new()
+            .with_thresholds([0, 1, 2, 4, 8, 12, 16])
+            .with_max_cores(4)
+            .with_calibration_samples(128)
+            .run(&trained.forest, &trained.test, &model)
+            .expect("sweep runs");
+        let mut rows: Vec<Vec<String>> = report
+            .trials
+            .iter()
+            .map(|t| {
+                vec![
+                    format!("{}", t.threshold),
+                    format!("{}", t.bloom_bits),
+                    format!("{}x{}", t.plan.dict_parts, t.plan.table_parts),
+                    fmt_us(t.modeled_ns),
+                    t.measured_ns.map_or_else(|| "-".to_owned(), fmt_us),
+                    format!("{}", t.dict_entries),
+                    format!("{}", t.table_cells),
+                ]
+            })
+            .collect();
+        rows.sort_by_key(|r| {
+            (
+                r[0].parse::<usize>().expect("threshold column"),
+                r[1].parse::<usize>().expect("bloom column"),
+            )
+        });
+        print_table(
+            "Figure 13B: latency across hyper-parameter settings",
+            &[
+                "threshold",
+                "bloom b/k",
+                "plan",
+                "modeled µs",
+                "measured µs",
+                "dict entries",
+                "table cells",
+            ],
+            &rows,
+        );
+        let best = report.best();
+        println!(
+            "\nbest setting: threshold={} bloom={} plan={}x{} ({} µs modeled); spread worst/best = {:.1}x",
+            best.threshold,
+            best.bloom_bits,
+            best.plan.dict_parts,
+            best.plan.table_parts,
+            fmt_us(best.modeled_ns),
+            report.spread()
+        );
+    }
+}

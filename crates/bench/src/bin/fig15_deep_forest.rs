@@ -1,0 +1,118 @@
+//! Fig. 15 — two-layer deep forests (gcForest style), Bolt vs Scikit, on
+//! MNIST (heights 5, 15, 20) and LSTW (heights 5, 8, 12).
+//!
+//! Expected shape: execution times are higher than single random forests
+//! (two layers plus the feature copy) but stay in single-digit microseconds
+//! for modest forests, and Bolt outperforms Scikit on every deep forest,
+//! degrading with tree height.
+//!
+//! Run: `cargo run -p bolt-bench --release --bin fig15_deep_forest`
+
+use bolt_baselines::ScikitLikeForest;
+use bolt_bench::{fmt_us, print_table, test_samples};
+use bolt_core::{BoltConfig, DeepBolt};
+use bolt_data::Workload;
+use bolt_forest::{DeepForest, DeepForestConfig, ForestConfig};
+use std::time::Instant;
+
+/// Scikit-style deep forest: each layer is a scikit-like engine; layer
+/// outputs are copied and appended exactly as in the Bolt pipeline.
+struct ScikitDeep {
+    layers: Vec<ScikitLikeForest>,
+    n_features: usize,
+}
+
+impl ScikitDeep {
+    fn new(deep: &DeepForest) -> Self {
+        Self {
+            layers: deep
+                .layers()
+                .iter()
+                .map(ScikitLikeForest::from_forest)
+                .collect(),
+            n_features: deep.n_features(),
+        }
+    }
+
+    fn classify(&self, sample: &[f32]) -> u32 {
+        let mut augmented = sample[..self.n_features].to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let proba = layer.predict_proba(&augmented);
+            if i + 1 == self.layers.len() {
+                let mut best = 0usize;
+                for (c, &p) in proba.iter().enumerate().skip(1) {
+                    if p > proba[best] {
+                        best = c;
+                    }
+                }
+                return best as u32;
+            }
+            augmented.extend(proba.iter().map(|&p| p as f32));
+        }
+        unreachable!("at least one layer")
+    }
+}
+
+fn main() {
+    let n_test = test_samples().min(1000);
+    let mut rows = Vec::new();
+    let settings: [(Workload, &[usize]); 2] = [
+        (Workload::MnistLike, &[5, 15, 20]),
+        (Workload::LstwLike, &[5, 8, 12]),
+    ];
+    for (workload, heights) in settings {
+        for &height in heights {
+            let train = bolt_data::generate(workload, 1200, 0xBEEF);
+            let test = bolt_data::generate(workload, n_test, 0xF00D);
+            let cfg = DeepForestConfig::two_layers(
+                ForestConfig::new(5).with_max_height(height).with_seed(42),
+            );
+            let deep = DeepForest::train(&train, &cfg).expect("trains");
+            // Deeper layers need tight clustering to stay table-mappable.
+            let bolt_cfg =
+                BoltConfig::default().with_cluster_threshold(if height <= 6 { 2 } else { 0 });
+            let compiled = match DeepBolt::compile(&deep, &bolt_cfg) {
+                Ok(c) => c,
+                Err(e) => {
+                    rows.push(vec![
+                        workload.name().to_owned(),
+                        format!("{height}"),
+                        format!("n/a ({e})"),
+                        "-".to_owned(),
+                        "-".to_owned(),
+                    ]);
+                    continue;
+                }
+            };
+            let scikit = ScikitDeep::new(&deep);
+
+            let bolt_ns = time_deep(|s| compiled.classify(s), &test);
+            let scikit_ns = time_deep(|s| scikit.classify(s), &test);
+            rows.push(vec![
+                workload.name().to_owned(),
+                format!("{height}"),
+                fmt_us(bolt_ns),
+                fmt_us(scikit_ns),
+                format!("{:.1}x", scikit_ns / bolt_ns),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 15: deep forest (2 layers, 5 trees/layer) µs/sample",
+        &["dataset", "height", "BOLT", "Scikit", "speedup"],
+        &rows,
+    );
+}
+
+fn time_deep<F: Fn(&[f32]) -> u32>(f: F, test: &bolt_forest::Dataset) -> f64 {
+    let mut sink = 0u32;
+    for (sample, _) in test.iter().take(32) {
+        sink = sink.wrapping_add(f(sample));
+    }
+    let start = Instant::now();
+    for (sample, _) in test.iter() {
+        sink = sink.wrapping_add(f(sample));
+    }
+    std::hint::black_box(sink);
+    start.elapsed().as_nanos() as f64 / test.len() as f64
+}

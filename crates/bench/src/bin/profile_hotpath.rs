@@ -1,0 +1,50 @@
+//! Ad-hoc hot-path timing breakdown (developer tool, not a paper figure).
+//!
+//! Run: `cargo run -p bolt-bench --release --bin profile_hotpath`
+
+use bolt_bench::train_workload;
+use bolt_core::{BoltConfig, BoltForest};
+use bolt_data::Workload;
+use std::time::Instant;
+
+fn main() {
+    let trained = train_workload(Workload::MnistLike, 10, 4, 2000, 2000);
+    let samples: Vec<&[f32]> = (0..trained.test.len())
+        .map(|i| trained.test.sample(i))
+        .collect();
+    let n = samples.len();
+    let mut sink = 0u64;
+
+    for threshold in [0usize, 1, 2, 4, 8, 16] {
+        for bloom in [0usize, 10] {
+            let bolt = BoltForest::compile(
+                &trained.forest,
+                &BoltConfig::default()
+                    .with_cluster_threshold(threshold)
+                    .with_bloom_bits_per_key(bloom),
+            )
+            .expect("compiles");
+            let mut scratch = bolt.scratch();
+            // Warm.
+            for s in samples.iter().take(64) {
+                sink = sink.wrapping_add(u64::from(bolt.classify_with(s, &mut scratch)));
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let start = Instant::now();
+                for s in &samples {
+                    sink = sink.wrapping_add(u64::from(bolt.classify_with(s, &mut scratch)));
+                }
+                best = best.min(start.elapsed().as_nanos() as f64 / n as f64);
+            }
+            let (_, stats) = bolt.classify_with_stats(samples[0]);
+            println!(
+                "threshold={threshold:<2} bloom={bloom:<2} -> {best:7.1} ns  entries={:<4} cells={:<5} matched~{}",
+                bolt.dictionary().len(),
+                bolt.table().n_cells(),
+                stats.entries_matched,
+            );
+        }
+    }
+    std::hint::black_box(sink);
+}

@@ -1,0 +1,245 @@
+//! Growable vector of single bits.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A growable, heap-allocated vector of bits packed into 64-bit words.
+///
+/// Used throughout Bolt for predicate evaluations (one bit per binary
+/// feature-value test) and for the packed representation of lookup-table
+/// addresses.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_bitpack::BitVec;
+///
+/// let mut v = BitVec::new();
+/// v.push(true);
+/// v.push(false);
+/// v.push(true);
+/// assert_eq!(v.len(), 3);
+/// assert_eq!(v.count_ones(), 2);
+/// assert_eq!(v.iter().collect::<Vec<_>>(), vec![true, false, true]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit vector with room for `bits` bits.
+    #[must_use]
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Creates a bit vector of `len` zero bits.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector stores no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Returns the bit at `index`, or `None` if out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<bool> {
+        if index >= self.len {
+            return None;
+        }
+        Some(self.words[index / 64] >> (index % 64) & 1 == 1)
+    }
+
+    /// Sets the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn set(&mut self, index: usize, bit: bool) {
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
+        let mask = 1u64 << (index % 64);
+        if bit {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i).expect("index in range"))
+    }
+
+    /// Borrows the backing words. The final word's unused high bits are zero.
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Total heap bytes used by the packed representation.
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for bit in self.iter() {
+            write!(f, "{}", u8::from(bit))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for bit in iter {
+            v.push(bit);
+        }
+        v
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for bit in iter {
+            self.push(bit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut v = BitVec::new();
+        let pattern = [true, false, true, true, false];
+        for &b in &pattern {
+            v.push(b);
+        }
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(v.get(i), Some(b));
+        }
+        assert_eq!(v.get(5), None);
+    }
+
+    #[test]
+    fn zeros_then_set() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.count_ones(), 0);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert_eq!(v.count_ones(), 3);
+        assert_eq!(v.get(64), Some(true));
+        assert_eq!(v.get(63), Some(false));
+    }
+
+    #[test]
+    fn set_then_clear() {
+        let mut v = BitVec::zeros(10);
+        v.set(3, true);
+        assert_eq!(v.get(3), Some(true));
+        v.set(3, false);
+        assert_eq!(v.get(3), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut v = BitVec::zeros(4);
+        v.set(4, true);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let v = BitVec::zeros(2);
+        assert_eq!(format!("{v:?}"), "BitVec[00]");
+        assert_eq!(format!("{:?}", BitVec::new()), "BitVec[]");
+    }
+
+    #[test]
+    fn from_iterator_matches_pushes() {
+        let bits = vec![true, true, false, true];
+        let v: BitVec = bits.iter().copied().collect();
+        assert_eq!(v.iter().collect::<Vec<_>>(), bits);
+    }
+
+    #[test]
+    fn unused_high_bits_are_zero() {
+        let mut v = BitVec::new();
+        v.push(true);
+        assert_eq!(v.as_words(), &[1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let v: BitVec = bits.iter().copied().collect();
+            prop_assert_eq!(v.len(), bits.len());
+            prop_assert_eq!(v.iter().collect::<Vec<_>>(), bits.clone());
+            prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
+        }
+
+        #[test]
+        fn prop_set_is_idempotent(len in 1usize..200, idx_seed in any::<usize>(), bit in any::<bool>()) {
+            let idx = idx_seed % len;
+            let mut v = BitVec::zeros(len);
+            v.set(idx, bit);
+            v.set(idx, bit);
+            prop_assert_eq!(v.get(idx), Some(bit));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Knee-point variable-width codec for lookup-table results.
+//!
+//! Bolt's implementation (§5 of the paper) observes that *most* results fit
+//! in a few bits but a handful need many: "Our scripts found knee-points; a
+//! number of bits that represented a large fraction of the results. The
+//! typical result was represented using those knee-points. Atypical results
+//! used additional space. This approach compressed table entries by 3X."
+
+use crate::{bits_for, PackedIntVec};
+use serde::{Deserialize, Serialize};
+
+/// Statistics produced when fitting a [`KneeCodec`] to a value distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KneeStats {
+    /// Bits used for typical (inline) values, including the escape tag bit.
+    pub inline_bits: u32,
+    /// Number of values that fit inline.
+    pub inline_count: usize,
+    /// Number of escaped (atypical) values stored in the side table.
+    pub escaped_count: usize,
+    /// Bits per escaped value in the side table.
+    pub side_bits: u32,
+}
+
+impl KneeStats {
+    /// Total packed payload size in bits (excluding word-alignment padding).
+    #[must_use]
+    pub fn payload_bits(&self) -> usize {
+        (self.inline_count + self.escaped_count) * self.inline_bits as usize
+            + self.escaped_count * self.side_bits as usize
+    }
+}
+
+/// Encodes a sequence of `u64` values using a knee-point split: values below
+/// the chosen percentile are stored inline at a small fixed width; larger
+/// values are replaced by an escape tag plus an index into a side table.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_bitpack::KneeCodec;
+///
+/// // 99 tiny values and one huge outlier: the codec picks a small inline
+/// // width rather than paying 64 bits everywhere.
+/// let mut values: Vec<u64> = (0..99).map(|i| i % 8).collect();
+/// values.push(u64::MAX);
+/// let codec = KneeCodec::fit(&values, 0.99);
+/// for (i, &v) in values.iter().enumerate() {
+///     assert_eq!(codec.get(i), Some(v));
+/// }
+/// assert!(codec.packed_bytes() < values.len() * 8);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KneeCodec {
+    /// Inline stream; each slot holds `value + 1` for typical values, or the
+    /// escape tag `0` for atypical ones.
+    inline: PackedIntVec,
+    /// Side table of escaped values in order of appearance.
+    side: Vec<u64>,
+    /// For each escaped slot index (in inline order), its rank in `side`.
+    escape_ranks: Vec<u32>,
+    stats: KneeStats,
+}
+
+impl KneeCodec {
+    /// Fits a codec to `values`, choosing the inline width from the
+    /// `percentile` knee point (e.g. `0.99` for the paper's 99th percentile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percentile` is not in `(0, 1]`.
+    #[must_use]
+    pub fn fit(values: &[u64], percentile: f64) -> Self {
+        assert!(
+            percentile > 0.0 && percentile <= 1.0,
+            "percentile must be in (0, 1], got {percentile}"
+        );
+        let knee = if values.is_empty() {
+            0
+        } else {
+            let mut sorted: Vec<u64> = values.to_vec();
+            sorted.sort_unstable();
+            let rank = ((sorted.len() as f64 * percentile).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        // Inline slots store value+1 with 0 reserved as the escape tag, so we
+        // need room for knee+1.
+        let inline_bits = bits_for(knee.saturating_add(1));
+        let mut inline = PackedIntVec::new(inline_bits);
+        let mut side = Vec::new();
+        let mut escape_ranks = Vec::new();
+        for &v in values {
+            if v <= knee {
+                inline.push(v + 1);
+            } else {
+                inline.push(0);
+                escape_ranks.push(side.len() as u32);
+                side.push(v);
+            }
+        }
+        let stats = KneeStats {
+            inline_bits,
+            inline_count: values.len() - side.len(),
+            escaped_count: side.len(),
+            side_bits: 64,
+        };
+        Self {
+            inline,
+            side,
+            escape_ranks,
+            stats,
+        }
+    }
+
+    /// Number of encoded values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inline.len()
+    }
+
+    /// Whether the codec holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inline.is_empty()
+    }
+
+    /// Decodes the value at `index`, or `None` if out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<u64> {
+        let slot = self.inline.get(index)?;
+        if slot != 0 {
+            return Some(slot - 1);
+        }
+        // Escape: rank = number of escape slots strictly before `index`.
+        let rank = (0..index)
+            .filter(|&i| self.inline.get(i) == Some(0))
+            .count();
+        Some(self.side[rank])
+    }
+
+    /// Fit statistics.
+    #[must_use]
+    pub fn stats(&self) -> KneeStats {
+        self.stats
+    }
+
+    /// Total packed bytes (inline stream + side table).
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.inline.packed_bytes() + self.side.len() * 8 + self.escape_ranks.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_small_values_inline() {
+        let values: Vec<u64> = (0..100).map(|i| i % 10).collect();
+        let codec = KneeCodec::fit(&values, 0.99);
+        assert_eq!(codec.stats().escaped_count, 0);
+        assert_eq!(codec.stats().inline_bits, bits_for(10));
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(codec.get(i), Some(v));
+        }
+    }
+
+    #[test]
+    fn outliers_escape() {
+        let mut values: Vec<u64> = vec![1; 99];
+        values.push(1 << 40);
+        let codec = KneeCodec::fit(&values, 0.99);
+        assert_eq!(codec.stats().escaped_count, 1);
+        assert_eq!(codec.get(99), Some(1 << 40));
+        assert!(codec.stats().inline_bits <= 2);
+    }
+
+    #[test]
+    fn compression_beats_fixed_width_on_skewed_data() {
+        let mut values: Vec<u64> = (0..990).map(|i| i % 4).collect();
+        values.extend(std::iter::repeat_n(u64::MAX / 3, 10));
+        let codec = KneeCodec::fit(&values, 0.99);
+        let fixed = values.len() * 8;
+        assert!(
+            codec.packed_bytes() * 3 <= fixed,
+            "knee codec ({}) should be >=3x smaller than fixed u64 ({fixed})",
+            codec.packed_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let codec = KneeCodec::fit(&[], 0.99);
+        assert!(codec.is_empty());
+        assert_eq!(codec.get(0), None);
+    }
+
+    #[test]
+    fn percentile_one_keeps_everything_inline() {
+        let values = vec![0, 5, 1000, 7];
+        let codec = KneeCodec::fit(&values, 1.0);
+        assert_eq!(codec.stats().escaped_count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_panics() {
+        let _ = KneeCodec::fit(&[1], 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(values in proptest::collection::vec(any::<u64>(), 0..200),
+                          pct in 0.01f64..=1.0) {
+            let codec = KneeCodec::fit(&values, pct);
+            prop_assert_eq!(codec.len(), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(codec.get(i), Some(v));
+            }
+        }
+
+        #[test]
+        fn prop_payload_never_larger_than_naive_for_small_values(
+            values in proptest::collection::vec(0u64..16, 1..300)
+        ) {
+            let codec = KneeCodec::fit(&values, 0.99);
+            prop_assert!(codec.packed_bytes() <= values.len() * 8 + 8);
+        }
+    }
+}

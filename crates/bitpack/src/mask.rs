@@ -1,0 +1,411 @@
+//! Fixed-width, word-backed bitmasks.
+
+use crate::BitVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-width bitmask backed by 64-bit words.
+///
+/// `Mask` is the workhorse of Bolt's dictionary scan (§4.3 of the paper): a
+/// dictionary entry stores a mask of its *common* predicates and the expected
+/// values under that mask, and an input matches the entry iff
+/// `input.and(&mask) == key`. All operations are branch-free word loops.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_bitpack::Mask;
+///
+/// let mut mask = Mask::zeros(8);
+/// mask.set(1, true);
+/// mask.set(3, true);
+/// let mut input = Mask::zeros(8);
+/// input.set(1, true);
+/// input.set(6, true); // outside the mask, ignored by masked_eq
+/// let mut key = Mask::zeros(8);
+/// key.set(1, true);
+/// assert!(input.masked_eq(&mask, &key));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mask {
+    words: Vec<u64>,
+    width: usize,
+}
+
+impl Mask {
+    /// Creates an all-zero mask of `width` bits.
+    #[must_use]
+    pub fn zeros(width: usize) -> Self {
+        Self {
+            words: vec![0; width.div_ceil(64).max(1)],
+            width,
+        }
+    }
+
+    /// Creates a mask from a [`BitVec`], preserving its length as the width.
+    #[must_use]
+    pub fn from_bitvec(bits: &BitVec) -> Self {
+        let mut m = Self::zeros(bits.len());
+        m.words[..bits.as_words().len()].copy_from_slice(bits.as_words());
+        m
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(
+            index < self.width,
+            "bit {index} out of width {}",
+            self.width
+        );
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Sets bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn set(&mut self, index: usize, bit: bool) {
+        assert!(
+            index < self.width,
+            "bit {index} out of width {}",
+            self.width
+        );
+        let m = 1u64 << (index % 64);
+        if bit {
+            self.words[index / 64] |= m;
+        } else {
+            self.words[index / 64] &= !m;
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitwise AND, producing a new mask of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn and(&self, other: &Self) -> Self {
+        assert_eq!(self.width, other.width, "mask width mismatch");
+        Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            width: self.width,
+        }
+    }
+
+    /// Bitwise OR, producing a new mask of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn or(&self, other: &Self) -> Self {
+        assert_eq!(self.width, other.width, "mask width mismatch");
+        Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            width: self.width,
+        }
+    }
+
+    /// The branch-free masked comparison `(self & mask) == key`.
+    ///
+    /// This is exactly the test Bolt runs per dictionary entry during
+    /// inference: it simultaneously decides whether the input is relevant to
+    /// the entry without any conditional control flow inside the word loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn masked_eq(&self, mask: &Self, key: &Self) -> bool {
+        assert_eq!(self.width, mask.width, "mask width mismatch");
+        assert_eq!(self.width, key.width, "key width mismatch");
+        let mut diff = 0u64;
+        for ((a, m), k) in self.words.iter().zip(&mask.words).zip(&key.words) {
+            diff |= (a & m) ^ k;
+        }
+        diff == 0
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        assert_eq!(self.width, other.width, "mask width mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Borrows the backing words.
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutably borrows the backing words for bulk updates.
+    ///
+    /// Callers must keep bits at or beyond [`Self::width`] zero; the word
+    /// count and width are fixed.
+    #[must_use]
+    pub fn as_mut_words(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Sets the contiguous run of `len` bits starting at `start`, word-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run extends past the mask width.
+    pub fn set_run(&mut self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        assert!(
+            start + len <= self.width,
+            "run {start}+{len} exceeds width {}",
+            self.width
+        );
+        let (mut bit, end) = (start, start + len);
+        while bit < end {
+            let word = bit / 64;
+            let offset = bit % 64;
+            let span = (64 - offset).min(end - bit);
+            let mask = if span == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << offset
+            };
+            self.words[word] |= mask;
+            bit += span;
+        }
+    }
+
+    /// Heap bytes used by the packed words.
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let width = self.width;
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+            .take_while(move |&i| i < width)
+        })
+    }
+}
+
+impl fmt::Debug for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mask<{}>{{", self.width)?;
+        let ones: Vec<usize> = self.ones().collect();
+        for (i, b) in ones.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_across_words() {
+        let mut m = Mask::zeros(200);
+        for i in [0, 63, 64, 127, 128, 199] {
+            m.set(i, true);
+            assert!(m.get(i));
+        }
+        assert_eq!(m.count_ones(), 6);
+    }
+
+    #[test]
+    fn and_or_basic() {
+        let mut a = Mask::zeros(10);
+        let mut b = Mask::zeros(10);
+        a.set(1, true);
+        a.set(2, true);
+        b.set(2, true);
+        b.set(3, true);
+        assert_eq!(a.and(&b).ones().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(a.or(&b).ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn masked_eq_ignores_unmasked_bits() {
+        let mut input = Mask::zeros(70);
+        input.set(0, true);
+        input.set(69, true);
+        let mut mask = Mask::zeros(70);
+        mask.set(0, true);
+        let mut key = Mask::zeros(70);
+        key.set(0, true);
+        assert!(input.masked_eq(&mask, &key));
+        // Flip the masked bit: no longer matches.
+        input.set(0, false);
+        assert!(!input.masked_eq(&mask, &key));
+    }
+
+    #[test]
+    fn subset_detection() {
+        let mut small = Mask::zeros(128);
+        let mut big = Mask::zeros(128);
+        small.set(5, true);
+        big.set(5, true);
+        big.set(100, true);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+    }
+
+    #[test]
+    fn ones_iterator_order() {
+        let mut m = Mask::zeros(130);
+        for i in [129, 3, 64] {
+            m.set(i, true);
+        }
+        assert_eq!(m.ones().collect::<Vec<_>>(), vec![3, 64, 129]);
+    }
+
+    #[test]
+    fn from_bitvec_preserves_bits() {
+        let bits: BitVec = [true, false, true].into_iter().collect();
+        let m = Mask::from_bitvec(&bits);
+        assert_eq!(m.width(), 3);
+        assert!(m.get(0) && !m.get(1) && m.get(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn and_width_mismatch_panics() {
+        let _ = Mask::zeros(3).and(&Mask::zeros(4));
+    }
+
+    #[test]
+    fn debug_nonempty_for_zero_mask() {
+        assert_eq!(format!("{:?}", Mask::zeros(4)), "Mask<4>{}");
+    }
+
+    #[test]
+    fn set_run_matches_individual_sets() {
+        for (start, len) in [(0, 1), (5, 60), (63, 2), (0, 130), (64, 64), (10, 0)] {
+            let mut by_run = Mask::zeros(130);
+            let mut by_bit = Mask::zeros(130);
+            by_run.set_run(start, len);
+            for i in start..start + len {
+                by_bit.set(i, true);
+            }
+            assert_eq!(by_run, by_bit, "run ({start}, {len})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn set_run_out_of_range_panics() {
+        Mask::zeros(10).set_run(5, 6);
+    }
+
+    #[test]
+    fn clear_resets_all_bits() {
+        let mut m = Mask::zeros(100);
+        m.set_run(0, 100);
+        m.clear();
+        assert_eq!(m.count_ones(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_run_equals_loop(width in 1usize..300, a in any::<usize>(), b in any::<usize>()) {
+            let start = a % width;
+            let len = b % (width - start + 1);
+            let mut by_run = Mask::zeros(width);
+            let mut by_bit = Mask::zeros(width);
+            by_run.set_run(start, len);
+            for i in start..start + len {
+                by_bit.set(i, true);
+            }
+            prop_assert_eq!(by_run, by_bit);
+        }
+
+        #[test]
+        fn prop_masked_eq_matches_naive(
+            bits in proptest::collection::vec(any::<(bool, bool, bool)>(), 1..200)
+        ) {
+            let width = bits.len();
+            let mut input = Mask::zeros(width);
+            let mut mask = Mask::zeros(width);
+            let mut key = Mask::zeros(width);
+            for (i, &(a, m, k)) in bits.iter().enumerate() {
+                input.set(i, a);
+                mask.set(i, m);
+                key.set(i, k && m); // keys only make sense under the mask
+            }
+            let naive = (0..width).all(|i| (input.get(i) && mask.get(i)) == key.get(i));
+            prop_assert_eq!(input.masked_eq(&mask, &key), naive);
+        }
+
+        #[test]
+        fn prop_subset_consistent_with_or(
+            bits in proptest::collection::vec(any::<(bool, bool)>(), 1..200)
+        ) {
+            let width = bits.len();
+            let mut a = Mask::zeros(width);
+            let mut b = Mask::zeros(width);
+            for (i, &(x, y)) in bits.iter().enumerate() {
+                a.set(i, x);
+                b.set(i, y);
+            }
+            prop_assert_eq!(a.is_subset_of(&b), a.or(&b) == b);
+        }
+    }
+}

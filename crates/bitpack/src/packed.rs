@@ -1,0 +1,227 @@
+//! Fixed-width packed integer vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vector of unsigned integers stored with a fixed bit width (1–64 bits).
+///
+/// The Bolt paper's implementation section (§5) stores feature values with
+/// only enough bits to represent the largest value used in any binary split,
+/// instead of full-width integers. `PackedIntVec` is that representation.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_bitpack::PackedIntVec;
+///
+/// let mut v = PackedIntVec::new(9); // e.g. pixel thresholds 0..=511
+/// v.push(200);
+/// v.push(511);
+/// assert_eq!(v.get(1), Some(511));
+/// assert_eq!(v.packed_bytes(), 8); // both values fit in one word
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PackedIntVec {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl PackedIntVec {
+    /// Creates an empty vector whose elements occupy `width` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!(
+            (1..=64).contains(&width),
+            "width must be in 1..=64, got {width}"
+        );
+        Self {
+            words: Vec::new(),
+            width,
+            len: 0,
+        }
+    }
+
+    /// Creates a vector by packing `values` at the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is invalid or any value does not fit.
+    #[must_use]
+    pub fn from_values(width: u32, values: impl IntoIterator<Item = u64>) -> Self {
+        let mut v = Self::new(width);
+        for value in values {
+            v.push(value);
+        }
+        v
+    }
+
+    /// Bit width of each element.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest value representable at this width.
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Appends a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the configured width.
+    pub fn push(&mut self, value: u64) {
+        assert!(
+            value <= self.max_value(),
+            "value {value} does not fit in {} bits",
+            self.width
+        );
+        let bit = self.len * self.width as usize;
+        let word = bit / 64;
+        let offset = (bit % 64) as u32;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= value << offset;
+        let spill = offset + self.width > 64;
+        if spill {
+            self.words.push(value >> (64 - offset));
+        }
+        self.len += 1;
+    }
+
+    /// Returns the element at `index`, or `None` if out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<u64> {
+        if index >= self.len {
+            return None;
+        }
+        let bit = index * self.width as usize;
+        let word = bit / 64;
+        let offset = (bit % 64) as u32;
+        let mut value = self.words[word] >> offset;
+        if offset + self.width > 64 {
+            value |= self.words[word + 1] << (64 - offset);
+        }
+        Some(value & self.max_value())
+    }
+
+    /// Iterates over the stored values in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i).expect("index in range"))
+    }
+
+    /// Heap bytes used by the packed words.
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl fmt::Debug for PackedIntVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedIntVec<{}b>", self.width)?;
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl Extend<u64> for PackedIntVec {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_get_simple() {
+        let mut v = PackedIntVec::new(3);
+        for x in 0..8 {
+            v.push(x);
+        }
+        for x in 0..8 {
+            assert_eq!(v.get(x as usize), Some(x));
+        }
+        assert_eq!(v.get(8), None);
+    }
+
+    #[test]
+    fn values_straddling_word_boundary() {
+        // width 60: second value straddles the first/second word.
+        let mut v = PackedIntVec::new(60);
+        let a = (1u64 << 60) - 1;
+        let b = 0x0abc_def0_1234_567;
+        v.push(a);
+        v.push(b);
+        assert_eq!(v.get(0), Some(a));
+        assert_eq!(v.get(1), Some(b));
+    }
+
+    #[test]
+    fn width_64_roundtrip() {
+        let mut v = PackedIntVec::new(64);
+        v.push(u64::MAX);
+        v.push(0);
+        assert_eq!(v.get(0), Some(u64::MAX));
+        assert_eq!(v.get(1), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_panics() {
+        let mut v = PackedIntVec::new(4);
+        v.push(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_panics() {
+        let _ = PackedIntVec::new(0);
+    }
+
+    #[test]
+    fn packing_saves_space_vs_u64() {
+        let v = PackedIntVec::from_values(8, 0..64u64);
+        // 64 8-bit values = 512 bits = 8 words, vs 64 words for Vec<u64>.
+        assert_eq!(v.packed_bytes(), 64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(width in 1u32..=64, raw in proptest::collection::vec(any::<u64>(), 0..150)) {
+            let max = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let values: Vec<u64> = raw.iter().map(|v| v & max).collect();
+            let packed = PackedIntVec::from_values(width, values.iter().copied());
+            prop_assert_eq!(packed.len(), values.len());
+            prop_assert_eq!(packed.iter().collect::<Vec<_>>(), values);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Greedy path clustering (Fig. 3, step 3 of the paper).
+//!
+//! Clusters are formed by walking the forest-wide sorted path list and
+//! incrementally adding paths "until a tunable threshold for the number of
+//! uncommon feature-value pairs is reached" (§4.1). Each cluster then yields:
+//!
+//! * **common pairs** — `(predicate, value)` pairs present with the same
+//!   value in *every* member path; these become the dictionary entry's
+//!   branch-free membership key,
+//! * **uncommon predicates** — every other predicate appearing in any member
+//!   path; these become the bits of the cluster's lookup-table address.
+
+use crate::paths::SortedPaths;
+use crate::BoltError;
+use bolt_forest::{BinaryPath, PredId};
+use std::collections::BTreeSet;
+
+/// One path cluster with its derived common/uncommon split.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cluster {
+    /// Member paths (contiguous slice of the sorted path list).
+    pub paths: Vec<BinaryPath>,
+    /// Pairs shared (same predicate, same value) by every member path,
+    /// sorted by predicate ID.
+    pub common: Vec<(PredId, bool)>,
+    /// Predicates appearing in some member path but not common, sorted; at
+    /// most [`Clustering::MAX_ADDRESS_BITS`] of them.
+    pub uncommon: Vec<PredId>,
+}
+
+impl Cluster {
+    fn from_paths(paths: Vec<BinaryPath>) -> Self {
+        debug_assert!(!paths.is_empty());
+        // Common pairs: intersection of all pair sets.
+        let mut common: Vec<(PredId, bool)> = paths[0].pairs.clone();
+        for path in &paths[1..] {
+            common.retain(|pair| path.pairs.contains(pair));
+        }
+        // Uncommon predicates: union of all predicates minus common ones.
+        let common_preds: BTreeSet<PredId> = common.iter().map(|&(p, _)| p).collect();
+        let uncommon: Vec<PredId> = paths
+            .iter()
+            .flat_map(|p| p.pairs.iter().map(|&(pred, _)| pred))
+            .filter(|p| !common_preds.contains(p))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        Self {
+            paths,
+            common,
+            uncommon,
+        }
+    }
+
+    /// Number of lookup-table address bits this cluster needs.
+    #[must_use]
+    pub fn address_bits(&self) -> usize {
+        self.uncommon.len()
+    }
+
+    /// Enumerates every `(address, path_index)` expansion of this cluster:
+    /// each member path fixes the address bits of the uncommon predicates it
+    /// tests and expands over the rest (the "don't care" expansion of
+    /// Fig. 2). Address bit `i` corresponds to `self.uncommon[i]`.
+    #[must_use]
+    pub fn expansions(&self) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        for (path_idx, path) in self.paths.iter().enumerate() {
+            // Fixed bits from the path's own tests of uncommon predicates.
+            let mut fixed = 0u64;
+            let mut free_bits: Vec<usize> = Vec::new();
+            for (bit, pred) in self.uncommon.iter().enumerate() {
+                match path.pairs.iter().find(|&&(p, _)| p == *pred) {
+                    Some(&(_, value)) => {
+                        if value {
+                            fixed |= 1 << bit;
+                        }
+                    }
+                    None => free_bits.push(bit),
+                }
+            }
+            for combo in 0u64..(1u64 << free_bits.len()) {
+                let mut address = fixed;
+                for (k, &bit) in free_bits.iter().enumerate() {
+                    if combo >> k & 1 == 1 {
+                        address |= 1 << bit;
+                    }
+                }
+                out.push((address, path_idx));
+            }
+        }
+        out
+    }
+
+    /// Number of *distinct occupied* lookup-table addresses this cluster
+    /// produces (the paper's per-cluster "lookup table entries" count: the
+    /// Fig. 3 example yields 4 + 4 + 2 = 10 across its three clusters).
+    #[must_use]
+    pub fn expanded_entries(&self) -> usize {
+        let mut addresses: Vec<u64> = self.expansions().into_iter().map(|(a, _)| a).collect();
+        addresses.sort_unstable();
+        addresses.dedup();
+        addresses.len()
+    }
+}
+
+/// The result of Phase 1: the ordered list of clusters.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_core::{cluster::Clustering, paths::SortedPaths};
+/// use bolt_forest::{Dataset, ForestConfig, PredicateUniverse, RandomForest};
+///
+/// let rows: Vec<Vec<f32>> = (0..60).map(|i| vec![(i % 6) as f32]).collect();
+/// let labels: Vec<u32> = (0..60).map(|i| u32::from(i % 6 > 2)).collect();
+/// let data = Dataset::from_rows(rows, labels, 2)?;
+/// let forest = RandomForest::train(&data, &ForestConfig::new(4).with_seed(3));
+/// let universe = PredicateUniverse::from_forest(&forest);
+/// let sorted = SortedPaths::from_forest(&forest, &universe);
+/// let clustering = Clustering::greedy(&sorted, 4)?;
+/// assert_eq!(clustering.total_paths(), sorted.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clustering {
+    clusters: Vec<Cluster>,
+    threshold: usize,
+}
+
+impl Clustering {
+    /// Maximum supported lookup-table address width per cluster. Bounds both
+    /// the `u64` address encoding and the worst-case "don't care" expansion.
+    pub const MAX_ADDRESS_BITS: usize = 24;
+
+    /// Greedily clusters the sorted paths with the given uncommon-pair
+    /// `threshold` (the tunable hyper-parameter of §4.1).
+    ///
+    /// A cluster is seeded by one path (its pairs are free); subsequent
+    /// paths join while the cumulative count of *novel* pairs (pairs not yet
+    /// seen in the cluster) stays within `threshold`, and while the
+    /// cluster's prospective address stays within
+    /// [`Self::MAX_ADDRESS_BITS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoltError::EmptyForest`] when `sorted` is empty, and
+    /// [`BoltError::AddressTooWide`] if a *single path* alone exceeds the
+    /// addressable width (such a forest cannot be compiled at any
+    /// threshold — its trees are too deep for table mapping, the regime the
+    /// paper concedes to Forest Packing).
+    pub fn greedy(sorted: &SortedPaths, threshold: usize) -> Result<Self, BoltError> {
+        if sorted.is_empty() {
+            return Err(BoltError::EmptyForest);
+        }
+        let mut clusters = Vec::new();
+        let mut current: Vec<BinaryPath> = Vec::new();
+        let mut seen: BTreeSet<(PredId, bool)> = BTreeSet::new();
+        let mut seed_pairs = 0usize;
+        let mut novel_used = 0usize;
+
+        for path in sorted.paths() {
+            if path.pairs.len() > Self::MAX_ADDRESS_BITS {
+                return Err(BoltError::AddressTooWide {
+                    bits: path.pairs.len(),
+                    max: Self::MAX_ADDRESS_BITS,
+                });
+            }
+            if current.is_empty() {
+                seen = path.pairs.iter().copied().collect();
+                seed_pairs = seen.len();
+                novel_used = 0;
+                current.push(path.clone());
+                continue;
+            }
+            let novel = path
+                .pairs
+                .iter()
+                .filter(|pair| !seen.contains(pair))
+                .count();
+            // Prospective distinct predicates bound the address width. The
+            // common set can only shrink as paths join, so distinct pairs is
+            // a safe over-estimate of common+uncommon.
+            let prospective_pairs = seed_pairs + novel_used + novel;
+            if novel_used + novel <= threshold && prospective_pairs <= Self::MAX_ADDRESS_BITS {
+                novel_used += novel;
+                seen.extend(path.pairs.iter().copied());
+                current.push(path.clone());
+            } else {
+                clusters.push(Cluster::from_paths(std::mem::take(&mut current)));
+                seen = path.pairs.iter().copied().collect();
+                seed_pairs = seen.len();
+                novel_used = 0;
+                current.push(path.clone());
+            }
+        }
+        if !current.is_empty() {
+            clusters.push(Cluster::from_paths(current));
+        }
+        Ok(Self {
+            clusters,
+            threshold,
+        })
+    }
+
+    /// Wraps pre-built clusters (used for degenerate forests with no
+    /// clusterable paths, and by ablation benchmarks that bypass the greedy
+    /// pass).
+    #[must_use]
+    pub fn from_clusters(clusters: Vec<Cluster>, threshold: usize) -> Self {
+        Self {
+            clusters,
+            threshold,
+        }
+    }
+
+    /// The clusters, in dictionary-entry order.
+    #[must_use]
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Number of clusters (= future dictionary entries).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The threshold this clustering was built with.
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Total paths across all clusters.
+    #[must_use]
+    pub fn total_paths(&self) -> usize {
+        self.clusters.iter().map(|c| c.paths.len()).sum()
+    }
+
+    /// Total expanded lookup-table entries across all clusters — the storage
+    /// demand Phase 2 weighs against dictionary size.
+    #[must_use]
+    pub fn total_expanded_entries(&self) -> usize {
+        self.clusters.iter().map(Cluster::expanded_entries).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(pairs: &[(PredId, bool)], class: u32, tree: u32) -> BinaryPath {
+        // Real BinaryPaths from binarization are sorted by predicate ID.
+        let mut pairs = pairs.to_vec();
+        pairs.sort_unstable();
+        BinaryPath {
+            pairs,
+            class,
+            tree,
+            weight: 1.0,
+        }
+    }
+
+    /// The paper's Fig. 3 forest: two trees over predicates a=0, b=1, c=2,
+    /// h=3, with the eight paths listed in the figure.
+    fn figure3_paths() -> SortedPaths {
+        let (a, b, c, h) = (0, 1, 2, 3);
+        SortedPaths::from_paths(
+            vec![
+                // tree 1: a -> (b | c)
+                path(&[(a, true), (b, true)], 0, 0), // (a,0)(b,0) -> yes
+                path(&[(a, true), (b, false)], 1, 0), // (a,0)(b,1) -> no
+                path(&[(a, false), (c, true)], 1, 0), // (a,1)(c,0) -> no
+                path(&[(a, false), (c, false)], 0, 0), // (a,1)(c,1) -> yes
+                // tree 2: h -> (a | c)
+                path(&[(h, true), (a, true)], 1, 1), // (h,0)(a,0) -> no
+                path(&[(h, true), (a, false)], 0, 1), // (h,0)(a,1) -> yes
+                path(&[(h, false), (c, true)], 1, 1), // (h,1)(c,0) -> no
+                path(&[(h, false), (c, false)], 0, 1), // (h,1)(c,1) -> yes
+            ],
+            2,
+        )
+    }
+
+    // NOTE on encoding: the figure writes pairs as (feature, edge-value)
+    // where 0 is the yes/true edge; we encode the boolean directly, so
+    // (a,0) in the figure is (a, true) here.
+
+    #[test]
+    fn figure3_clustering_shape() {
+        let sorted = figure3_paths();
+        let clustering = Clustering::greedy(&sorted, 2).expect("clusters");
+        assert_eq!(clustering.total_paths(), 8);
+        // The paper's example groups 8 paths into 3 clusters at threshold 2.
+        assert_eq!(clustering.len(), 3, "{:#?}", clustering.clusters());
+        // Under lexicographic order the first cluster is the figure's yellow
+        // one: common pair (a, false) — the figure's (a,1) — with c and h
+        // uncommon.
+        assert_eq!(clustering.clusters()[0].common, vec![(0, false)]);
+        assert_eq!(clustering.clusters()[0].uncommon, vec![2, 3]);
+        // The second is the green cluster: common (a, true) = figure's
+        // (a,0), uncommon b and h.
+        assert_eq!(clustering.clusters()[1].common, vec![(0, true)]);
+        assert_eq!(clustering.clusters()[1].uncommon, vec![1, 3]);
+        // The third is the blue cluster: common (h, false) = figure's (h,1).
+        assert_eq!(clustering.clusters()[2].common, vec![(3, false)]);
+        assert_eq!(clustering.clusters()[2].uncommon, vec![2]);
+    }
+
+    #[test]
+    fn figure3_table_sizes_match_paper() {
+        // The paper: "now we only have ten lookup table entries and three
+        // dictionary entries" vs the naïve 16.
+        let clustering = Clustering::greedy(&figure3_paths(), 2).expect("clusters");
+        assert_eq!(clustering.total_expanded_entries(), 10);
+        assert_eq!(clustering.len(), 3);
+    }
+
+    #[test]
+    fn threshold_zero_only_merges_identical_pair_sets() {
+        let sorted = figure3_paths();
+        let clustering = Clustering::greedy(&sorted, 0).expect("clusters");
+        for cluster in clustering.clusters() {
+            let first = &cluster.paths[0].pairs;
+            assert!(cluster.paths.iter().all(|p| &p.pairs == first));
+        }
+    }
+
+    #[test]
+    fn huge_threshold_is_capped_by_address_width() {
+        let sorted = figure3_paths();
+        let clustering = Clustering::greedy(&sorted, 10_000).expect("clusters");
+        for cluster in clustering.clusters() {
+            assert!(cluster.address_bits() <= Clustering::MAX_ADDRESS_BITS);
+        }
+        assert_eq!(clustering.total_paths(), 8);
+    }
+
+    #[test]
+    fn common_pairs_hold_in_every_member() {
+        let clustering = Clustering::greedy(&figure3_paths(), 2).expect("clusters");
+        for cluster in clustering.clusters() {
+            for pair in &cluster.common {
+                assert!(cluster.paths.iter().all(|p| p.pairs.contains(pair)));
+            }
+            // And uncommon predicates never appear in common.
+            for pred in &cluster.uncommon {
+                assert!(cluster.common.iter().all(|&(p, _)| p != *pred));
+            }
+        }
+    }
+
+    #[test]
+    fn expanded_entries_counts_dont_cares() {
+        // Single cluster: two paths over preds {0,1}, one path missing pred 1.
+        let sorted = SortedPaths::from_paths(
+            vec![
+                path(&[(0, true)], 0, 0),
+                path(&[(0, false), (1, true)], 1, 0),
+            ],
+            1,
+        );
+        let clustering = Clustering::greedy(&sorted, 8).expect("clusters");
+        assert_eq!(clustering.len(), 1);
+        let c = &clustering.clusters()[0];
+        // No common pairs; uncommon = {0, 1}. Path 1 expands 2x, path 2 1x.
+        assert!(c.common.is_empty());
+        assert_eq!(c.expanded_entries(), 3);
+    }
+
+    #[test]
+    fn empty_paths_error() {
+        let sorted = SortedPaths::from_paths(vec![], 0);
+        assert_eq!(
+            Clustering::greedy(&sorted, 2).expect_err("empty"),
+            BoltError::EmptyForest
+        );
+    }
+
+    #[test]
+    fn too_deep_single_path_errors() {
+        let pairs: Vec<(PredId, bool)> = (0..30).map(|i| (i, true)).collect();
+        let sorted = SortedPaths::from_paths(vec![path(&pairs, 0, 0)], 1);
+        assert!(matches!(
+            Clustering::greedy(&sorted, 2),
+            Err(BoltError::AddressTooWide { bits: 30, .. })
+        ));
+    }
+}

@@ -1,0 +1,194 @@
+//! Deep forests compiled layer-by-layer (§4.6, §5, Fig. 15).
+//!
+//! "We implemented multi-layer deep forests in Bolt. We compress each layer
+//! in isolation, creating a lookup table and a dictionary. Since the output
+//! of latter layers depends on previous layers, the dictionaries can be
+//! loaded sequentially. Features passed from previous layers are appended to
+//! input data."
+
+use crate::engine::{BoltConfig, BoltForest};
+use crate::BoltError;
+use bolt_forest::DeepForest;
+
+/// A deep forest where every layer has been compiled to Bolt structures.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_core::{BoltConfig, DeepBolt};
+/// use bolt_forest::{Dataset, DeepForest, DeepForestConfig, ForestConfig};
+///
+/// let rows: Vec<Vec<f32>> = (0..60).map(|i| vec![(i % 6) as f32]).collect();
+/// let labels: Vec<u32> = (0..60).map(|i| u32::from(i % 6 > 2)).collect();
+/// let data = Dataset::from_rows(rows, labels, 2)?;
+/// let cfg = DeepForestConfig::two_layers(ForestConfig::new(3).with_max_height(3));
+/// let deep = DeepForest::train(&data, &cfg)?;
+/// let compiled = DeepBolt::compile(&deep, &BoltConfig::default())?;
+/// assert_eq!(compiled.classify(&[3.0]), deep.predict(&[3.0]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeepBolt {
+    layers: Vec<BoltForest>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl DeepBolt {
+    /// Compiles every layer of a trained deep forest in isolation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`BoltError`] from compiling a layer.
+    pub fn compile(deep: &DeepForest, config: &BoltConfig) -> Result<Self, BoltError> {
+        let layers = deep
+            .layers()
+            .iter()
+            .map(|layer| BoltForest::compile(layer, config))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            layers,
+            n_features: deep.n_features(),
+            n_classes: deep.n_classes(),
+        })
+    }
+
+    /// The compiled layers, first layer first.
+    #[must_use]
+    pub fn layers(&self) -> &[BoltForest] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of raw input features (before augmentation).
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Runs all layers, appending each layer's class-probability vector to
+    /// the input of the next, and returns the final class.
+    ///
+    /// Bit-exact with [`DeepForest::predict`] because each compiled layer's
+    /// vote fractions equal the original layer's (the safety property
+    /// applied layer by layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is shorter than the raw feature count.
+    #[must_use]
+    pub fn classify(&self, sample: &[f32]) -> u32 {
+        let mut augmented = sample[..self.n_features].to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i + 1 == self.layers.len() {
+                return layer.classify(&augmented);
+            }
+            let proba = layer.predict_proba(&augmented);
+            augmented.extend_from_slice(&proba);
+        }
+        unreachable!("compile guarantees at least one layer")
+    }
+
+    /// Fraction of `data` classified correctly.
+    #[must_use]
+    pub fn accuracy(&self, data: &bolt_forest::Dataset) -> f64 {
+        let correct = data
+            .iter()
+            .filter(|(sample, label)| self.classify(sample) == *label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_forest::{Dataset, DeepForestConfig, ForestConfig};
+
+    fn fixture() -> (Dataset, DeepForest) {
+        let rows: Vec<Vec<f32>> = (0..160)
+            .map(|i| vec![(i % 8) as f32, ((i / 8) % 5) as f32, ((i * 3) % 4) as f32])
+            .collect();
+        let labels: Vec<u32> = rows
+            .iter()
+            .map(|r| u32::from((r[0] as u32 + r[1] as u32).is_multiple_of(2)))
+            .collect();
+        let data = Dataset::from_rows(rows, labels, 2).expect("valid");
+        let cfg =
+            DeepForestConfig::two_layers(ForestConfig::new(5).with_max_height(4).with_seed(23));
+        let deep = DeepForest::train(&data, &cfg).expect("trains");
+        (data, deep)
+    }
+
+    #[test]
+    fn layerwise_equivalence() {
+        let (data, deep) = fixture();
+        let compiled = DeepBolt::compile(&deep, &BoltConfig::default()).expect("compiles");
+        assert_eq!(compiled.n_layers(), 2);
+        for (sample, _) in data.iter() {
+            assert_eq!(compiled.classify(sample), deep.predict(sample));
+        }
+    }
+
+    #[test]
+    fn equivalence_on_unseen_inputs() {
+        let (_, deep) = fixture();
+        let compiled = DeepBolt::compile(&deep, &BoltConfig::default()).expect("compiles");
+        for i in 0..100 {
+            let sample = vec![i as f32 * 0.71 - 5.0, i as f32 * 0.29, -(i as f32) * 0.4];
+            assert_eq!(
+                compiled.classify(&sample),
+                deep.predict(&sample),
+                "sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_matches_original() {
+        let (data, deep) = fixture();
+        let compiled = DeepBolt::compile(&deep, &BoltConfig::default()).expect("compiles");
+        assert_eq!(compiled.accuracy(&data), deep.accuracy(&data));
+    }
+
+    #[test]
+    fn three_layer_stack_stays_equivalent() {
+        let (data, _) = fixture();
+        let base = ForestConfig::new(3).with_max_height(3).with_seed(41);
+        let mut second = base.clone();
+        second.seed = 42;
+        let mut third = base.clone();
+        third.seed = 43;
+        let cfg = DeepForestConfig {
+            layers: vec![base, second, third],
+        };
+        let deep = DeepForest::train(&data, &cfg).expect("trains");
+        let compiled = DeepBolt::compile(&deep, &BoltConfig::default()).expect("compiles");
+        assert_eq!(compiled.n_layers(), 3);
+        for (sample, _) in data.iter().take(60) {
+            assert_eq!(compiled.classify(sample), deep.predict(sample));
+        }
+    }
+
+    #[test]
+    fn second_layer_universe_covers_appended_features() {
+        let (_, deep) = fixture();
+        let compiled = DeepBolt::compile(&deep, &BoltConfig::default()).expect("compiles");
+        // Layer 2 consumes raw + n_classes features.
+        assert_eq!(
+            compiled.layers()[1].universe().n_features(),
+            compiled.n_features() + compiled.n_classes()
+        );
+    }
+}

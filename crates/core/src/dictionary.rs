@@ -1,0 +1,377 @@
+//! The Bolt dictionary: one entry per path cluster.
+//!
+//! "These are not traditional dictionaries in the sense of associative maps
+//! with O(1) lookup" (§4 fn. 2): during inference every entry is *scanned*,
+//! but each test is a branch-free word-wide masked compare
+//! (`(input & mask) == key`), so the scan costs bit-ops, not memory stalls
+//! or branch mispredictions. Masks and keys are stored column-contiguously
+//! so the scan walks memory sequentially.
+
+use crate::cluster::Clustering;
+use bolt_bitpack::Mask;
+use bolt_forest::PredId;
+use serde::{Deserialize, Serialize};
+
+/// One dictionary entry: the membership key (common pairs) and address
+/// layout (uncommon predicates) of one path cluster.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DictEntry {
+    /// Entry ID (index in the dictionary; hashed into table keys).
+    pub id: u32,
+    /// Common `(predicate, value)` pairs, sorted by predicate.
+    pub common: Vec<(PredId, bool)>,
+    /// Uncommon predicates in address-bit order (bit `i` of the lookup
+    /// address is the input's value of `uncommon[i]`).
+    pub uncommon: Vec<PredId>,
+}
+
+impl DictEntry {
+    /// Builds the lookup-table address for an input's predicate mask by
+    /// gathering the bits of the uncommon predicates.
+    #[must_use]
+    pub fn address_of(&self, bits: &Mask) -> u64 {
+        let mut address = 0u64;
+        for (i, &pred) in self.uncommon.iter().enumerate() {
+            address |= u64::from(bits.get(pred as usize)) << i;
+        }
+        address
+    }
+}
+
+/// The compiled dictionary: per-entry metadata plus flat, stride-packed mask
+/// and key words for the branch-free scan.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_core::{cluster::Clustering, paths::SortedPaths, Dictionary};
+/// use bolt_forest::{Dataset, ForestConfig, PredicateUniverse, RandomForest};
+///
+/// let rows: Vec<Vec<f32>> = (0..60).map(|i| vec![(i % 6) as f32]).collect();
+/// let labels: Vec<u32> = (0..60).map(|i| u32::from(i % 6 > 2)).collect();
+/// let data = Dataset::from_rows(rows, labels, 2)?;
+/// let forest = RandomForest::train(&data, &ForestConfig::new(4).with_seed(3));
+/// let universe = PredicateUniverse::from_forest(&forest);
+/// let sorted = SortedPaths::from_forest(&forest, &universe);
+/// let clustering = Clustering::greedy(&sorted, 4)?;
+/// let dict = Dictionary::from_clustering(&clustering, universe.len());
+/// assert_eq!(dict.len(), clustering.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dictionary {
+    entries: Vec<DictEntry>,
+    /// Predicate-universe width in bits.
+    width: usize,
+    /// Words per entry in the flat mask/key arrays.
+    stride: usize,
+    /// `stride`-word mask of common predicates, per entry, contiguous.
+    mask_words: Vec<u64>,
+    /// `stride`-word expected values under the mask, per entry, contiguous.
+    key_words: Vec<u64>,
+    /// Every entry's uncommon predicates, concatenated (hot-path mirror of
+    /// the per-entry lists, avoiding heap hops during address gathering).
+    uncommon_flat: Vec<u32>,
+    /// Entry `i`'s uncommon run is `uncommon_offsets[i]..uncommon_offsets[i+1]`.
+    uncommon_offsets: Vec<u32>,
+}
+
+impl Dictionary {
+    /// Builds the dictionary for a clustering over a predicate universe of
+    /// `width` predicates.
+    #[must_use]
+    pub fn from_clustering(clustering: &Clustering, width: usize) -> Self {
+        let stride = width.div_ceil(64).max(1);
+        let mut entries = Vec::with_capacity(clustering.len());
+        let mut mask_words = Vec::with_capacity(clustering.len() * stride);
+        let mut key_words = Vec::with_capacity(clustering.len() * stride);
+        let mut uncommon_flat = Vec::new();
+        let mut uncommon_offsets = Vec::with_capacity(clustering.len() + 1);
+        for (id, cluster) in clustering.clusters().iter().enumerate() {
+            uncommon_offsets.push(uncommon_flat.len() as u32);
+            uncommon_flat.extend_from_slice(&cluster.uncommon);
+            let mut mask = vec![0u64; stride];
+            let mut key = vec![0u64; stride];
+            for &(pred, value) in &cluster.common {
+                let p = pred as usize;
+                mask[p / 64] |= 1 << (p % 64);
+                if value {
+                    key[p / 64] |= 1 << (p % 64);
+                }
+            }
+            mask_words.extend_from_slice(&mask);
+            key_words.extend_from_slice(&key);
+            entries.push(DictEntry {
+                id: id as u32,
+                common: cluster.common.clone(),
+                uncommon: cluster.uncommon.clone(),
+            });
+        }
+        uncommon_offsets.push(uncommon_flat.len() as u32);
+        Self {
+            entries,
+            width,
+            stride,
+            mask_words,
+            key_words,
+            uncommon_flat,
+            uncommon_offsets,
+        }
+    }
+
+    /// Hot-path address gather for entry `id`: collects the input's bits of
+    /// the entry's uncommon predicates from the flat arrays (equivalent to
+    /// [`DictEntry::address_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn address_of(&self, id: u32, bits: &Mask) -> u64 {
+        let (lo, hi) = (
+            self.uncommon_offsets[id as usize] as usize,
+            self.uncommon_offsets[id as usize + 1] as usize,
+        );
+        let words = bits.as_words();
+        let mut address = 0u64;
+        for (bit, &pred) in self.uncommon_flat[lo..hi].iter().enumerate() {
+            let p = pred as usize;
+            address |= (words[p / 64] >> (p % 64) & 1) << bit;
+        }
+        address
+    }
+
+    /// The entries in ID order.
+    #[must_use]
+    pub fn entries(&self) -> &[DictEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Predicate-universe width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Words per entry in the packed scan arrays.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The branch-free membership test for entry `id`:
+    /// `(input & mask) == key` over the entry's stride words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `input` has the wrong width.
+    #[must_use]
+    pub fn matches(&self, id: u32, input: &Mask) -> bool {
+        let words = input.as_words();
+        assert!(
+            words.len() >= self.stride || self.width == 0,
+            "input mask width {} narrower than dictionary width {}",
+            input.width(),
+            self.width
+        );
+        let base = id as usize * self.stride;
+        let mut diff = 0u64;
+        for w in 0..self.stride {
+            diff |= (words.get(w).copied().unwrap_or(0) & self.mask_words[base + w])
+                ^ self.key_words[base + w];
+        }
+        diff == 0
+    }
+
+    /// Scans all entries against an input mask, invoking `on_match` for each
+    /// entry whose common pairs all hold. This is Bolt's inference front
+    /// half: no branches in the compare, sequential memory access.
+    pub fn scan<F: FnMut(&DictEntry)>(&self, input: &Mask, mut on_match: F) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let words = &input.as_words()[..self.stride.min(input.as_words().len())];
+        for (idx, (mask, key)) in self
+            .mask_words
+            .chunks_exact(self.stride)
+            .zip(self.key_words.chunks_exact(self.stride))
+            .enumerate()
+        {
+            let mut diff = 0u64;
+            for w in 0..words.len().min(mask.len()) {
+                diff |= (words[w] & mask[w]) ^ key[w];
+            }
+            // Mask words beyond the input's width must still match a zero
+            // input word (only possible when key bits are set there).
+            for w in words.len()..key.len() {
+                diff |= key[w];
+            }
+            if diff == 0 {
+                on_match(&self.entries[idx]);
+            }
+        }
+    }
+
+    /// Bytes consumed by the packed scan arrays.
+    #[must_use]
+    pub fn scan_bytes(&self) -> usize {
+        (self.mask_words.len() + self.key_words.len()) * 8
+    }
+
+    /// Largest number of common pairs across entries (drives the mask width
+    /// discussion of Fig. 8).
+    #[must_use]
+    pub fn max_common_pairs(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.common.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest total feature count (common + uncommon) across entries — the
+    /// paper's "largest feature set across all dictionary entries".
+    #[must_use]
+    pub fn max_feature_set(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.common.len() + e.uncommon.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::SortedPaths;
+    use bolt_forest::BinaryPath;
+
+    fn path(pairs: &[(PredId, bool)], class: u32, tree: u32) -> BinaryPath {
+        BinaryPath {
+            pairs: pairs.to_vec(),
+            class,
+            tree,
+            weight: 1.0,
+        }
+    }
+
+    fn small_dictionary() -> Dictionary {
+        let sorted = SortedPaths::from_paths(
+            vec![
+                path(&[(0, true), (1, true)], 0, 0),
+                path(&[(0, true), (1, false)], 1, 0),
+                path(&[(0, false), (2, true)], 1, 0),
+                path(&[(0, false), (2, false)], 0, 0),
+            ],
+            1,
+        );
+        let clustering = Clustering::greedy(&sorted, 1).expect("clusters");
+        Dictionary::from_clustering(&clustering, 3)
+    }
+
+    #[test]
+    fn matches_agrees_with_common_pairs() {
+        let dict = small_dictionary();
+        // Try all 8 inputs over 3 predicates.
+        for input_bits in 0u8..8 {
+            let mut input = Mask::zeros(3);
+            for b in 0..3 {
+                input.set(b, input_bits >> b & 1 == 1);
+            }
+            for entry in dict.entries() {
+                let expected = entry
+                    .common
+                    .iter()
+                    .all(|&(p, v)| input.get(p as usize) == v);
+                assert_eq!(dict.matches(entry.id, &input), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_visits_exactly_matching_entries() {
+        let dict = small_dictionary();
+        let mut input = Mask::zeros(3);
+        input.set(0, true);
+        input.set(1, true);
+        let mut via_scan = Vec::new();
+        dict.scan(&input, |e| via_scan.push(e.id));
+        let direct: Vec<u32> = dict
+            .entries()
+            .iter()
+            .filter(|e| dict.matches(e.id, &input))
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(via_scan, direct);
+        assert!(!via_scan.is_empty());
+    }
+
+    #[test]
+    fn address_gathers_uncommon_bits_in_order() {
+        let entry = DictEntry {
+            id: 0,
+            common: vec![],
+            uncommon: vec![2, 0],
+        };
+        let mut input = Mask::zeros(3);
+        input.set(2, true); // bit 0 of the address
+        assert_eq!(entry.address_of(&input), 0b01);
+        input.set(0, true); // bit 1 of the address
+        assert_eq!(entry.address_of(&input), 0b11);
+    }
+
+    #[test]
+    fn wide_universe_uses_multiple_words() {
+        // Predicates beyond bit 63 exercise the multi-word path.
+        let sorted = SortedPaths::from_paths(
+            vec![
+                path(&[(70, true), (100, false)], 0, 0),
+                path(&[(70, true), (100, true)], 1, 0),
+            ],
+            1,
+        );
+        let clustering = Clustering::greedy(&sorted, 2).expect("clusters");
+        let dict = Dictionary::from_clustering(&clustering, 128);
+        assert_eq!(dict.stride(), 2);
+        let mut input = Mask::zeros(128);
+        input.set(70, true);
+        assert!(dict.matches(0, &input));
+        input.set(70, false);
+        assert!(!dict.matches(0, &input));
+    }
+
+    #[test]
+    fn flat_address_matches_entry_address() {
+        let dict = small_dictionary();
+        for input_bits in 0u8..8 {
+            let mut input = Mask::zeros(3);
+            for b in 0..3 {
+                input.set(b, input_bits >> b & 1 == 1);
+            }
+            for entry in dict.entries() {
+                assert_eq!(dict.address_of(entry.id, &input), entry.address_of(&input));
+            }
+        }
+    }
+
+    #[test]
+    fn size_metrics() {
+        let dict = small_dictionary();
+        assert!(dict.scan_bytes() >= dict.len() * 16);
+        assert!(dict.max_common_pairs() >= 1);
+        assert!(dict.max_feature_set() >= dict.max_common_pairs());
+    }
+}

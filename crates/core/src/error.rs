@@ -1,0 +1,64 @@
+//! Error type for Bolt compilation.
+
+use std::fmt;
+
+/// Errors produced while compiling a forest into a Bolt structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BoltError {
+    /// The forest contained no usable paths.
+    EmptyForest,
+    /// A configuration field was out of its valid range.
+    InvalidConfig {
+        /// Description of the offending field and value.
+        detail: String,
+    },
+    /// A cluster's uncommon-predicate count exceeded the addressable limit.
+    AddressTooWide {
+        /// Number of uncommon predicates requested.
+        bits: usize,
+        /// Maximum supported address width.
+        max: usize,
+    },
+    /// A partition plan does not match the available structures.
+    InvalidPartition {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BoltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyForest => write!(f, "forest contains no usable paths"),
+            Self::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            Self::AddressTooWide { bits, max } => {
+                write!(f, "cluster address needs {bits} bits, maximum is {max}")
+            }
+            Self::InvalidPartition { detail } => write!(f, "invalid partition plan: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BoltError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_concise() {
+        assert_eq!(
+            BoltError::EmptyForest.to_string(),
+            "forest contains no usable paths"
+        );
+        let e = BoltError::AddressTooWide { bits: 70, max: 48 };
+        assert!(e.to_string().contains("70"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BoltError>();
+    }
+}

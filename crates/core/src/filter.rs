@@ -1,0 +1,190 @@
+//! Bloom filter over recombined-table keys (Phase 3, §4.3–4.4).
+//!
+//! Dictionaries make most entries irrelevant for a given input; Bolt "uses
+//! bloom filters ... to query set membership" so that irrelevant lookups are
+//! discarded *without a memory access*. The filter is queried with the same
+//! `(entry ID, address)` key that the recombined table hashes; because bloom
+//! filters have no false negatives, every true path lookup survives, and the
+//! occasional false positive costs exactly one (verified, then discarded)
+//! table access — the penalty the paper's §4.4 analysis bounds.
+
+use serde::{Deserialize, Serialize};
+
+/// Mixes a 64-bit value (splitmix64 finalizer).
+#[inline]
+#[must_use]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combines a dictionary entry ID and a lookup address into the 64-bit key
+/// shared by the bloom filter and the recombined table (Fig. 6: "the entry
+/// ID and the values of all features are used to hash").
+#[inline]
+#[must_use]
+pub fn table_key(entry_id: u32, address: u64) -> u64 {
+    mix64(address ^ (u64::from(entry_id) << 48) ^ u64::from(entry_id))
+}
+
+/// A classic Bloom filter (Bloom, 1970) over `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_core::BloomFilter;
+///
+/// let filter = BloomFilter::from_keys([1u64, 2, 3].iter().copied(), 10);
+/// assert!(filter.contains(2)); // members always hit
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    bit_mask: u64,
+    n_hashes: u32,
+    n_keys: usize,
+}
+
+impl BloomFilter {
+    /// Builds a filter sized for the given keys at roughly
+    /// `bits_per_key` bits per key. The number of hash functions follows
+    /// `ln 2 * bits_per_key` but is clamped to 1–4: on Bolt's inference hot
+    /// path each probe is a load, and past 4 probes the marginal
+    /// false-positive reduction no longer pays for the extra accesses (a
+    /// false positive costs just one verified table access, §4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_key == 0`.
+    #[must_use]
+    pub fn from_keys(keys: impl IntoIterator<Item = u64>, bits_per_key: usize) -> Self {
+        assert!(bits_per_key > 0, "bits_per_key must be positive");
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let n_bits = (keys.len().max(1) * bits_per_key)
+            .next_power_of_two()
+            .max(64);
+        let n_hashes = ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 4);
+        let mut filter = Self {
+            words: vec![0u64; n_bits / 64],
+            bit_mask: (n_bits - 1) as u64,
+            n_hashes,
+            n_keys: keys.len(),
+        };
+        for key in keys {
+            filter.insert(key);
+        }
+        filter
+    }
+
+    fn insert(&mut self, key: u64) {
+        let (h1, h2) = (mix64(key), mix64(key.rotate_left(32) ^ 0x9E37_79B9));
+        for i in 0..self.n_hashes {
+            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & self.bit_mask) as usize;
+            self.words[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Tests membership. Never returns `false` for an inserted key.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        let (h1, h2) = (mix64(key), mix64(key.rotate_left(32) ^ 0x9E37_79B9));
+        let mut hit = true;
+        for i in 0..self.n_hashes {
+            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & self.bit_mask) as usize;
+            hit &= self.words[bit / 64] >> (bit % 64) & 1 == 1;
+        }
+        hit
+    }
+
+    /// Number of keys inserted at construction.
+    #[must_use]
+    pub fn n_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    /// Size of the bit array in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Measured false-positive rate against a sample of non-member keys.
+    #[must_use]
+    pub fn false_positive_rate(&self, non_members: impl IntoIterator<Item = u64>) -> f64 {
+        let mut total = 0usize;
+        let mut hits = 0usize;
+        for key in non_members {
+            total += 1;
+            if self.contains(key) {
+                hits += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<u64> = (0..500).map(mix64).collect();
+        let filter = BloomFilter::from_keys(keys.iter().copied(), 10);
+        for &k in &keys {
+            assert!(filter.contains(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_10_bits_per_key() {
+        let members: Vec<u64> = (0..2000u64).map(mix64).collect();
+        let filter = BloomFilter::from_keys(members.iter().copied(), 10);
+        let rate = filter.false_positive_rate((10_000..30_000u64).map(mix64));
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn more_bits_fewer_false_positives() {
+        let members: Vec<u64> = (0..2000u64).map(mix64).collect();
+        let loose = BloomFilter::from_keys(members.iter().copied(), 4);
+        let tight = BloomFilter::from_keys(members.iter().copied(), 16);
+        let nm: Vec<u64> = (10_000..20_000u64).map(mix64).collect();
+        assert!(
+            tight.false_positive_rate(nm.iter().copied())
+                <= loose.false_positive_rate(nm.iter().copied())
+        );
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything_possible() {
+        let filter = BloomFilter::from_keys(std::iter::empty(), 8);
+        assert_eq!(filter.n_keys(), 0);
+        let rate = filter.false_positive_rate((0..1000u64).map(mix64));
+        assert_eq!(rate, 0.0, "no bits set, nothing can match");
+    }
+
+    #[test]
+    fn table_key_separates_entry_ids() {
+        // Same address under different entries must produce different keys.
+        assert_ne!(table_key(0, 42), table_key(1, 42));
+        assert_ne!(table_key(3, 0), table_key(3, 1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_members_always_hit(keys in proptest::collection::vec(any::<u64>(), 1..300),
+                                   bits in 1usize..20) {
+            let filter = BloomFilter::from_keys(keys.iter().copied(), bits);
+            for &k in &keys {
+                prop_assert!(filter.contains(k));
+            }
+        }
+    }
+}

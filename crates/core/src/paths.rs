@@ -1,0 +1,164 @@
+//! Path enumeration and forest-wide lexicographic merging (Fig. 3, steps
+//! 1–2 of the paper).
+//!
+//! Bolt's first move is to stop thinking of a forest as trees: it enumerates
+//! every root→leaf path of every tree as a sorted list of
+//! `(predicate, value)` pairs, then merges all paths into one list sorted
+//! lexicographically, so that paths sharing prefixes — *within and across
+//! trees* — become adjacent and can be clustered together.
+
+use bolt_forest::{BinaryPath, BoostedForest, PredicateUniverse, RandomForest};
+
+/// All paths of a forest, sorted lexicographically by their
+/// `(predicate, value)` pair lists.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_core::paths::SortedPaths;
+/// use bolt_forest::{Dataset, ForestConfig, PredicateUniverse, RandomForest};
+///
+/// let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 4) as f32]).collect();
+/// let labels: Vec<u32> = (0..40).map(|i| u32::from(i % 4 > 1)).collect();
+/// let data = Dataset::from_rows(rows, labels, 2)?;
+/// let forest = RandomForest::train(&data, &ForestConfig::new(3).with_seed(2));
+/// let universe = PredicateUniverse::from_forest(&forest);
+/// let sorted = SortedPaths::from_forest(&forest, &universe);
+/// assert_eq!(sorted.len(), forest.total_paths());
+/// # Ok::<(), bolt_forest::ForestError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortedPaths {
+    paths: Vec<BinaryPath>,
+    n_trees: usize,
+}
+
+impl SortedPaths {
+    /// Enumerates and sorts all paths of a random forest.
+    #[must_use]
+    pub fn from_forest(forest: &RandomForest, universe: &PredicateUniverse) -> Self {
+        Self::from_paths(
+            bolt_forest::enumerate_paths(forest, universe),
+            forest.n_trees(),
+        )
+    }
+
+    /// Enumerates and sorts the weighted paths of a boosted forest.
+    #[must_use]
+    pub fn from_boosted(forest: &BoostedForest, universe: &PredicateUniverse) -> Self {
+        Self::from_paths(
+            bolt_forest::enumerate_weighted_paths(forest, universe),
+            forest.n_trees(),
+        )
+    }
+
+    /// Sorts an explicit path list (the merge step of Fig. 3).
+    #[must_use]
+    pub fn from_paths(mut paths: Vec<BinaryPath>, n_trees: usize) -> Self {
+        paths.sort_by(|a, b| a.pairs.cmp(&b.pairs).then(a.tree.cmp(&b.tree)));
+        Self { paths, n_trees }
+    }
+
+    /// The sorted paths.
+    #[must_use]
+    pub fn paths(&self) -> &[BinaryPath] {
+        &self.paths
+    }
+
+    /// Number of paths.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether there are no paths.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Number of trees the paths came from.
+    #[must_use]
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// Number of paths whose pair list equals that of an earlier path — the
+    /// fully redundant paths the paper highlights (identical tests, possibly
+    /// different trees). These share lookup-table cells after compression.
+    #[must_use]
+    pub fn redundant_paths(&self) -> usize {
+        self.paths
+            .windows(2)
+            .filter(|w| w[0].pairs == w[1].pairs)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_forest::{Dataset, ForestConfig, PredId};
+
+    fn sorted_fixture() -> SortedPaths {
+        let rows: Vec<Vec<f32>> = (0..80)
+            .map(|i| vec![(i % 8) as f32, (i % 3) as f32])
+            .collect();
+        let labels: Vec<u32> = (0..80).map(|i| u32::from(i % 8 > 3)).collect();
+        let data = Dataset::from_rows(rows, labels, 2).expect("valid");
+        let forest = RandomForest::train(
+            &data,
+            &ForestConfig::new(6).with_max_height(3).with_seed(13),
+        );
+        let universe = PredicateUniverse::from_forest(&forest);
+        SortedPaths::from_forest(&forest, &universe)
+    }
+
+    #[test]
+    fn lexicographic_order_holds() {
+        let sorted = sorted_fixture();
+        for w in sorted.paths().windows(2) {
+            assert!(
+                w[0].pairs <= w[1].pairs,
+                "{:?} > {:?}",
+                w[0].pairs,
+                w[1].pairs
+            );
+        }
+    }
+
+    #[test]
+    fn all_paths_survive_sorting() {
+        let sorted = sorted_fixture();
+        assert!(sorted.len() >= 6, "at least one path per tree");
+        assert_eq!(sorted.n_trees(), 6);
+        // Multiset preserved: same count per tree as in the forest.
+        let mut per_tree = [0usize; 6];
+        for p in sorted.paths() {
+            per_tree[p.tree as usize] += 1;
+        }
+        assert!(per_tree.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn redundancy_is_detected_for_identical_trees() {
+        // Two hand-built identical paths from different trees.
+        let mk = |tree: u32| BinaryPath {
+            pairs: vec![(0 as PredId, true), (1, false)],
+            class: 1,
+            tree,
+            weight: 1.0,
+        };
+        let sorted = SortedPaths::from_paths(vec![mk(1), mk(0)], 2);
+        assert_eq!(sorted.redundant_paths(), 1);
+        // Stable secondary order by tree id.
+        assert_eq!(sorted.paths()[0].tree, 0);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let sorted = SortedPaths::from_paths(vec![], 0);
+        assert!(sorted.is_empty());
+        assert_eq!(sorted.redundant_paths(), 0);
+    }
+}

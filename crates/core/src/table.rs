@@ -1,0 +1,380 @@
+//! The recombined lookup table (§4.1 end, §4.3, Figs. 5–6).
+//!
+//! After clustering, Bolt "hashes every entry in each of the lookup tables
+//! ... into one big recombined lookup table", keyed by the feature-value
+//! address *and the dictionary entry ID*. Recombination avoids per-cluster
+//! pointers (and their branch misses) and makes false positives detectable:
+//! every stored cell records the entry ID that owns it, and a lookup only
+//! counts when the IDs match.
+//!
+//! This implementation stores the full `(entry ID, address)` key in each
+//! cell, so false positives are rejected *exactly* (the paper's layout keeps
+//! only `ID mod 256` and accepts a vanishing error probability; our
+//! compressed layout accounting in [`crate::layout`] still budgets 1 byte
+//! per stored ID exactly as §5 describes). Slots are resolved with linear
+//! probing at ≤50% load, so a hit costs one cache-line-local probe in the
+//! common case.
+
+use crate::cluster::Clustering;
+use crate::filter::{mix64, table_key};
+use serde::{Deserialize, Serialize};
+
+/// One vote stored in a table cell: the leaf class and the owning tree's
+/// weight (1.0 for plain random forests).
+pub type Vote = (u32, f64);
+
+/// One occupied cell of the recombined table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableCell {
+    /// Owning dictionary entry ID (full width; `id % 256` is what the
+    /// paper's compressed layout stores).
+    pub entry_id: u32,
+    /// Feature-value address within the owning entry.
+    pub address: u64,
+    /// Votes of every path expanded into this cell (possibly from several
+    /// trees — the `[yes, no]` cells of Fig. 3).
+    pub votes: Vec<Vote>,
+    /// For explanation workloads: per-contributing-path tested feature
+    /// lists (predicate IDs). Empty unless explanations were requested.
+    pub path_features: Vec<Vec<u32>>,
+}
+
+/// The single, conflict-free, open-addressed lookup table for the whole
+/// forest.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_core::{cluster::Clustering, paths::SortedPaths, RecombinedTable};
+/// use bolt_forest::{Dataset, ForestConfig, PredicateUniverse, RandomForest};
+///
+/// let rows: Vec<Vec<f32>> = (0..60).map(|i| vec![(i % 6) as f32]).collect();
+/// let labels: Vec<u32> = (0..60).map(|i| u32::from(i % 6 > 2)).collect();
+/// let data = Dataset::from_rows(rows, labels, 2)?;
+/// let forest = RandomForest::train(&data, &ForestConfig::new(4).with_seed(3));
+/// let universe = PredicateUniverse::from_forest(&forest);
+/// let sorted = SortedPaths::from_forest(&forest, &universe);
+/// let clustering = Clustering::greedy(&sorted, 4)?;
+/// let table = RecombinedTable::build(&clustering, false);
+/// assert!(table.n_cells() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecombinedTable {
+    slots: Vec<Option<TableCell>>,
+    /// `slots.len() - 1`; capacity is a power of two.
+    index_mask: u64,
+    n_cells: usize,
+    /// Worst-case probes needed by any stored key (1 = perfect).
+    max_probes: usize,
+    /// Hot-path mirror of `slots`: per-slot `(entry_id, address)` key
+    /// (empty slots use `EMPTY_KEY`), dense in one cache-friendly vector.
+    slot_keys: Vec<(u32, u64)>,
+    /// Per-slot `(offset, len)` into `votes_flat`.
+    slot_votes: Vec<(u32, u32)>,
+    /// Every cell's votes, concatenated in slot order.
+    votes_flat: Vec<Vote>,
+}
+
+/// Sentinel key marking an empty slot in the hot-path arrays (no real entry
+/// uses `u32::MAX`: entry IDs are dictionary indices).
+const EMPTY_KEY: (u32, u64) = (u32::MAX, u64::MAX);
+
+impl RecombinedTable {
+    /// Builds the recombined table from a clustering. When
+    /// `with_explanations` is set, each cell also records the tested
+    /// features of its contributing paths (for salience tracking, §2.1).
+    ///
+    /// The capacity is the smallest power of two holding all occupied cells
+    /// at ≤50% load — at least the paper's `2^ceil(log2 p)` bound.
+    #[must_use]
+    pub fn build(clustering: &Clustering, with_explanations: bool) -> Self {
+        // Gather cells keyed by (entry, address).
+        let mut cells: Vec<TableCell> = Vec::new();
+        let mut index: std::collections::HashMap<(u32, u64), usize> =
+            std::collections::HashMap::new();
+        for (entry_id, cluster) in clustering.clusters().iter().enumerate() {
+            let entry_id = entry_id as u32;
+            for (address, path_idx) in cluster.expansions() {
+                let path = &cluster.paths[path_idx];
+                let slot = *index.entry((entry_id, address)).or_insert_with(|| {
+                    cells.push(TableCell {
+                        entry_id,
+                        address,
+                        votes: Vec::new(),
+                        path_features: Vec::new(),
+                    });
+                    cells.len() - 1
+                });
+                cells[slot].votes.push((path.class, path.weight));
+                if with_explanations {
+                    cells[slot]
+                        .path_features
+                        .push(path.pairs.iter().map(|&(p, _)| p).collect());
+                }
+            }
+        }
+
+        let capacity = (cells.len() * 2).next_power_of_two().max(2);
+        let mut slots: Vec<Option<TableCell>> = vec![None; capacity];
+        let index_mask = (capacity - 1) as u64;
+        let mut max_probes = 0usize;
+        for cell in cells.iter().cloned() {
+            let mut idx = table_key(cell.entry_id, cell.address) & index_mask;
+            let mut probes = 1usize;
+            while slots[idx as usize].is_some() {
+                idx = (idx + 1) & index_mask;
+                probes += 1;
+            }
+            slots[idx as usize] = Some(cell);
+            max_probes = max_probes.max(probes);
+        }
+        // Dense hot-path mirror.
+        let mut slot_keys = vec![EMPTY_KEY; capacity];
+        let mut slot_votes = vec![(0u32, 0u32); capacity];
+        let mut votes_flat = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(cell) = slot {
+                slot_keys[i] = (cell.entry_id, cell.address);
+                slot_votes[i] = (votes_flat.len() as u32, cell.votes.len() as u32);
+                votes_flat.extend_from_slice(&cell.votes);
+            }
+        }
+        Self {
+            slots,
+            index_mask,
+            n_cells: cells.len(),
+            max_probes,
+            slot_keys,
+            slot_votes,
+            votes_flat,
+        }
+    }
+
+    /// Hot-path lookup: the votes stored for `(entry_id, address)`, or an
+    /// empty slice for misses/false positives. Touches only the dense
+    /// key/vote arrays (no per-cell heap indirection).
+    #[must_use]
+    pub fn lookup_votes(&self, entry_id: u32, address: u64) -> &[Vote] {
+        let mut idx = table_key(entry_id, address) & self.index_mask;
+        loop {
+            let key = self.slot_keys[idx as usize];
+            if key == (entry_id, address) {
+                let (off, len) = self.slot_votes[idx as usize];
+                return &self.votes_flat[off as usize..(off + len) as usize];
+            }
+            if key == EMPTY_KEY {
+                return &[];
+            }
+            idx = (idx + 1) & self.index_mask;
+        }
+    }
+
+    /// Looks up the cell for `(entry_id, address)`, verifying the stored key
+    /// so false positives (Fig. 5) are rejected. Returns `None` when the
+    /// input matched an entry's common features but no stored path.
+    #[must_use]
+    pub fn lookup(&self, entry_id: u32, address: u64) -> Option<&TableCell> {
+        let mut idx = table_key(entry_id, address) & self.index_mask;
+        loop {
+            match &self.slots[idx as usize] {
+                None => return None,
+                Some(cell) if cell.entry_id == entry_id && cell.address == address => {
+                    return Some(cell)
+                }
+                Some(_) => idx = (idx + 1) & self.index_mask,
+            }
+        }
+    }
+
+    /// The table slot index where a `(entry_id, address)` key resolves (or
+    /// would resolve). Used by partitioned inference to decide which core
+    /// owns the lookup.
+    #[must_use]
+    pub fn slot_of(&self, entry_id: u32, address: u64) -> usize {
+        let mut idx = table_key(entry_id, address) & self.index_mask;
+        loop {
+            match &self.slots[idx as usize] {
+                None => return idx as usize,
+                Some(cell) if cell.entry_id == entry_id && cell.address == address => {
+                    return idx as usize
+                }
+                Some(_) => idx = (idx + 1) & self.index_mask,
+            }
+        }
+    }
+
+    /// Total slot capacity (a power of two).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied cells.
+    #[must_use]
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Worst-case probe count over stored keys (1 means conflict-free).
+    #[must_use]
+    pub fn max_probes(&self) -> usize {
+        self.max_probes
+    }
+
+    /// Iterates over the occupied cells.
+    pub fn cells(&self) -> impl Iterator<Item = &TableCell> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// All `(entry ID, address)` keys, for bloom-filter construction.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.cells().map(|c| table_key(c.entry_id, c.address))
+    }
+
+    /// A pseudorandom non-member key probe, used by tests and benches to
+    /// measure bloom false-positive behaviour.
+    #[must_use]
+    pub fn scramble(i: u64) -> u64 {
+        mix64(i ^ 0x5EED_F00D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::SortedPaths;
+    use bolt_forest::{BinaryPath, PredId};
+
+    fn path(pairs: &[(PredId, bool)], class: u32, tree: u32) -> BinaryPath {
+        // Real BinaryPaths from binarization are sorted by predicate ID.
+        let mut pairs = pairs.to_vec();
+        pairs.sort_unstable();
+        BinaryPath {
+            pairs,
+            class,
+            tree,
+            weight: 1.0,
+        }
+    }
+
+    fn figure3_clustering() -> Clustering {
+        let (a, b, c, h) = (0, 1, 2, 3);
+        let sorted = SortedPaths::from_paths(
+            vec![
+                path(&[(a, true), (b, true)], 0, 0),
+                path(&[(a, true), (b, false)], 1, 0),
+                path(&[(a, false), (c, true)], 1, 0),
+                path(&[(a, false), (c, false)], 0, 0),
+                path(&[(h, true), (a, true)], 1, 1),
+                path(&[(h, true), (a, false)], 0, 1),
+                path(&[(h, false), (c, true)], 1, 1),
+                path(&[(h, false), (c, false)], 0, 1),
+            ],
+            2,
+        );
+        Clustering::greedy(&sorted, 2).expect("clusters")
+    }
+
+    #[test]
+    fn figure3_table_has_ten_cells() {
+        let table = RecombinedTable::build(&figure3_clustering(), false);
+        assert_eq!(table.n_cells(), 10);
+        assert!(table.capacity() >= 20);
+        assert!(table.capacity().is_power_of_two());
+    }
+
+    #[test]
+    fn every_expansion_is_retrievable() {
+        let clustering = figure3_clustering();
+        let table = RecombinedTable::build(&clustering, false);
+        for (entry_id, cluster) in clustering.clusters().iter().enumerate() {
+            for (address, path_idx) in cluster.expansions() {
+                let cell = table
+                    .lookup(entry_id as u32, address)
+                    .expect("stored cell found");
+                let path = &cluster.paths[path_idx];
+                assert!(
+                    cell.votes.contains(&(path.class, path.weight)),
+                    "cell {cell:?} missing vote for {path:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let table = RecombinedTable::build(&figure3_clustering(), false);
+        // Entry 99 stores nothing.
+        assert!(table.lookup(99, 0).is_none());
+        // Count stored addresses of entry 0; some address must be absent in
+        // other entries.
+        let total_probes = (0..1u32)
+            .flat_map(|e| (0..16u64).map(move |a| (e, a)))
+            .filter(|&(e, a)| table.lookup(e, a).is_some())
+            .count();
+        assert!(total_probes <= 16);
+    }
+
+    #[test]
+    fn shared_cells_hold_multiple_votes() {
+        // Fig. 3's green table cell (b=0, h=0) holds [yes, no]: two votes.
+        let table = RecombinedTable::build(&figure3_clustering(), false);
+        let multi = table.cells().filter(|c| c.votes.len() > 1).count();
+        assert!(multi >= 2, "expected shared cells, got {multi}");
+        // Total votes across cells equals total path expansions.
+        let votes: usize = table.cells().map(|c| c.votes.len()).sum();
+        let expansions: usize = figure3_clustering()
+            .clusters()
+            .iter()
+            .map(|c| c.expansions().len())
+            .sum();
+        assert_eq!(votes, expansions);
+    }
+
+    #[test]
+    fn explanations_record_path_features() {
+        let table = RecombinedTable::build(&figure3_clustering(), true);
+        for cell in table.cells() {
+            assert_eq!(cell.path_features.len(), cell.votes.len());
+            for features in &cell.path_features {
+                assert!(!features.is_empty());
+            }
+        }
+        // And without the flag nothing is stored.
+        let bare = RecombinedTable::build(&figure3_clustering(), false);
+        assert!(bare.cells().all(|c| c.path_features.is_empty()));
+    }
+
+    #[test]
+    fn probing_terminates_and_verifies_keys() {
+        let table = RecombinedTable::build(&figure3_clustering(), false);
+        assert!(table.max_probes() >= 1);
+        // A missing address under a *stored* entry id must return None, not
+        // a colliding cell (false-positive rejection).
+        let cellless = (0..64u64).filter(|&a| table.lookup(0, a).is_none()).count();
+        assert!(cellless > 0, "entry 0 cannot cover all 64 addresses");
+    }
+
+    #[test]
+    fn lookup_votes_agrees_with_lookup() {
+        let table = RecombinedTable::build(&figure3_clustering(), false);
+        for entry in 0..4u32 {
+            for address in 0..8u64 {
+                let via_cell = table
+                    .lookup(entry, address)
+                    .map(|c| c.votes.clone())
+                    .unwrap_or_default();
+                assert_eq!(table.lookup_votes(entry, address), via_cell.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let table = RecombinedTable::build(&figure3_clustering(), false);
+        let keys: Vec<u64> = table.keys().collect();
+        let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(keys.len(), distinct.len());
+    }
+}

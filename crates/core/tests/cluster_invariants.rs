@@ -1,0 +1,112 @@
+//! Property tests over the Phase-1 clustering invariants on random path
+//! multisets (independent of any trained forest).
+
+use bolt_core::cluster::Clustering;
+use bolt_core::paths::SortedPaths;
+use bolt_forest::BinaryPath;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy: a random list of paths over a small predicate universe.
+fn arb_paths() -> impl Strategy<Value = Vec<BinaryPath>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::btree_map(0u32..12, any::<bool>(), 1..6),
+            0u32..4, // class
+            0u32..6, // tree
+        ),
+        1..40,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(pairs, class, tree)| BinaryPath {
+                pairs: pairs.into_iter().collect(), // BTreeMap gives sorted, unique preds
+                class,
+                tree,
+                weight: 1.0,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every input path lands in exactly one cluster, in order.
+    #[test]
+    fn clustering_preserves_the_path_multiset(
+        paths in arb_paths(),
+        threshold in 0usize..10,
+    ) {
+        let sorted = SortedPaths::from_paths(paths, 6);
+        let clustering = Clustering::greedy(&sorted, threshold).expect("clusters");
+        let reassembled: Vec<&BinaryPath> = clustering
+            .clusters()
+            .iter()
+            .flat_map(|c| c.paths.iter())
+            .collect();
+        prop_assert_eq!(reassembled.len(), sorted.len());
+        for (a, b) in reassembled.iter().zip(sorted.paths()) {
+            prop_assert_eq!(*a, b, "clusters must be contiguous slices of the sorted list");
+        }
+    }
+
+    /// Common pairs hold in every member path; uncommon predicates are
+    /// exactly the remaining predicates; the two sets never overlap.
+    #[test]
+    fn common_uncommon_partition_is_sound(
+        paths in arb_paths(),
+        threshold in 0usize..10,
+    ) {
+        let sorted = SortedPaths::from_paths(paths, 6);
+        let clustering = Clustering::greedy(&sorted, threshold).expect("clusters");
+        for cluster in clustering.clusters() {
+            let common_preds: BTreeSet<u32> =
+                cluster.common.iter().map(|&(p, _)| p).collect();
+            let uncommon: BTreeSet<u32> = cluster.uncommon.iter().copied().collect();
+            prop_assert!(common_preds.is_disjoint(&uncommon));
+            for pair in &cluster.common {
+                for path in &cluster.paths {
+                    prop_assert!(path.pairs.contains(pair));
+                }
+            }
+            let all_preds: BTreeSet<u32> = cluster
+                .paths
+                .iter()
+                .flat_map(|p| p.pairs.iter().map(|&(q, _)| q))
+                .collect();
+            let expected_uncommon: BTreeSet<u32> =
+                all_preds.difference(&common_preds).copied().collect();
+            prop_assert_eq!(&uncommon, &expected_uncommon);
+        }
+    }
+
+    /// Address width stays within the documented cap at any threshold.
+    #[test]
+    fn address_width_is_capped(paths in arb_paths(), threshold in 0usize..200) {
+        let sorted = SortedPaths::from_paths(paths, 6);
+        let clustering = Clustering::greedy(&sorted, threshold).expect("clusters");
+        for cluster in clustering.clusters() {
+            prop_assert!(cluster.address_bits() <= Clustering::MAX_ADDRESS_BITS);
+        }
+    }
+
+    /// Each cluster's expansions cover every member path at least once, and
+    /// every expansion address fits in the cluster's address width.
+    #[test]
+    fn expansions_cover_members(paths in arb_paths(), threshold in 0usize..8) {
+        let sorted = SortedPaths::from_paths(paths, 6);
+        let clustering = Clustering::greedy(&sorted, threshold).expect("clusters");
+        for cluster in clustering.clusters() {
+            let expansions = cluster.expansions();
+            let mut covered = vec![false; cluster.paths.len()];
+            for (address, path_idx) in expansions {
+                covered[path_idx] = true;
+                if cluster.address_bits() < 64 {
+                    prop_assert!(address < (1u64 << cluster.address_bits()));
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c), "some member path never expanded");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests over Bolt's compiled structures: packed-engine
+//! equivalence, threshold monotonicity, bloom behaviour, and partition
+//! latency-model sanity, on randomly shaped forests.
+
+use bolt_core::layout::PackedBolt;
+use bolt_core::{BloomFilter, BoltConfig, BoltForest, LayoutReport};
+use bolt_forest::{Dataset, ForestConfig, RandomForest};
+use proptest::prelude::*;
+
+fn make_dataset(n_features: usize, n_classes: usize, n_samples: usize, seed: u64) -> Dataset {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut rows = Vec::with_capacity(n_samples);
+    let mut labels = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let row: Vec<f32> = (0..n_features).map(|_| (next() % 12) as f32).collect();
+        labels.push(
+            ((row[0] as u32 + next() as u32 % 2) % n_classes as u32).min(n_classes as u32 - 1),
+        );
+        rows.push(row);
+    }
+    Dataset::from_rows(rows, labels, n_classes).expect("consistent rows")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fully bit-packed engine classifies identically to the unpacked
+    /// one on random forests and random inputs.
+    #[test]
+    fn packed_engine_equivalence(
+        seed in any::<u64>(),
+        n_trees in 1usize..7,
+        height in 1usize..5,
+        threshold in 0usize..8,
+    ) {
+        let data = make_dataset(4, 3, 70, seed);
+        let forest = RandomForest::train(
+            &data,
+            &ForestConfig::new(n_trees).with_max_height(height).with_seed(seed),
+        );
+        let bolt = BoltForest::compile(
+            &forest,
+            &BoltConfig::default().with_cluster_threshold(threshold),
+        ).expect("compiles");
+        let packed = PackedBolt::from_bolt(&bolt);
+        for (sample, _) in data.iter().take(40) {
+            let bits = bolt.encode(sample);
+            prop_assert_eq!(packed.classify_bits(&bits), forest.predict(sample));
+        }
+    }
+
+    /// Raising the clustering threshold never increases the dictionary size
+    /// and never decreases occupied table cells (the §4.2 trade-off).
+    #[test]
+    fn threshold_monotonicity(seed in any::<u64>()) {
+        let data = make_dataset(5, 2, 80, seed);
+        let forest = RandomForest::train(
+            &data,
+            &ForestConfig::new(5).with_max_height(4).with_seed(seed),
+        );
+        let mut prev_entries = usize::MAX;
+        for threshold in [0usize, 1, 2, 4, 8, 16] {
+            let bolt = BoltForest::compile(
+                &forest,
+                &BoltConfig::default().with_cluster_threshold(threshold),
+            ).expect("compiles");
+            prop_assert!(
+                bolt.dictionary().len() <= prev_entries,
+                "threshold {threshold} grew the dictionary"
+            );
+            prev_entries = bolt.dictionary().len();
+        }
+    }
+
+    /// Layout accounting always reports compression on real forests.
+    #[test]
+    fn layout_report_is_consistent(seed in any::<u64>()) {
+        let data = make_dataset(6, 3, 80, seed);
+        let forest = RandomForest::train(
+            &data,
+            &ForestConfig::new(4).with_max_height(3).with_seed(seed),
+        );
+        let bolt = BoltForest::compile(&forest, &BoltConfig::default()).expect("compiles");
+        let report = LayoutReport::for_forest(&bolt);
+        prop_assert!(report.masks.compressed <= report.masks.decompressed);
+        prop_assert!(report.features.compressed <= report.features.decompressed);
+        prop_assert!(report.results.compressed <= report.results.decompressed);
+        prop_assert_eq!(report.entry_id.compressed, 1);
+    }
+
+    /// Bloom filters built from a table's keys accept every stored key.
+    #[test]
+    fn bloom_covers_all_table_keys(seed in any::<u64>(), bits in 4usize..16) {
+        let data = make_dataset(4, 2, 60, seed);
+        let forest = RandomForest::train(
+            &data,
+            &ForestConfig::new(4).with_max_height(4).with_seed(seed),
+        );
+        let bolt = BoltForest::compile(
+            &forest,
+            &BoltConfig::default().with_bloom_bits_per_key(0),
+        ).expect("compiles");
+        let filter = BloomFilter::from_keys(bolt.table().keys(), bits);
+        for key in bolt.table().keys() {
+            prop_assert!(filter.contains(key));
+        }
+    }
+}
+
+/// Inference statistics stay internally consistent across thresholds.
+#[test]
+fn stats_invariants_across_thresholds() {
+    let data = make_dataset(5, 3, 90, 0xFEED);
+    let forest = RandomForest::train(&data, &ForestConfig::new(8).with_max_height(4).with_seed(4));
+    for threshold in [0usize, 2, 6, 12] {
+        let bolt = BoltForest::compile(
+            &forest,
+            &BoltConfig::default().with_cluster_threshold(threshold),
+        )
+        .expect("compiles");
+        for (sample, _) in data.iter().take(30) {
+            let (_, stats) = bolt.classify_with_stats(sample);
+            assert_eq!(stats.entries_scanned, bolt.dictionary().len());
+            assert_eq!(
+                stats.entries_matched,
+                stats.bloom_rejects + stats.table_hits + stats.table_misses
+            );
+            // Every tree votes: at least one hit unless all trees are
+            // single leaves (not the case here).
+            assert!(stats.table_hits >= 1);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! IDX (LeCun MNIST format) ingestion.
+//!
+//! The synthetic generators stand in for MNIST when the real corpus is not
+//! on disk; when it *is* (the classic `train-images-idx3-ubyte` /
+//! `train-labels-idx1-ubyte` pair), this loader reads it so the figures can
+//! be regenerated on the paper's actual dataset.
+//!
+//! Format: big-endian magic `0x0000_08NN` (0x08 = unsigned byte data, NN =
+//! dimension count), one big-endian `u32` per dimension, then raw bytes.
+
+use bolt_forest::{Dataset, ForestError};
+use std::io::Read;
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, ForestError> {
+    let mut buf = [0u8; 4];
+    reader
+        .read_exact(&mut buf)
+        .map_err(|e| ForestError::Serde {
+            detail: format!("truncated IDX header: {e}"),
+        })?;
+    Ok(u32::from_be_bytes(buf))
+}
+
+fn read_header<R: Read>(reader: &mut R, expect_dims: u8) -> Result<Vec<usize>, ForestError> {
+    let magic = read_u32(reader)?;
+    let data_type = (magic >> 8) & 0xFF;
+    let dims = (magic & 0xFF) as u8;
+    if magic >> 16 != 0 || data_type != 0x08 {
+        return Err(ForestError::Serde {
+            detail: format!("bad IDX magic {magic:#010x} (want unsigned-byte data)"),
+        });
+    }
+    if dims != expect_dims {
+        return Err(ForestError::Serde {
+            detail: format!("IDX has {dims} dimensions, expected {expect_dims}"),
+        });
+    }
+    (0..dims)
+        .map(|_| read_u32(reader).map(|v| v as usize))
+        .collect()
+}
+
+/// Reads an MNIST-style pair of IDX streams: a 3-D unsigned-byte image file
+/// (`count × rows × cols`) and a 1-D label file, producing a flattened
+/// [`Dataset`] with one feature per pixel.
+///
+/// # Errors
+///
+/// Returns [`ForestError::Serde`] for malformed/truncated streams and
+/// [`ForestError::LabelMismatch`] when counts disagree.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_data::idx::read_idx_images;
+///
+/// // A miniature 2-image, 2x2-pixel IDX pair, handwritten:
+/// let images: Vec<u8> = [
+///     &[0, 0, 8, 3][..],                  // magic: ubyte, 3 dims
+///     &2u32.to_be_bytes(), &2u32.to_be_bytes(), &2u32.to_be_bytes(),
+///     &[10, 20, 30, 40, 50, 60, 70, 80],  // 2 images x 4 pixels
+/// ].concat();
+/// let labels: Vec<u8> = [
+///     &[0, 0, 8, 1][..],
+///     &2u32.to_be_bytes(),
+///     &[7, 3],
+/// ].concat();
+/// let data = read_idx_images(&images[..], &labels[..], 10)?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.sample(0), &[10.0, 20.0, 30.0, 40.0]);
+/// assert_eq!(data.label(1), 3);
+/// # Ok::<(), bolt_forest::ForestError>(())
+/// ```
+pub fn read_idx_images<R1: Read, R2: Read>(
+    mut images: R1,
+    mut labels: R2,
+    n_classes: usize,
+) -> Result<Dataset, ForestError> {
+    let image_dims = read_header(&mut images, 3)?;
+    let (count, rows, cols) = (image_dims[0], image_dims[1], image_dims[2]);
+    let label_dims = read_header(&mut labels, 1)?;
+    if label_dims[0] != count {
+        return Err(ForestError::LabelMismatch {
+            detail: format!("{count} images but {} labels", label_dims[0]),
+        });
+    }
+    let n_features = rows * cols;
+    let mut pixel_buf = vec![0u8; count * n_features];
+    images
+        .read_exact(&mut pixel_buf)
+        .map_err(|e| ForestError::Serde {
+            detail: format!("truncated IDX pixel data: {e}"),
+        })?;
+    let mut label_buf = vec![0u8; count];
+    labels
+        .read_exact(&mut label_buf)
+        .map_err(|e| ForestError::Serde {
+            detail: format!("truncated IDX label data: {e}"),
+        })?;
+    let values: Vec<f32> = pixel_buf.into_iter().map(f32::from).collect();
+    let label_values: Vec<u32> = label_buf.into_iter().map(u32::from).collect();
+    Dataset::from_flat(values, label_values, n_features, n_classes)
+}
+
+/// Convenience wrapper opening the two files from disk.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`ForestError::Serde`] plus the
+/// [`read_idx_images`] contract.
+pub fn read_idx_files(
+    images_path: &std::path::Path,
+    labels_path: &std::path::Path,
+    n_classes: usize,
+) -> Result<Dataset, ForestError> {
+    let open = |p: &std::path::Path| {
+        std::fs::File::open(p).map_err(|e| ForestError::Serde {
+            detail: format!("open {}: {e}", p.display()),
+        })
+    };
+    read_idx_images(
+        std::io::BufReader::new(open(images_path)?),
+        std::io::BufReader::new(open(labels_path)?),
+        n_classes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx3(count: u32, rows: u32, cols: u32, pixels: &[u8]) -> Vec<u8> {
+        let mut out = vec![0, 0, 8, 3];
+        out.extend_from_slice(&count.to_be_bytes());
+        out.extend_from_slice(&rows.to_be_bytes());
+        out.extend_from_slice(&cols.to_be_bytes());
+        out.extend_from_slice(pixels);
+        out
+    }
+
+    fn idx1(labels: &[u8]) -> Vec<u8> {
+        let mut out = vec![0, 0, 8, 1];
+        out.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        out.extend_from_slice(labels);
+        out
+    }
+
+    #[test]
+    fn round_trip_small_pair() {
+        let images = idx3(3, 2, 2, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        let labels = idx1(&[0, 1, 2]);
+        let data = read_idx_images(&images[..], &labels[..], 3).expect("parses");
+        assert_eq!(data.len(), 3);
+        assert_eq!(data.n_features(), 4);
+        assert_eq!(data.sample(2), &[9.0, 10.0, 11.0, 12.0]);
+        assert_eq!(data.labels(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut images = idx3(1, 1, 1, &[0]);
+        images[2] = 0x09; // wrong data type
+        let labels = idx1(&[0]);
+        let err = read_idx_images(&images[..], &labels[..], 2).expect_err("bad magic");
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn wrong_dimension_count_rejected() {
+        let labels_as_images = idx1(&[0]);
+        let labels = idx1(&[0]);
+        let err = read_idx_images(&labels_as_images[..], &labels[..], 2).expect_err("1-D images");
+        assert!(err.to_string().contains("dimensions"));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let images = idx3(2, 1, 1, &[1, 2]);
+        let labels = idx1(&[0]);
+        let err = read_idx_images(&images[..], &labels[..], 2).expect_err("mismatch");
+        assert!(matches!(err, ForestError::LabelMismatch { .. }));
+    }
+
+    #[test]
+    fn truncated_pixels_rejected() {
+        let images = idx3(2, 2, 2, &[1, 2, 3]); // needs 8 bytes
+        let labels = idx1(&[0, 1]);
+        let err = read_idx_images(&images[..], &labels[..], 2).expect_err("truncated");
+        assert!(err.to_string().contains("pixel"));
+    }
+
+    #[test]
+    fn loaded_idx_trains_and_compiles() {
+        use bolt_forest::{ForestConfig, RandomForest};
+        // A learnable 1-pixel "dataset": label = pixel > 100.
+        let pixels: Vec<u8> = (0..200)
+            .map(|i| if i % 2 == 0 { 30 } else { 200 })
+            .collect();
+        let labels_vec: Vec<u8> = (0..200).map(|i| u8::from(i % 2 != 0)).collect();
+        let images = idx3(200, 1, 1, &pixels);
+        let labels = idx1(&labels_vec);
+        let data = read_idx_images(&images[..], &labels[..], 2).expect("parses");
+        let forest = RandomForest::train(&data, &ForestConfig::new(3).with_seed(1));
+        assert!(forest.accuracy(&data) > 0.99);
+    }
+}

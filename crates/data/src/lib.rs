@@ -1,0 +1,108 @@
+//! Synthetic workload generators shaped like the Bolt paper's datasets.
+//!
+//! The paper evaluates on MNIST (vision), LSTW (categorical traffic events),
+//! and the Yelp review dataset (natural language bag-of-words). Those corpora
+//! are not redistributable here, so this crate provides *seeded synthetic
+//! equivalents* that preserve what Bolt's machinery actually depends on:
+//!
+//! * feature count and value ranges (784 `u8` pixels; 11 mixed traffic
+//!   features; 1500 sparse word counts),
+//! * class counts (10 digits; 4 severities; 5 star ratings),
+//! * a planted decision structure so that CART forests of the paper's
+//!   heights learn non-trivial trees with redundant paths across trees —
+//!   the redundancy Bolt's clustering exploits (§4.1).
+//!
+//! Absolute model accuracy is irrelevant to the latency experiments being
+//! reproduced; tree *shape* and input encoding width are what matter.
+//!
+//! # Examples
+//!
+//! ```
+//! use bolt_data::{Workload, generate};
+//!
+//! let data = generate(Workload::MnistLike, 200, 7);
+//! assert_eq!(data.n_features(), 784);
+//! assert_eq!(data.n_classes(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod idx;
+pub mod lstw;
+pub mod mnist;
+pub mod trips;
+pub mod yelp;
+
+pub use lstw::lstw_like;
+pub use mnist::mnist_like;
+pub use trips::trip_duration_like;
+pub use yelp::yelp_like;
+
+use bolt_forest::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// The three workload families evaluated in the paper (§6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// 28×28 grey-scale digit recognition (MNIST-shaped), 10 classes.
+    MnistLike,
+    /// Heterogeneous traffic/weather events (LSTW-shaped), 11 features,
+    /// 4 severity classes.
+    LstwLike,
+    /// Sparse 1500-word bag-of-words review ratings (Yelp-shaped), 5 classes.
+    YelpLike,
+}
+
+impl Workload {
+    /// Short human-readable name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::MnistLike => "MNIST",
+            Self::LstwLike => "LSTW",
+            Self::YelpLike => "YELP",
+        }
+    }
+
+    /// All workloads, in the order the paper introduces them.
+    #[must_use]
+    pub fn all() -> [Self; 3] {
+        [Self::MnistLike, Self::LstwLike, Self::YelpLike]
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates `n_samples` of the given workload with a deterministic seed.
+#[must_use]
+pub fn generate(workload: Workload, n_samples: usize, seed: u64) -> Dataset {
+    match workload {
+        Workload::MnistLike => mnist_like(n_samples, seed),
+        Workload::LstwLike => lstw_like(n_samples, seed),
+        Workload::YelpLike => yelp_like(n_samples, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_dispatches_by_workload() {
+        assert_eq!(generate(Workload::MnistLike, 10, 1).n_features(), 784);
+        assert_eq!(generate(Workload::LstwLike, 10, 1).n_features(), 11);
+        assert_eq!(generate(Workload::YelpLike, 10, 1).n_features(), 1500);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Workload::MnistLike.name(), "MNIST");
+        assert_eq!(Workload::LstwLike.to_string(), "LSTW");
+        assert_eq!(Workload::all().len(), 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! LSTW-shaped traffic/weather event workload.
+//!
+//! The Large-Scale Traffic and Weather Events dataset (Moosavi et al., cited
+//! by the paper) has 11 heterogeneous input features — numeric weather
+//! readings, coordinates, and categorical codes — and a categorical traffic
+//! assessment as the target. The paper notes (§5) that coordinates can be
+//! shifted to non-negative ranges (latitude `[-90, 90]` → `[0, 180]`) so
+//! every feature fits in a small number of bits; this generator emits the
+//! shifted encoding directly.
+
+use bolt_forest::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of input features (as in LSTW).
+pub const N_FEATURES: usize = 11;
+/// Number of traffic-severity classes.
+pub const N_CLASSES: usize = 4;
+
+/// Feature indices, in row order.
+pub mod feature {
+    /// Hour of day, 0–23.
+    pub const HOUR: usize = 0;
+    /// Day of week, 0–6.
+    pub const DAY: usize = 1;
+    /// Temperature in °C shifted to 0–70.
+    pub const TEMPERATURE: usize = 2;
+    /// Relative humidity, 0–100.
+    pub const HUMIDITY: usize = 3;
+    /// Visibility in units of 0.1 mi, 0–100.
+    pub const VISIBILITY: usize = 4;
+    /// Precipitation in units of 0.1 in, 0–60.
+    pub const PRECIPITATION: usize = 5;
+    /// Road type code, 0–4 (categorical).
+    pub const ROAD_TYPE: usize = 6;
+    /// Latitude shifted from [-90, 90] to [0, 180] (paper §5).
+    pub const LATITUDE: usize = 7;
+    /// Longitude shifted from [-180, 180] to [0, 360].
+    pub const LONGITUDE: usize = 8;
+    /// Posted speed limit, mph.
+    pub const SPEED_LIMIT: usize = 9;
+    /// Weather event code, 0–6 (categorical).
+    pub const EVENT_TYPE: usize = 10;
+}
+
+/// Generates an LSTW-shaped dataset of `n_samples` traffic events with a
+/// 4-class severity target.
+///
+/// Severity follows a planted rule set (rush hour, precipitation, poor
+/// visibility, and high speed limits raise it) with label noise, so
+/// moderate-height trees split on a mix of categorical and numeric features
+/// exactly as real LSTW forests do.
+///
+/// # Panics
+///
+/// Panics if `n_samples == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let data = bolt_data::lstw_like(500, 11);
+/// assert_eq!(data.n_features(), 11);
+/// assert_eq!(data.n_classes(), 4);
+/// ```
+#[must_use]
+pub fn lstw_like(n_samples: usize, seed: u64) -> Dataset {
+    assert!(n_samples > 0, "n_samples must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n_samples * N_FEATURES);
+    let mut labels = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let hour = rng.gen_range(0..24) as f32;
+        let day = rng.gen_range(0..7) as f32;
+        let temperature = rng.gen_range(0..=70) as f32;
+        let humidity = rng.gen_range(0..=100) as f32;
+        let visibility = rng.gen_range(0..=100) as f32;
+        let precipitation = if rng.gen_bool(0.6) {
+            0.0
+        } else {
+            rng.gen_range(1..=60) as f32
+        };
+        let road_type = rng.gen_range(0..5) as f32;
+        let latitude = rng.gen_range(0.0..=180.0f32).round();
+        let longitude = rng.gen_range(0.0..=360.0f32).round();
+        let speed_limit = *[25.0f32, 35.0, 45.0, 55.0, 65.0, 75.0]
+            .get(rng.gen_range(0..6))
+            .expect("index in range");
+        let event_type = rng.gen_range(0..7) as f32;
+
+        // Planted severity score.
+        let rush_hour = (7.0..=9.0).contains(&hour) || (16.0..=18.0).contains(&hour);
+        let weekend = day >= 5.0;
+        let mut score = 0.0f32;
+        if rush_hour && !weekend {
+            score += 1.4;
+        }
+        score += precipitation / 25.0;
+        if visibility < 30.0 {
+            score += 1.2;
+        }
+        if speed_limit >= 65.0 {
+            score += 0.8;
+        }
+        if event_type >= 5.0 {
+            score += 1.0; // snow/ice codes
+        }
+        if road_type == 0.0 {
+            score += 0.4; // highway
+        }
+        // Label noise.
+        score += rng.gen_range(-0.5..0.5);
+        let label = (score / 1.2).floor().clamp(0.0, (N_CLASSES - 1) as f32) as u32;
+
+        values.extend_from_slice(&[
+            hour,
+            day,
+            temperature,
+            humidity,
+            visibility,
+            precipitation,
+            road_type,
+            latitude,
+            longitude,
+            speed_limit,
+            event_type,
+        ]);
+        labels.push(label);
+    }
+    Dataset::from_flat(values, labels, N_FEATURES, N_CLASSES)
+        .expect("generator emits consistent rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_forest::{ForestConfig, RandomForest};
+
+    #[test]
+    fn shape_and_ranges() {
+        let data = lstw_like(200, 5);
+        assert_eq!(data.n_features(), N_FEATURES);
+        assert_eq!(data.n_classes(), N_CLASSES);
+        for (s, label) in data.iter() {
+            assert!(label < 4);
+            assert!((0.0..24.0).contains(&s[feature::HOUR]));
+            assert!(
+                (0.0..=180.0).contains(&s[feature::LATITUDE]),
+                "shifted latitude"
+            );
+            assert!((0.0..=360.0).contains(&s[feature::LONGITUDE]));
+            assert!(s[feature::PRECIPITATION] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(lstw_like(50, 2), lstw_like(50, 2));
+        assert_ne!(lstw_like(50, 2), lstw_like(50, 3));
+    }
+
+    #[test]
+    fn all_severities_occur() {
+        let data = lstw_like(3000, 8);
+        let distinct: std::collections::HashSet<u32> = data.labels().iter().copied().collect();
+        assert_eq!(distinct.len(), N_CLASSES, "severities seen: {distinct:?}");
+    }
+
+    #[test]
+    fn forest_beats_chance() {
+        let train = lstw_like(2000, 1);
+        let test = lstw_like(500, 2);
+        let forest = RandomForest::train(
+            &train,
+            &ForestConfig::new(10).with_max_height(5).with_seed(4),
+        );
+        let acc = forest.accuracy(&test);
+        assert!(acc > 0.4, "accuracy only {acc} vs 0.25 chance");
+    }
+}

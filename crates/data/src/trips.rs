@@ -1,0 +1,134 @@
+//! Trip-duration regression workload (LSTW-flavoured).
+//!
+//! A regression companion to the traffic workload: predict trip duration in
+//! minutes from distance, time-of-day, and weather features. Exercises the
+//! `mean(results)` aggregation path of the Fig. 7 service.
+
+use bolt_forest::RegressionDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of input features.
+pub const N_FEATURES: usize = 6;
+
+/// Feature indices, in row order.
+pub mod feature {
+    /// Trip distance in units of 0.1 mi, 1–300.
+    pub const DISTANCE: usize = 0;
+    /// Hour of day, 0–23.
+    pub const HOUR: usize = 1;
+    /// Day of week, 0–6.
+    pub const DAY: usize = 2;
+    /// Precipitation in units of 0.1 in, 0–60.
+    pub const PRECIPITATION: usize = 3;
+    /// Road type code, 0–4.
+    pub const ROAD_TYPE: usize = 4;
+    /// Posted speed limit, mph.
+    pub const SPEED_LIMIT: usize = 5;
+}
+
+/// Generates `n_samples` trips with a planted duration model: duration
+/// grows with distance, shrinks with speed limit, and is inflated by rush
+/// hour and precipitation, plus noise.
+///
+/// # Panics
+///
+/// Panics if `n_samples == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let data = bolt_data::trip_duration_like(100, 3);
+/// assert_eq!(data.n_features(), 6);
+/// assert!(data.iter().all(|(_, t)| t > 0.0));
+/// ```
+#[must_use]
+pub fn trip_duration_like(n_samples: usize, seed: u64) -> RegressionDataset {
+    assert!(n_samples > 0, "n_samples must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n_samples);
+    let mut targets = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let distance = rng.gen_range(1..=300) as f32;
+        let hour = rng.gen_range(0..24) as f32;
+        let day = rng.gen_range(0..7) as f32;
+        let precipitation = if rng.gen_bool(0.6) {
+            0.0
+        } else {
+            rng.gen_range(1..=60) as f32
+        };
+        let road_type = rng.gen_range(0..5) as f32;
+        let speed_limit = *[25.0f32, 35.0, 45.0, 55.0, 65.0]
+            .get(rng.gen_range(0..5))
+            .expect("index in range");
+
+        let rush = (7.0..=9.0).contains(&hour) || (16.0..=18.0).contains(&hour);
+        let weekend = day >= 5.0;
+        let mut minutes = (distance / 10.0) / speed_limit * 60.0; // base travel time
+        if rush && !weekend {
+            minutes *= 1.6;
+        }
+        minutes *= 1.0 + precipitation / 120.0;
+        if road_type >= 3.0 {
+            minutes *= 1.2; // surface streets
+        }
+        minutes += rng.gen_range(-1.0..1.0);
+        targets.push(minutes.max(0.5));
+        rows.push(vec![
+            distance,
+            hour,
+            day,
+            precipitation,
+            road_type,
+            speed_limit,
+        ]);
+    }
+    RegressionDataset::from_rows(rows, targets).expect("generator emits consistent rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_forest::{RegressionConfig, RegressionForest};
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = trip_duration_like(50, 1);
+        let b = trip_duration_like(50, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.n_features(), N_FEATURES);
+        assert_ne!(a, trip_duration_like(50, 2));
+    }
+
+    #[test]
+    fn distance_drives_duration() {
+        let data = trip_duration_like(2000, 4);
+        // Correlation check: longer trips take longer on average.
+        let (mut short, mut long) = (Vec::new(), Vec::new());
+        for (sample, target) in data.iter() {
+            if sample[feature::DISTANCE] < 100.0 {
+                short.push(target);
+            } else if sample[feature::DISTANCE] > 200.0 {
+                long.push(target);
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean(&long) > 2.0 * mean(&short));
+    }
+
+    #[test]
+    fn forest_beats_mean_baseline() {
+        let data = trip_duration_like(1500, 1);
+        let forest = RegressionForest::train(
+            &data,
+            &RegressionConfig::new(10).with_max_height(6).with_seed(5),
+        );
+        let mean: f64 = data.iter().map(|(_, t)| f64::from(t)).sum::<f64>() / data.len() as f64;
+        let variance: f64 = data
+            .iter()
+            .map(|(_, t)| (f64::from(t) - mean).powi(2))
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(forest.mse(&data) < variance / 2.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Yelp-shaped review workload: sparse 1500-word bag-of-words, 5 stars.
+//!
+//! The paper (§6.1) tokenizes review text into "a vector of 1500 features
+//! indicating number of appearances of each of the most common 1500 words"
+//! and predicts the star rating. This generator emits the same shape: sparse
+//! non-negative counts with a planted sentiment vocabulary.
+
+use bolt_forest::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Vocabulary size (as in the paper's preprocessing).
+pub const N_FEATURES: usize = 1500;
+/// Star ratings 1–5 encoded as classes 0–4.
+pub const N_CLASSES: usize = 5;
+
+/// Number of planted positive-sentiment words (word IDs `0..N_POSITIVE`).
+pub const N_POSITIVE: usize = 60;
+/// Number of planted negative-sentiment words
+/// (word IDs `N_POSITIVE..N_POSITIVE + N_NEGATIVE`).
+pub const N_NEGATIVE: usize = 60;
+
+/// Generates a Yelp-shaped dataset of `n_samples` sparse review vectors.
+///
+/// Each review draws a true star rating, then samples word counts: sentiment
+/// words appear with probability proportional to how well they agree with
+/// the rating, and filler words follow a Zipf-like background so the matrix
+/// is realistically sparse (~2–4% non-zeros).
+///
+/// # Panics
+///
+/// Panics if `n_samples == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let data = bolt_data::yelp_like(50, 3);
+/// assert_eq!(data.n_features(), 1500);
+/// let nonzero: usize = data.iter().map(|(s, _)| s.iter().filter(|&&c| c > 0.0).count()).sum();
+/// assert!(nonzero > 0);
+/// ```
+#[must_use]
+pub fn yelp_like(n_samples: usize, seed: u64) -> Dataset {
+    assert!(n_samples > 0, "n_samples must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n_samples * N_FEATURES);
+    let mut labels = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let stars = rng.gen_range(0..N_CLASSES); // class = stars - 1
+        labels.push(stars as u32);
+        // Sentiment in [-1, 1] from the star rating.
+        let sentiment = (stars as f32 - 2.0) / 2.0;
+        let mut row = vec![0.0f32; N_FEATURES];
+        // Positive words: more likely (and more frequent) in high ratings.
+        let p_pos = (0.10 + 0.22 * sentiment).max(0.01) as f64;
+        let p_neg = (0.10 - 0.22 * sentiment).max(0.01) as f64;
+        for w in 0..N_POSITIVE {
+            if rng.gen_bool(p_pos) {
+                row[w] = rng.gen_range(1..=4) as f32;
+            }
+        }
+        for w in 0..N_NEGATIVE {
+            if rng.gen_bool(p_neg) {
+                row[N_POSITIVE + w] = rng.gen_range(1..=4) as f32;
+            }
+        }
+        // Background filler words: Zipf-ish, rating-independent.
+        let n_filler = rng.gen_range(15..45);
+        for _ in 0..n_filler {
+            // Low word IDs (common words) favoured quadratically.
+            let u: f64 = rng.gen();
+            let idx = N_POSITIVE
+                + N_NEGATIVE
+                + ((u * u) * (N_FEATURES - N_POSITIVE - N_NEGATIVE) as f64) as usize;
+            let idx = idx.min(N_FEATURES - 1);
+            row[idx] += rng.gen_range(1..=3) as f32;
+        }
+        values.extend_from_slice(&row);
+    }
+    Dataset::from_flat(values, labels, N_FEATURES, N_CLASSES)
+        .expect("generator emits consistent rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_forest::{ForestConfig, RandomForest};
+
+    #[test]
+    fn shape_sparsity_and_ranges() {
+        let data = yelp_like(100, 6);
+        assert_eq!(data.n_features(), N_FEATURES);
+        assert_eq!(data.n_classes(), N_CLASSES);
+        let mut nonzero = 0usize;
+        for (s, label) in data.iter() {
+            assert!(label < 5);
+            assert!(
+                s.iter().all(|&c| c >= 0.0 && c == c.trunc()),
+                "integer counts"
+            );
+            nonzero += s.iter().filter(|&&c| c > 0.0).count();
+        }
+        let density = nonzero as f64 / (100.0 * N_FEATURES as f64);
+        assert!(density < 0.10, "matrix should be sparse, density {density}");
+        assert!(
+            density > 0.005,
+            "matrix should not be empty, density {density}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(yelp_like(30, 1), yelp_like(30, 1));
+        assert_ne!(yelp_like(30, 1), yelp_like(30, 2));
+    }
+
+    #[test]
+    fn sentiment_words_predict_stars() {
+        let train = yelp_like(1500, 1);
+        let test = yelp_like(400, 2);
+        let forest = RandomForest::train(
+            &train,
+            &ForestConfig::new(10)
+                .with_max_height(6)
+                .with_features_per_split(80)
+                .with_seed(3),
+        );
+        let acc = forest.accuracy(&test);
+        assert!(acc > 0.3, "accuracy only {acc} vs 0.2 chance");
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal CSV ingestion for datasets.
+//!
+//! Real deployments feed Bolt from tabular exports; this loader covers the
+//! common numeric-matrix case (comma-separated numeric features with the
+//! class label in the last column, optional header) without pulling in a
+//! CSV dependency.
+
+use crate::{Dataset, ForestError};
+use std::io::BufRead;
+
+/// Reads a dataset from CSV text: one sample per line, comma-separated
+/// numeric features, the **last column** being the integer class label.
+/// A first line whose fields are not all numeric is treated as a header and
+/// skipped. Blank lines are ignored.
+///
+/// A `&[u8]`/`&str` can be passed directly thanks to `BufRead` impls on
+/// slices; pass `&mut reader` to keep ownership of an open file.
+///
+/// # Errors
+///
+/// Returns [`ForestError::Serde`] for I/O failures or non-numeric fields,
+/// [`ForestError::RaggedRows`] for inconsistent column counts, and
+/// [`ForestError::EmptyDataset`] when no data rows are present.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_forest::csv::from_csv;
+///
+/// let text = "x0,x1,label\n0.5,1.0,0\n2.5,3.5,1\n";
+/// let data = from_csv(text.as_bytes())?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.n_features(), 2);
+/// assert_eq!(data.label(1), 1);
+/// # Ok::<(), bolt_forest::ForestError>(())
+/// ```
+pub fn from_csv<R: BufRead>(reader: R) -> Result<Dataset, ForestError> {
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut labels: Vec<u32> = Vec::new();
+    let mut n_classes = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ForestError::Serde {
+            detail: format!("read failed at line {}: {e}", lineno + 1),
+        })?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f32>, _> = fields.iter().map(|f| f.parse::<f32>()).collect();
+        let values = match parsed {
+            Ok(values) => values,
+            Err(_) if rows.is_empty() && labels.is_empty() => continue, // header
+            Err(_) => {
+                return Err(ForestError::Serde {
+                    detail: format!("non-numeric field at line {}", lineno + 1),
+                })
+            }
+        };
+        if values.len() < 2 {
+            return Err(ForestError::Serde {
+                detail: format!("line {} needs at least one feature and a label", lineno + 1),
+            });
+        }
+        let label = values[values.len() - 1];
+        if label < 0.0 || label.fract() != 0.0 {
+            return Err(ForestError::Serde {
+                detail: format!("label {label} at line {} is not a class index", lineno + 1),
+            });
+        }
+        let label = label as u32;
+        n_classes = n_classes.max(label + 1);
+        rows.push(values[..values.len() - 1].to_vec());
+        labels.push(label);
+    }
+    Dataset::from_rows(rows, labels, n_classes as usize)
+}
+
+/// Writes a dataset as CSV (no header): features then the label, matching
+/// what [`from_csv`] reads back.
+///
+/// # Errors
+///
+/// Returns [`ForestError::Serde`] for I/O failures.
+pub fn to_csv<W: std::io::Write>(data: &Dataset, mut writer: W) -> Result<(), ForestError> {
+    for (sample, label) in data.iter() {
+        let mut line = String::with_capacity(sample.len() * 8 + 8);
+        for &v in sample {
+            line.push_str(&format!("{v},"));
+        }
+        line.push_str(&format!("{label}\n"));
+        writer
+            .write_all(line.as_bytes())
+            .map_err(|e| ForestError::Serde {
+                detail: format!("write failed: {e}"),
+            })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_csv_round_trips() {
+        let data = Dataset::from_rows(
+            vec![vec![1.5, -2.25], vec![0.0, 4.0], vec![3.125, 7.5]],
+            vec![0, 2, 1],
+            3,
+        )
+        .expect("valid");
+        let mut buf = Vec::new();
+        to_csv(&data, &mut buf).expect("writes");
+        let back = from_csv(&buf[..]).expect("parses");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn parses_with_and_without_header() {
+        let with = from_csv("a,b,y\n1,2,0\n3,4,1\n".as_bytes()).expect("parses");
+        let without = from_csv("1,2,0\n3,4,1\n".as_bytes()).expect("parses");
+        assert_eq!(with, without);
+        assert_eq!(with.n_classes(), 2);
+        assert_eq!(with.sample(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let data = from_csv("1,0\n\n2,1\n\n".as_bytes()).expect("parses");
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.n_features(), 1);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = from_csv("1,2,0\n3,1\n".as_bytes()).expect_err("ragged");
+        assert!(matches!(err, ForestError::RaggedRows { .. }));
+    }
+
+    #[test]
+    fn non_numeric_mid_file_rejected() {
+        let err = from_csv("1,2,0\nx,2,0\n".as_bytes()).expect_err("garbage");
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn fractional_label_rejected() {
+        let err = from_csv("1,0.5\n".as_bytes()).expect_err("bad label");
+        assert!(err.to_string().contains("not a class index"));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(matches!(
+            from_csv("".as_bytes()).expect_err("empty"),
+            ForestError::EmptyDataset
+        ));
+        assert!(from_csv("a,b,y\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn labels_define_class_count() {
+        let data = from_csv("0,3\n0,0\n".as_bytes()).expect("parses");
+        assert_eq!(data.n_classes(), 4);
+    }
+}

@@ -1,0 +1,340 @@
+//! Dense in-memory datasets.
+
+use crate::ForestError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major feature matrix with integer class labels.
+///
+/// All of the paper's workloads (MNIST pixels, LSTW traffic features, Yelp
+/// bag-of-words counts) are dense numeric matrices once encoded, so a single
+/// `f32` matrix covers every experiment.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_forest::Dataset;
+///
+/// let data = Dataset::from_rows(
+///     vec![vec![0.0, 1.0], vec![2.0, 3.0]],
+///     vec![0, 1],
+///     2,
+/// )?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.sample(1), &[2.0, 3.0]);
+/// # Ok::<(), bolt_forest::ForestError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    values: Vec<f32>,
+    labels: Vec<u32>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from per-sample rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::RaggedRows`] if rows differ in length,
+    /// [`ForestError::LabelMismatch`] if `labels.len() != rows.len()` or any
+    /// label is `>= n_classes`, and [`ForestError::EmptyDataset`] if `rows`
+    /// is empty.
+    pub fn from_rows(
+        rows: Vec<Vec<f32>>,
+        labels: Vec<u32>,
+        n_classes: usize,
+    ) -> Result<Self, ForestError> {
+        let first = rows.first().ok_or(ForestError::EmptyDataset)?;
+        let n_features = first.len();
+        if rows.len() != labels.len() {
+            return Err(ForestError::LabelMismatch {
+                detail: format!("{} rows but {} labels", rows.len(), labels.len()),
+            });
+        }
+        let mut values = Vec::with_capacity(rows.len() * n_features);
+        for row in &rows {
+            if row.len() != n_features {
+                return Err(ForestError::RaggedRows {
+                    expected: n_features,
+                    found: row.len(),
+                });
+            }
+            values.extend_from_slice(row);
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l as usize >= n_classes) {
+            return Err(ForestError::LabelMismatch {
+                detail: format!("label {bad} out of range for {n_classes} classes"),
+            });
+        }
+        Ok(Self {
+            values,
+            labels,
+            n_features,
+            n_classes,
+        })
+    }
+
+    /// Builds a dataset from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Dataset::from_rows`]; additionally errors if
+    /// `values.len()` is not a multiple of `n_features`.
+    pub fn from_flat(
+        values: Vec<f32>,
+        labels: Vec<u32>,
+        n_features: usize,
+        n_classes: usize,
+    ) -> Result<Self, ForestError> {
+        if n_features == 0 || !values.len().is_multiple_of(n_features) {
+            return Err(ForestError::RaggedRows {
+                expected: n_features,
+                found: values.len(),
+            });
+        }
+        let n_samples = values.len() / n_features;
+        if n_samples == 0 {
+            return Err(ForestError::EmptyDataset);
+        }
+        if n_samples != labels.len() {
+            return Err(ForestError::LabelMismatch {
+                detail: format!("{n_samples} rows but {} labels", labels.len()),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l as usize >= n_classes) {
+            return Err(ForestError::LabelMismatch {
+                detail: format!("label {bad} out of range for {n_classes} classes"),
+            });
+        }
+        Ok(Self {
+            values,
+            labels,
+            n_features,
+            n_classes,
+        })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples (never true for a constructed one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per sample.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of target classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> &[f32] {
+        &self.values[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn label(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    #[must_use]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Iterates over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], u32)> + '_ {
+        (0..self.len()).map(move |i| (self.sample(i), self.label(i)))
+    }
+
+    /// Builds a new dataset from a subset of sample indices (with repeats
+    /// allowed, as used by bootstrap sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `indices` is empty.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        assert!(!indices.is_empty(), "subset requires at least one index");
+        let mut values = Vec::with_capacity(indices.len() * self.n_features);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            values.extend_from_slice(self.sample(i));
+            labels.push(self.label(i));
+        }
+        Self {
+            values,
+            labels,
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Appends extra feature columns to every sample, returning a new
+    /// dataset. Used by deep forests, which append the previous layer's
+    /// class-probability vector to the input (§4.6 of the Bolt paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra.len() != self.len()` or the extra rows are ragged.
+    #[must_use]
+    pub fn with_appended_features(&self, extra: &[Vec<f32>]) -> Self {
+        assert_eq!(extra.len(), self.len(), "one extra row per sample required");
+        let added = extra.first().map_or(0, Vec::len);
+        let mut values = Vec::with_capacity(self.len() * (self.n_features + added));
+        for (i, row) in extra.iter().enumerate() {
+            assert_eq!(row.len(), added, "ragged appended features");
+            values.extend_from_slice(self.sample(i));
+            values.extend_from_slice(row);
+        }
+        Self {
+            values,
+            labels: self.labels.clone(),
+            n_features: self.n_features + added,
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Deterministically shuffles and splits into `(train, test)` with
+    /// `test_fraction` of samples (at least one sample on each side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is not in `(0, 1)` or there are fewer than
+    /// two samples.
+    #[must_use]
+    pub fn train_test_split(&self, test_fraction: f64, seed: u64) -> (Self, Self) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0, 1), got {test_fraction}"
+        );
+        assert!(self.len() >= 2, "need at least two samples to split");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let n_test =
+            ((self.len() as f64 * test_fraction).round() as usize).clamp(1, self.len() - 1);
+        let (test_idx, train_idx) = order.split_at(n_test);
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(
+            vec![
+                vec![0.0, 1.0],
+                vec![2.0, 3.0],
+                vec![4.0, 5.0],
+                vec![6.0, 7.0],
+            ],
+            vec![0, 1, 0, 1],
+            2,
+        )
+        .expect("valid dataset")
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.sample(2), &[4.0, 5.0]);
+        assert_eq!(d.label(3), 1);
+        assert_eq!(d.iter().count(), 4);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err =
+            Dataset::from_rows(vec![vec![0.0], vec![1.0, 2.0]], vec![0, 0], 1).expect_err("ragged");
+        assert_eq!(
+            err,
+            ForestError::RaggedRows {
+                expected: 1,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        let err = Dataset::from_rows(vec![vec![0.0]], vec![5], 2).expect_err("bad label");
+        assert!(matches!(err, ForestError::LabelMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            Dataset::from_rows(vec![], vec![], 2).expect_err("empty"),
+            ForestError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn from_flat_matches_from_rows() {
+        let a = Dataset::from_flat(vec![0.0, 1.0, 2.0, 3.0], vec![0, 1], 2, 2).expect("flat");
+        let b =
+            Dataset::from_rows(vec![vec![0.0, 1.0], vec![2.0, 3.0]], vec![0, 1], 2).expect("rows");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subset_repeats_allowed() {
+        let d = toy();
+        let s = d.subset(&[1, 1, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.sample(0), s.sample(1));
+        assert_eq!(s.label(2), 1);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint_in_size() {
+        let d = toy();
+        let (train1, test1) = d.train_test_split(0.25, 9);
+        let (train2, test2) = d.train_test_split(0.25, 9);
+        assert_eq!(train1, train2);
+        assert_eq!(test1, test2);
+        assert_eq!(train1.len() + test1.len(), d.len());
+        assert_eq!(test1.len(), 1);
+    }
+
+    #[test]
+    fn appended_features_widen_samples() {
+        let d = toy();
+        let extra: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32 * 10.0]).collect();
+        let wide = d.with_appended_features(&extra);
+        assert_eq!(wide.n_features(), 3);
+        assert_eq!(wide.sample(1), &[2.0, 3.0, 10.0]);
+        assert_eq!(wide.labels(), d.labels());
+    }
+}

@@ -1,0 +1,200 @@
+//! Multi-layer (gcForest-style) deep forests.
+//!
+//! §4.6/§5 of the Bolt paper: "Deep forests use multiple layers of random
+//! forests ... the output of each layer is appended as a feature for
+//! subsequent layers." This module trains such stacks; `bolt-core` compiles
+//! each layer to lookup tables independently.
+
+use crate::{Dataset, ForestConfig, ForestError, RandomForest};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a [`DeepForest`]: one [`ForestConfig`] per layer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeepForestConfig {
+    /// Per-layer forest configurations, first layer first.
+    pub layers: Vec<ForestConfig>,
+}
+
+impl DeepForestConfig {
+    /// A two-layer configuration (the shape evaluated in the paper's
+    /// Fig. 15) with identical settings per layer.
+    #[must_use]
+    pub fn two_layers(base: ForestConfig) -> Self {
+        let mut second = base.clone();
+        second.seed ^= 0xDEE9;
+        Self {
+            layers: vec![base, second],
+        }
+    }
+}
+
+/// A trained deep forest: a stack of random forests where layer `k+1`
+/// consumes the original features plus layer `k`'s per-class vote fractions.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_forest::{Dataset, DeepForest, DeepForestConfig, ForestConfig};
+///
+/// let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 4) as f32]).collect();
+/// let labels: Vec<u32> = (0..40).map(|i| u32::from(i % 4 > 1)).collect();
+/// let data = Dataset::from_rows(rows, labels, 2)?;
+/// let cfg = DeepForestConfig::two_layers(ForestConfig::new(3).with_max_height(3));
+/// let deep = DeepForest::train(&data, &cfg)?;
+/// assert_eq!(deep.n_layers(), 2);
+/// let class = deep.predict(&[3.0]);
+/// assert!(class < 2);
+/// # Ok::<(), bolt_forest::ForestError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeepForest {
+    layers: Vec<RandomForest>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl DeepForest {
+    /// Trains the stack layer by layer, augmenting the training set with each
+    /// layer's outputs before training the next.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::EmptyDataset`] if `config.layers` is empty.
+    pub fn train(data: &Dataset, config: &DeepForestConfig) -> Result<Self, ForestError> {
+        if config.layers.is_empty() {
+            return Err(ForestError::EmptyDataset);
+        }
+        let mut layers = Vec::with_capacity(config.layers.len());
+        let mut current = data.clone();
+        for (i, layer_cfg) in config.layers.iter().enumerate() {
+            let forest = RandomForest::train(&current, layer_cfg);
+            if i + 1 < config.layers.len() {
+                let outputs: Vec<Vec<f32>> = (0..current.len())
+                    .map(|s| forest.predict_proba(current.sample(s)))
+                    .collect();
+                current = current.with_appended_features(&outputs);
+            }
+            layers.push(forest);
+        }
+        Ok(Self {
+            layers,
+            n_classes: data.n_classes(),
+            n_features: data.n_features(),
+        })
+    }
+
+    /// The per-layer forests, first layer first.
+    #[must_use]
+    pub fn layers(&self) -> &[RandomForest] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of raw input features (before augmentation).
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Runs the full stack on one sample and returns the final class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() < n_features()`.
+    #[must_use]
+    pub fn predict(&self, sample: &[f32]) -> u32 {
+        let mut augmented = sample[..self.n_features].to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i + 1 == self.layers.len() {
+                return layer.predict(&augmented);
+            }
+            let proba = layer.predict_proba(&augmented);
+            augmented.extend_from_slice(&proba);
+        }
+        unreachable!("constructor guarantees at least one layer")
+    }
+
+    /// Fraction of `data` classified correctly by the full stack.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let correct = data
+            .iter()
+            .filter(|(sample, label)| self.predict(sample) == *label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spiral_dataset() -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..120)
+            .map(|i| vec![(i % 8) as f32, ((i / 8) % 5) as f32])
+            .collect();
+        let labels: Vec<u32> = rows
+            .iter()
+            .map(|r| u32::from((r[0] as u32 + r[1] as u32).is_multiple_of(2)))
+            .collect();
+        Dataset::from_rows(rows, labels, 2).expect("valid")
+    }
+
+    #[test]
+    fn layers_consume_augmented_features() {
+        let data = spiral_dataset();
+        let cfg =
+            DeepForestConfig::two_layers(ForestConfig::new(4).with_max_height(4).with_seed(3));
+        let deep = DeepForest::train(&data, &cfg).expect("trains");
+        assert_eq!(deep.layers()[0].n_features(), 2);
+        assert_eq!(deep.layers()[1].n_features(), 2 + data.n_classes());
+    }
+
+    #[test]
+    fn empty_config_rejected() {
+        let data = spiral_dataset();
+        let err =
+            DeepForest::train(&data, &DeepForestConfig { layers: vec![] }).expect_err("no layers");
+        assert_eq!(err, ForestError::EmptyDataset);
+    }
+
+    #[test]
+    fn predict_runs_end_to_end() {
+        let data = spiral_dataset();
+        let cfg =
+            DeepForestConfig::two_layers(ForestConfig::new(5).with_max_height(5).with_seed(7));
+        let deep = DeepForest::train(&data, &cfg).expect("trains");
+        assert!(deep.accuracy(&data) > 0.5);
+        for (sample, _) in data.iter().take(5) {
+            assert!(deep.predict(sample) < 2);
+        }
+    }
+
+    #[test]
+    fn single_layer_equals_plain_forest() {
+        let data = spiral_dataset();
+        let base = ForestConfig::new(3).with_max_height(3).with_seed(11);
+        let deep = DeepForest::train(
+            &data,
+            &DeepForestConfig {
+                layers: vec![base.clone()],
+            },
+        )
+        .expect("trains");
+        let flat = RandomForest::train(&data, &base);
+        for (sample, _) in data.iter().take(20) {
+            assert_eq!(deep.predict(sample), flat.predict(sample));
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! DOT (Graphviz) export and import of decision trees.
+//!
+//! The paper's pipeline (§5) converts each scikit-learn tree to a DOT file —
+//! "an edge-oriented textual layout" — and extracts root→leaf paths from
+//! those files. This module reproduces that interchange step: trees round-trip
+//! through the same `X[f] <= t` / `class = c` label grammar that
+//! `sklearn.tree.export_graphviz` emits.
+//!
+//! # Examples
+//!
+//! ```
+//! use bolt_forest::{dot, DecisionTree, NodeKind};
+//!
+//! let tree = DecisionTree::from_nodes(
+//!     vec![
+//!         NodeKind::Split { feature: 0, threshold: 0.5, left: 1, right: 2 },
+//!         NodeKind::Leaf { class: 0 },
+//!         NodeKind::Leaf { class: 1 },
+//!     ],
+//!     1,
+//!     2,
+//! );
+//! let text = dot::to_dot(&tree);
+//! let back = dot::from_dot(&text)?;
+//! assert_eq!(tree, back);
+//! # Ok::<(), bolt_forest::ForestError>(())
+//! ```
+
+use crate::{DecisionTree, ForestError, NodeKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes a tree to DOT text in the scikit-learn style.
+#[must_use]
+pub fn to_dot(tree: &DecisionTree) -> String {
+    let mut out = String::from("digraph Tree {\nnode [shape=box] ;\n");
+    for (i, node) in tree.nodes().iter().enumerate() {
+        match *node {
+            NodeKind::Split {
+                feature, threshold, ..
+            } => {
+                let _ = writeln!(out, "{i} [label=\"X[{feature}] <= {threshold}\"] ;");
+            }
+            NodeKind::Leaf { class } => {
+                let _ = writeln!(out, "{i} [label=\"class = {class}\"] ;");
+            }
+        }
+    }
+    for (i, node) in tree.nodes().iter().enumerate() {
+        if let NodeKind::Split { left, right, .. } = *node {
+            let _ = writeln!(out, "{i} -> {left} [label=\"true\"] ;");
+            let _ = writeln!(out, "{i} -> {right} [label=\"false\"] ;");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[derive(Debug, Clone)]
+enum RawNode {
+    Split { feature: u32, threshold: f32 },
+    Leaf { class: u32 },
+}
+
+/// Parses DOT text produced by [`to_dot`] (or scikit-learn's exporter with
+/// `class = N` labels) back into a [`DecisionTree`].
+///
+/// # Errors
+///
+/// Returns [`ForestError::ParseDot`] for malformed node labels, dangling
+/// edges, missing roots, or nodes with a number of children other than two.
+pub fn from_dot(text: &str) -> Result<DecisionTree, ForestError> {
+    let mut raw: HashMap<u32, RawNode> = HashMap::new();
+    let mut edges: HashMap<u32, (Option<u32>, Option<u32>)> = HashMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim().trim_end_matches(';').trim();
+        let err = |detail: String| ForestError::ParseDot {
+            line: Some(lineno + 1),
+            detail,
+        };
+        if line.is_empty()
+            || line.starts_with("digraph")
+            || line.starts_with('}')
+            || line.starts_with("node ")
+            || line.starts_with("edge ")
+        {
+            continue;
+        }
+        if let Some(arrow) = line.find("->") {
+            // Edge line: `src -> dst [label="true|false"]`.
+            let src: u32 = line[..arrow]
+                .trim()
+                .parse()
+                .map_err(|_| err("edge source is not an integer".into()))?;
+            let rest = &line[arrow + 2..];
+            let dst_end = rest.find('[').unwrap_or(rest.len());
+            let dst: u32 = rest[..dst_end]
+                .trim()
+                .parse()
+                .map_err(|_| err("edge target is not an integer".into()))?;
+            let slot = edges.entry(src).or_default();
+            let is_true_edge = if rest.contains("true") {
+                true
+            } else if rest.contains("false") {
+                false
+            } else {
+                // Unlabelled edges follow scikit-learn order: first=true.
+                slot.0.is_none()
+            };
+            let field = if is_true_edge {
+                &mut slot.0
+            } else {
+                &mut slot.1
+            };
+            if field.replace(dst).is_some() {
+                return Err(err(format!("node {src} has duplicate {is_true_edge} edge")));
+            }
+        } else if let Some(bracket) = line.find('[') {
+            // Node line: `id [label="..."]`.
+            let id: u32 = line[..bracket]
+                .trim()
+                .parse()
+                .map_err(|_| err("node id is not an integer".into()))?;
+            let label_start = line
+                .find("label=\"")
+                .ok_or_else(|| err("node line without label".into()))?
+                + 7;
+            let label_end = line[label_start..]
+                .find('"')
+                .ok_or_else(|| err("unterminated label".into()))?
+                + label_start;
+            let label = &line[label_start..label_end];
+            let node = if let Some(rest) = label.strip_prefix("X[") {
+                let close = rest
+                    .find(']')
+                    .ok_or_else(|| err("missing ] in split label".into()))?;
+                let feature: u32 = rest[..close]
+                    .parse()
+                    .map_err(|_| err("feature index is not an integer".into()))?;
+                let after = rest[close + 1..].trim();
+                let threshold: f32 = after
+                    .strip_prefix("<=")
+                    .ok_or_else(|| err("split label missing <=".into()))?
+                    .split_whitespace()
+                    .next()
+                    .ok_or_else(|| err("missing threshold".into()))?
+                    .parse()
+                    .map_err(|_| err("threshold is not a number".into()))?;
+                RawNode::Split { feature, threshold }
+            } else if let Some(rest) = label.strip_prefix("class = ") {
+                let class: u32 = rest
+                    .split_whitespace()
+                    .next()
+                    .ok_or_else(|| err("missing class".into()))?
+                    .parse()
+                    .map_err(|_| err("class is not an integer".into()))?;
+                RawNode::Leaf { class }
+            } else {
+                return Err(err(format!("unrecognized label {label:?}")));
+            };
+            if raw.insert(id, node).is_some() {
+                return Err(err(format!("duplicate node id {id}")));
+            }
+        } else {
+            return Err(err(format!("unrecognized line {line:?}")));
+        }
+    }
+
+    if raw.is_empty() {
+        return Err(ForestError::ParseDot {
+            line: None,
+            detail: "no nodes found".into(),
+        });
+    }
+    // The root is the node that is never an edge target.
+    let targets: std::collections::HashSet<u32> = edges
+        .values()
+        .flat_map(|&(a, b)| [a, b])
+        .flatten()
+        .collect();
+    let root = *raw
+        .keys()
+        .find(|id| !targets.contains(id))
+        .ok_or(ForestError::ParseDot {
+            line: None,
+            detail: "no root node (cycle?)".into(),
+        })?;
+
+    // Rebuild a forward-pointing arena by BFS from the root.
+    let mut order: Vec<u32> = Vec::with_capacity(raw.len());
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(id) = queue.pop_front() {
+        if remap.contains_key(&id) {
+            return Err(ForestError::ParseDot {
+                line: None,
+                detail: format!("node {id} reachable twice (not a tree)"),
+            });
+        }
+        remap.insert(id, order.len() as u32);
+        order.push(id);
+        if matches!(raw.get(&id), Some(RawNode::Split { .. })) {
+            let (left, right) = edges.get(&id).copied().unwrap_or((None, None));
+            let (left, right) = (
+                left.ok_or_else(|| ForestError::ParseDot {
+                    line: None,
+                    detail: format!("split node {id} missing true edge"),
+                })?,
+                right.ok_or_else(|| ForestError::ParseDot {
+                    line: None,
+                    detail: format!("split node {id} missing false edge"),
+                })?,
+            );
+            queue.push_back(left);
+            queue.push_back(right);
+        }
+    }
+    if order.len() != raw.len() {
+        return Err(ForestError::ParseDot {
+            line: None,
+            detail: "unreachable nodes present".into(),
+        });
+    }
+
+    let mut n_features = 1usize;
+    let mut n_classes = 1usize;
+    let nodes: Vec<NodeKind> = order
+        .iter()
+        .map(|id| match raw[id] {
+            RawNode::Split { feature, threshold } => {
+                n_features = n_features.max(feature as usize + 1);
+                let (l, r) = edges[id];
+                NodeKind::Split {
+                    feature,
+                    threshold,
+                    left: remap[&l.expect("checked above")],
+                    right: remap[&r.expect("checked above")],
+                }
+            }
+            RawNode::Leaf { class } => {
+                n_classes = n_classes.max(class as usize + 1);
+                NodeKind::Leaf { class }
+            }
+        })
+        .collect();
+    Ok(DecisionTree::from_nodes(nodes, n_features, n_classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, ForestConfig, RandomForest};
+
+    #[test]
+    fn roundtrip_trained_trees() {
+        let rows: Vec<Vec<f32>> = (0..80)
+            .map(|i| vec![(i % 8) as f32, (i % 3) as f32])
+            .collect();
+        let labels: Vec<u32> = (0..80).map(|i| u32::from(i % 8 > 3)).collect();
+        let data = Dataset::from_rows(rows, labels, 2).expect("valid");
+        let forest =
+            RandomForest::train(&data, &ForestConfig::new(3).with_max_height(4).with_seed(6));
+        for tree in forest.trees() {
+            let text = to_dot(tree);
+            let parsed = from_dot(&text).expect("round trip");
+            // Compare behaviour (arena order may legitimately differ).
+            for (sample, _) in data.iter() {
+                assert_eq!(tree.predict(sample), parsed.predict(sample));
+            }
+        }
+    }
+
+    #[test]
+    fn parses_sklearn_flavoured_labels() {
+        let text = r#"digraph Tree {
+node [shape=box] ;
+0 [label="X[2] <= 0.5 gini=0.48 samples=10"] ;
+1 [label="class = 1 samples=6"] ;
+2 [label="class = 0 samples=4"] ;
+0 -> 1 [label="true"] ;
+0 -> 2 [label="false"] ;
+}"#;
+        let tree = from_dot(text).expect("parse");
+        assert_eq!(tree.predict(&[0.0, 0.0, 0.0]), 1);
+        assert_eq!(tree.predict(&[0.0, 0.0, 1.0]), 0);
+        assert_eq!(tree.n_features(), 3);
+    }
+
+    #[test]
+    fn unlabeled_edges_use_declaration_order() {
+        let text = "digraph Tree {\n0 [label=\"X[0] <= 1\"] ;\n1 [label=\"class = 0\"] ;\n2 [label=\"class = 1\"] ;\n0 -> 1 ;\n0 -> 2 ;\n}";
+        let tree = from_dot(text).expect("parse");
+        assert_eq!(tree.predict(&[0.0]), 0);
+        assert_eq!(tree.predict(&[5.0]), 1);
+    }
+
+    #[test]
+    fn missing_edge_is_an_error() {
+        let text = "digraph Tree {\n0 [label=\"X[0] <= 1\"] ;\n1 [label=\"class = 0\"] ;\n0 -> 1 [label=\"true\"] ;\n}";
+        let err = from_dot(text).expect_err("missing false edge");
+        assert!(matches!(err, ForestError::ParseDot { .. }));
+        assert!(err.to_string().contains("false edge"));
+    }
+
+    #[test]
+    fn garbage_line_reports_line_number() {
+        let err = from_dot("digraph Tree {\nwat\n}").expect_err("garbage");
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        assert!(from_dot("digraph Tree {\n}\n").is_err());
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        // 0 -> 1, 1 -> 0 forms a cycle with no root.
+        let text = "digraph Tree {\n0 [label=\"X[0] <= 1\"] ;\n1 [label=\"X[0] <= 2\"] ;\n0 -> 1 [label=\"true\"] ;\n0 -> 1 [label=\"false\"] ;\n1 -> 0 [label=\"true\"] ;\n1 -> 0 [label=\"false\"] ;\n}";
+        assert!(from_dot(text).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by the forest substrate.
+
+use std::fmt;
+
+/// Errors produced while building datasets, training, or parsing models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ForestError {
+    /// A dataset row had a different number of features than the rest.
+    RaggedRows {
+        /// Expected feature count.
+        expected: usize,
+        /// Offending row's feature count.
+        found: usize,
+    },
+    /// Labels and rows disagree in length, or a label is out of class range.
+    LabelMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The dataset was empty where at least one sample is required.
+    EmptyDataset,
+    /// A DOT document could not be parsed back into a tree.
+    ParseDot {
+        /// Line number (1-based) where parsing failed, if known.
+        line: Option<usize>,
+        /// Description of the failure.
+        detail: String,
+    },
+    /// Model (de)serialization failed.
+    Serde {
+        /// Description of the failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RaggedRows { expected, found } => {
+                write!(
+                    f,
+                    "ragged dataset rows: expected {expected} features, found {found}"
+                )
+            }
+            Self::LabelMismatch { detail } => write!(f, "label mismatch: {detail}"),
+            Self::EmptyDataset => write!(f, "dataset contains no samples"),
+            Self::ParseDot {
+                line: Some(line),
+                detail,
+            } => {
+                write!(f, "invalid DOT at line {line}: {detail}")
+            }
+            Self::ParseDot { line: None, detail } => write!(f, "invalid DOT: {detail}"),
+            Self::Serde { detail } => write!(f, "model serialization failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ForestError::RaggedRows {
+            expected: 4,
+            found: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "ragged dataset rows: expected 4 features, found 3"
+        );
+        let e = ForestError::ParseDot {
+            line: Some(2),
+            detail: "bad label".into(),
+        };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ForestError>();
+    }
+}

@@ -1,0 +1,428 @@
+//! Random forests: bagged ensembles of decision trees.
+
+use crate::train::{train_tree, TreeConfig};
+use crate::{Dataset, DecisionTree, ForestError};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for training a [`RandomForest`].
+///
+/// # Examples
+///
+/// ```
+/// use bolt_forest::ForestConfig;
+///
+/// let cfg = ForestConfig::new(10).with_max_height(4).with_seed(42);
+/// assert_eq!(cfg.n_trees, 10);
+/// assert_eq!(cfg.tree.max_height, 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Per-tree training configuration.
+    pub tree: TreeConfig,
+    /// Whether each tree trains on a bootstrap resample of the data.
+    pub bootstrap: bool,
+    /// Master RNG seed; per-tree seeds are derived from it.
+    pub seed: u64,
+}
+
+impl ForestConfig {
+    /// Creates a configuration for `n_trees` trees with default tree settings.
+    #[must_use]
+    pub fn new(n_trees: usize) -> Self {
+        Self {
+            n_trees,
+            tree: TreeConfig::new(),
+            bootstrap: true,
+            seed: 0,
+        }
+    }
+
+    /// Sets the maximum height of every tree.
+    #[must_use]
+    pub fn with_max_height(mut self, max_height: usize) -> Self {
+        self.tree.max_height = max_height;
+        self
+    }
+
+    /// Sets the master RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables bootstrap resampling.
+    #[must_use]
+    pub fn with_bootstrap(mut self, bootstrap: bool) -> Self {
+        self.bootstrap = bootstrap;
+        self
+    }
+
+    /// Sets the number of features examined per split for every tree.
+    #[must_use]
+    pub fn with_features_per_split(mut self, k: usize) -> Self {
+        self.tree.features_per_split = Some(k);
+        self
+    }
+}
+
+/// A trained random forest: independent trees whose votes are aggregated by
+/// majority (ties resolved toward the lower class index).
+///
+/// # Examples
+///
+/// ```
+/// use bolt_forest::{Dataset, ForestConfig, RandomForest};
+///
+/// let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![(i % 2) as f32]).collect();
+/// let labels: Vec<u32> = (0..20).map(|i| (i % 2) as u32).collect();
+/// let data = Dataset::from_rows(rows, labels, 2)?;
+/// let forest = RandomForest::train(&data, &ForestConfig::new(3).with_seed(1));
+/// assert_eq!(forest.n_trees(), 3);
+/// assert_eq!(forest.predict(&[0.0]), 0);
+/// # Ok::<(), bolt_forest::ForestError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+/// Out-of-bag generalization estimate produced by
+/// [`RandomForest::train_with_oob`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OobReport {
+    /// Fraction of OOB-covered samples classified correctly by their
+    /// out-of-bag trees.
+    pub oob_accuracy: f64,
+    /// Fraction of samples left out of at least one tree's bootstrap.
+    pub coverage: f64,
+}
+
+impl RandomForest {
+    /// Trains a forest on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n_trees == 0`.
+    #[must_use]
+    pub fn train(data: &Dataset, config: &ForestConfig) -> Self {
+        Self::train_impl(data, config).0
+    }
+
+    /// Trains a forest and reports its out-of-bag error estimate: every
+    /// sample is scored only by the trees whose bootstrap missed it — the
+    /// classic free generalization estimate for bagged ensembles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n_trees == 0` or bootstrap is disabled (without
+    /// resampling there are no out-of-bag samples).
+    #[must_use]
+    pub fn train_with_oob(data: &Dataset, config: &ForestConfig) -> (Self, OobReport) {
+        assert!(
+            config.bootstrap,
+            "out-of-bag estimation requires bootstrap resampling"
+        );
+        let (forest, in_bag) = Self::train_impl(data, config);
+        let mut votes = vec![vec![0u32; data.n_classes()]; data.len()];
+        let mut voted = vec![false; data.len()];
+        for (tree, bag) in forest.trees.iter().zip(&in_bag) {
+            for i in 0..data.len() {
+                if !bag[i] {
+                    votes[i][tree.predict(data.sample(i)) as usize] += 1;
+                    voted[i] = true;
+                }
+            }
+        }
+        let mut correct = 0usize;
+        let mut covered = 0usize;
+        for i in 0..data.len() {
+            if !voted[i] {
+                continue;
+            }
+            covered += 1;
+            let mut best = 0usize;
+            for (c, &v) in votes[i].iter().enumerate().skip(1) {
+                if v > votes[i][best] {
+                    best = c;
+                }
+            }
+            if best as u32 == data.label(i) {
+                correct += 1;
+            }
+        }
+        let report = OobReport {
+            oob_accuracy: if covered == 0 {
+                0.0
+            } else {
+                correct as f64 / covered as f64
+            },
+            coverage: covered as f64 / data.len() as f64,
+        };
+        (forest, report)
+    }
+
+    fn train_impl(data: &Dataset, config: &ForestConfig) -> (Self, Vec<Vec<bool>>) {
+        assert!(config.n_trees > 0, "a forest needs at least one tree");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let mut in_bag = Vec::with_capacity(config.n_trees);
+        let trees = (0..config.n_trees)
+            .map(|t| {
+                let indices: Vec<usize> = if config.bootstrap {
+                    (0..data.len())
+                        .map(|_| rng.gen_range(0..data.len()))
+                        .collect()
+                } else {
+                    all.clone()
+                };
+                let mut bag = vec![false; data.len()];
+                for &i in &indices {
+                    bag[i] = true;
+                }
+                in_bag.push(bag);
+                let tree_cfg = TreeConfig {
+                    seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ..config.tree.clone()
+                };
+                train_tree(data, &indices, None, &tree_cfg)
+            })
+            .collect();
+        (
+            Self {
+                trees,
+                n_features: data.n_features(),
+                n_classes: data.n_classes(),
+            },
+            in_bag,
+        )
+    }
+
+    /// Assembles a forest from pre-trained trees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::EmptyDataset`] if `trees` is empty and
+    /// [`ForestError::LabelMismatch`] if trees disagree on feature or class
+    /// counts.
+    pub fn from_trees(trees: Vec<DecisionTree>) -> Result<Self, ForestError> {
+        let first = trees.first().ok_or(ForestError::EmptyDataset)?;
+        let (n_features, n_classes) = (first.n_features(), first.n_classes());
+        if let Some(bad) = trees
+            .iter()
+            .find(|t| t.n_features() != n_features || t.n_classes() != n_classes)
+        {
+            return Err(ForestError::LabelMismatch {
+                detail: format!(
+                    "tree shape mismatch: expected {n_features} features/{n_classes} classes, found {}/{}",
+                    bad.n_features(),
+                    bad.n_classes()
+                ),
+            });
+        }
+        Ok(Self {
+            trees,
+            n_features,
+            n_classes,
+        })
+    }
+
+    /// The constituent trees.
+    #[must_use]
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Number of trees.
+    #[must_use]
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of input features.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of target classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Maximum height across trees.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.trees
+            .iter()
+            .map(DecisionTree::height)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-class vote counts for one sample.
+    #[must_use]
+    pub fn vote_counts(&self, sample: &[f32]) -> Vec<u32> {
+        let mut votes = vec![0u32; self.n_classes];
+        for tree in &self.trees {
+            votes[tree.predict(sample) as usize] += 1;
+        }
+        votes
+    }
+
+    /// Majority-vote classification (ties go to the lower class index).
+    #[must_use]
+    pub fn predict(&self, sample: &[f32]) -> u32 {
+        let votes = self.vote_counts(sample);
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// Per-class vote fractions (a probability-like vector summing to 1).
+    #[must_use]
+    pub fn predict_proba(&self, sample: &[f32]) -> Vec<f32> {
+        let votes = self.vote_counts(sample);
+        let total = self.trees.len() as f32;
+        votes.iter().map(|&v| v as f32 / total).collect()
+    }
+
+    /// Fraction of `data` samples classified correctly.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let correct = data
+            .iter()
+            .filter(|(sample, label)| self.predict(sample) == *label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Total number of root→leaf paths across all trees.
+    #[must_use]
+    pub fn total_paths(&self) -> usize {
+        self.trees.iter().map(DecisionTree::n_leaves).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    fn striped_dataset() -> Dataset {
+        // class = x0 > 5 (with x1 as noise)
+        let rows: Vec<Vec<f32>> = (0..100)
+            .map(|i| vec![(i % 10) as f32, (i % 7) as f32])
+            .collect();
+        let labels: Vec<u32> = (0..100).map(|i| u32::from(i % 10 > 5)).collect();
+        Dataset::from_rows(rows, labels, 2).expect("valid")
+    }
+
+    #[test]
+    fn trains_and_predicts() {
+        let data = striped_dataset();
+        let forest = RandomForest::train(
+            &data,
+            &ForestConfig::new(10).with_max_height(4).with_seed(5),
+        );
+        assert_eq!(forest.n_trees(), 10);
+        assert!(
+            forest.accuracy(&data) > 0.9,
+            "accuracy {}",
+            forest.accuracy(&data)
+        );
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let data = striped_dataset();
+        let cfg = ForestConfig::new(4).with_seed(77);
+        assert_eq!(
+            RandomForest::train(&data, &cfg),
+            RandomForest::train(&data, &cfg)
+        );
+    }
+
+    #[test]
+    fn trees_differ_thanks_to_bootstrap() {
+        let data = striped_dataset();
+        // One random feature per split so sub-sampling diversifies trees even
+        // on an easy dataset.
+        let forest = RandomForest::train(
+            &data,
+            &ForestConfig::new(8).with_seed(2).with_features_per_split(1),
+        );
+        let distinct = forest
+            .trees()
+            .iter()
+            .map(|t| format!("{t:?}"))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1, "bootstrap should diversify trees");
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let data = striped_dataset();
+        let forest = RandomForest::train(&data, &ForestConfig::new(6).with_seed(3));
+        let p = forest.predict_proba(data.sample(0));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oob_estimate_tracks_test_accuracy() {
+        let data = striped_dataset();
+        let cfg = ForestConfig::new(15).with_max_height(4).with_seed(8);
+        let (forest, oob) = RandomForest::train_with_oob(&data, &cfg);
+        // OOB-trained forest is identical to the plain one (same RNG path).
+        assert_eq!(forest, RandomForest::train(&data, &cfg));
+        // With 15 bootstraps virtually every sample is OOB somewhere.
+        assert!(oob.coverage > 0.95, "coverage {}", oob.coverage);
+        // The estimate should be in the same ballpark as train accuracy on
+        // this easy dataset (both near 1.0).
+        assert!(oob.oob_accuracy > 0.8, "oob accuracy {}", oob.oob_accuracy);
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap")]
+    fn oob_requires_bootstrap() {
+        let data = striped_dataset();
+        let cfg = ForestConfig::new(3).with_bootstrap(false);
+        let _ = RandomForest::train_with_oob(&data, &cfg);
+    }
+
+    #[test]
+    fn tie_breaks_to_lower_class() {
+        let t0 = DecisionTree::from_nodes(vec![NodeKind::Leaf { class: 1 }], 1, 2);
+        let t1 = DecisionTree::from_nodes(vec![NodeKind::Leaf { class: 0 }], 1, 2);
+        let forest = RandomForest::from_trees(vec![t0, t1]).expect("consistent");
+        assert_eq!(forest.predict(&[0.0]), 0);
+    }
+
+    #[test]
+    fn from_trees_rejects_mismatched_shapes() {
+        let a = DecisionTree::from_nodes(vec![NodeKind::Leaf { class: 0 }], 1, 2);
+        let b = DecisionTree::from_nodes(vec![NodeKind::Leaf { class: 0 }], 2, 2);
+        assert!(RandomForest::from_trees(vec![a, b]).is_err());
+        assert!(RandomForest::from_trees(vec![]).is_err());
+    }
+
+    #[test]
+    fn height_and_paths_aggregate() {
+        let data = striped_dataset();
+        let forest =
+            RandomForest::train(&data, &ForestConfig::new(3).with_max_height(2).with_seed(1));
+        assert!(forest.height() <= 2);
+        assert!(forest.total_paths() >= 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Feature quantization (§5 of the Bolt paper).
+//!
+//! "For other datasets, normalization and other small adjustments can be
+//! used ... by shifting the scale (from [-90,90] to [0,180]), all of the
+//! information can be stored in one byte without losing prediction power."
+//! Quantizing features to a small integer grid does two things for Bolt:
+//! split thresholds land on a shared grid (so trees trained on different
+//! bootstraps reuse the *same* predicates, improving cross-tree path
+//! redundancy), and feature values need few bits in the compressed layouts.
+
+use crate::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// A fitted per-feature affine quantizer mapping values onto
+/// `0..2^bits - 1` integer levels.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_forest::{Dataset, Quantizer};
+///
+/// let data = Dataset::from_rows(
+///     vec![vec![-90.0], vec![0.0], vec![90.0]],
+///     vec![0, 1, 1],
+///     2,
+/// )?;
+/// let quantizer = Quantizer::fit(&data, 8);
+/// let q = quantizer.apply(&data);
+/// assert_eq!(q.sample(0), &[0.0]);    // -90 -> level 0
+/// assert_eq!(q.sample(2), &[255.0]);  // +90 -> level 255
+/// # Ok::<(), bolt_forest::ForestError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    mins: Vec<f32>,
+    /// Multiplier mapping `(v - min)` to the level grid; 0 for constant
+    /// features.
+    scales: Vec<f32>,
+    levels: u32,
+}
+
+impl Quantizer {
+    /// Fits per-feature ranges on `data` for a `bits`-bit grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    #[must_use]
+    pub fn fit(data: &Dataset, bits: u32) -> Self {
+        assert!(
+            (1..=16).contains(&bits),
+            "bits must be in 1..=16, got {bits}"
+        );
+        let levels = (1u32 << bits) - 1;
+        let n = data.n_features();
+        let mut mins = vec![f32::INFINITY; n];
+        let mut maxs = vec![f32::NEG_INFINITY; n];
+        for (sample, _) in data.iter() {
+            for f in 0..n {
+                mins[f] = mins[f].min(sample[f]);
+                maxs[f] = maxs[f].max(sample[f]);
+            }
+        }
+        let scales = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| {
+                if hi > lo {
+                    levels as f32 / (hi - lo)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self {
+            mins,
+            scales,
+            levels,
+        }
+    }
+
+    /// Number of quantization levels (`2^bits - 1` is the top level).
+    #[must_use]
+    pub fn max_level(&self) -> u32 {
+        self.levels
+    }
+
+    /// Quantizes one sample (values outside the fitted range clamp to the
+    /// grid edges, as a deployed service must).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is shorter than the fitted feature count.
+    #[must_use]
+    pub fn apply_sample(&self, sample: &[f32]) -> Vec<f32> {
+        assert!(
+            sample.len() >= self.mins.len(),
+            "sample has {} features, quantizer expects {}",
+            sample.len(),
+            self.mins.len()
+        );
+        self.mins
+            .iter()
+            .zip(&self.scales)
+            .zip(sample)
+            .map(|((&min, &scale), &v)| ((v - min) * scale).round().clamp(0.0, self.levels as f32))
+            .collect()
+    }
+
+    /// Quantizes every sample of a dataset, preserving labels.
+    #[must_use]
+    pub fn apply(&self, data: &Dataset) -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..data.len())
+            .map(|i| self.apply_sample(data.sample(i)))
+            .collect();
+        Dataset::from_rows(rows, data.labels().to_vec(), data.n_classes())
+            .expect("quantization preserves shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ForestConfig, PredicateUniverse, RandomForest};
+
+    fn continuous_dataset(seed: u64) -> Dataset {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as f32 / 37.0 - 90.0
+        };
+        let rows: Vec<Vec<f32>> = (0..300).map(|_| vec![next(), next(), next()]).collect();
+        let labels: Vec<u32> = rows.iter().map(|r| u32::from(r[0] > 30.0)).collect();
+        Dataset::from_rows(rows, labels, 2).expect("valid")
+    }
+
+    #[test]
+    fn grid_bounds_and_clamping() {
+        let data = continuous_dataset(1);
+        let q = Quantizer::fit(&data, 8);
+        assert_eq!(q.max_level(), 255);
+        let quantized = q.apply(&data);
+        for (sample, _) in quantized.iter() {
+            for &v in sample {
+                assert!((0.0..=255.0).contains(&v) && v == v.trunc());
+            }
+        }
+        // Out-of-range inputs clamp rather than escape the grid.
+        let wild = q.apply_sample(&[1e9, -1e9, 0.0]);
+        assert_eq!(wild[0], 255.0);
+        assert_eq!(wild[1], 0.0);
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let data =
+            Dataset::from_rows(vec![vec![7.0, 1.0], vec![7.0, 2.0]], vec![0, 1], 2).expect("valid");
+        let q = Quantizer::fit(&data, 4);
+        let out = q.apply(&data);
+        assert_eq!(out.sample(0)[0], 0.0);
+        assert_eq!(out.sample(1)[0], 0.0);
+    }
+
+    #[test]
+    fn quantization_shrinks_the_predicate_universe() {
+        // The §5 effect: a shared grid collapses near-duplicate thresholds,
+        // so the forest-wide predicate universe shrinks.
+        let data = continuous_dataset(9);
+        let cfg = ForestConfig::new(8).with_max_height(4).with_seed(5);
+        let raw_forest = RandomForest::train(&data, &cfg);
+        let q = Quantizer::fit(&data, 4);
+        let quantized = q.apply(&data);
+        let q_forest = RandomForest::train(&quantized, &cfg);
+        let raw_universe = PredicateUniverse::from_forest(&raw_forest);
+        let q_universe = PredicateUniverse::from_forest(&q_forest);
+        assert!(
+            q_universe.len() < raw_universe.len(),
+            "quantized universe {} !< raw universe {}",
+            q_universe.len(),
+            raw_universe.len()
+        );
+    }
+
+    #[test]
+    fn prediction_power_survives_8_bits() {
+        let data = continuous_dataset(3);
+        let q = Quantizer::fit(&data, 8);
+        let quantized = q.apply(&data);
+        let cfg = ForestConfig::new(8).with_max_height(4).with_seed(7);
+        let forest = RandomForest::train(&quantized, &cfg);
+        assert!(forest.accuracy(&quantized) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn zero_bits_rejected() {
+        let data = continuous_dataset(1);
+        let _ = Quantizer::fit(&data, 0);
+    }
+}

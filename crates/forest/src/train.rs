@@ -1,0 +1,329 @@
+//! CART training with Gini impurity.
+
+use crate::{Dataset, DecisionTree, NodeKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for training a single [`DecisionTree`].
+///
+/// Mirrors the knobs machine-learning experts use in the paper (§2): maximum
+/// height, minimum node size, and the per-split feature sub-sampling that
+/// makes forests diverse.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_forest::TreeConfig;
+///
+/// let cfg = TreeConfig::new().with_max_height(4).with_seed(1);
+/// assert_eq!(cfg.max_height, 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree height (edges from root to deepest leaf).
+    pub max_height: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of candidate features examined per split; `None` means
+    /// `ceil(sqrt(n_features))` as in classic random forests.
+    pub features_per_split: Option<usize>,
+    /// Maximum number of candidate thresholds evaluated per feature.
+    pub max_thresholds: usize,
+    /// RNG seed for feature sub-sampling.
+    pub seed: u64,
+}
+
+impl TreeConfig {
+    /// A sensible default configuration (height 8, `sqrt` feature sampling).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            max_height: 8,
+            min_samples_split: 2,
+            features_per_split: None,
+            max_thresholds: 16,
+            seed: 0,
+        }
+    }
+
+    /// Sets the maximum tree height.
+    #[must_use]
+    pub fn with_max_height(mut self, max_height: usize) -> Self {
+        self.max_height = max_height;
+        self
+    }
+
+    /// Sets the number of features examined per split.
+    #[must_use]
+    pub fn with_features_per_split(mut self, k: usize) -> Self {
+        self.features_per_split = Some(k);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the minimum samples needed to split a node.
+    #[must_use]
+    pub fn with_min_samples_split(mut self, n: usize) -> Self {
+        self.min_samples_split = n.max(2);
+        self
+    }
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Trains a single tree on (a subset of) `data` given by `indices`.
+///
+/// Weighted variants pass per-sample weights (used by boosting); pass `None`
+/// for uniform weights.
+pub(crate) fn train_tree(
+    data: &Dataset,
+    indices: &[usize],
+    weights: Option<&[f64]>,
+    config: &TreeConfig,
+) -> DecisionTree {
+    assert!(!indices.is_empty(), "cannot train on zero samples");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut nodes: Vec<NodeKind> = Vec::new();
+    // Work stack: (arena slot to fill, samples, depth).
+    // We reserve slots so children always point forward.
+    nodes.push(NodeKind::Leaf { class: 0 }); // placeholder for root
+    let mut stack: Vec<(usize, Vec<usize>, usize)> = vec![(0, indices.to_vec(), 0)];
+    let k_features = config
+        .features_per_split
+        .unwrap_or_else(|| (data.n_features() as f64).sqrt().ceil() as usize)
+        .clamp(1, data.n_features());
+
+    while let Some((slot, idx, depth)) = stack.pop() {
+        let majority = majority_class(data, &idx, weights);
+        let should_split = depth < config.max_height
+            && idx.len() >= config.min_samples_split
+            && !is_pure(data, &idx);
+        let split = if should_split {
+            best_split(
+                data,
+                &idx,
+                weights,
+                k_features,
+                config.max_thresholds,
+                &mut rng,
+            )
+        } else {
+            None
+        };
+        match split {
+            None => nodes[slot] = NodeKind::Leaf { class: majority },
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                    .iter()
+                    .partition(|&&i| data.sample(i)[feature as usize] <= threshold);
+                debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+                let left = nodes.len() as u32;
+                nodes.push(NodeKind::Leaf { class: 0 }); // placeholder
+                let right = nodes.len() as u32;
+                nodes.push(NodeKind::Leaf { class: 0 }); // placeholder
+                nodes[slot] = NodeKind::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                stack.push((left as usize, left_idx, depth + 1));
+                stack.push((right as usize, right_idx, depth + 1));
+            }
+        }
+    }
+    DecisionTree::from_nodes(nodes, data.n_features(), data.n_classes())
+}
+
+fn weight_of(weights: Option<&[f64]>, i: usize) -> f64 {
+    weights.map_or(1.0, |w| w[i])
+}
+
+fn is_pure(data: &Dataset, idx: &[usize]) -> bool {
+    let first = data.label(idx[0]);
+    idx.iter().all(|&i| data.label(i) == first)
+}
+
+fn majority_class(data: &Dataset, idx: &[usize], weights: Option<&[f64]>) -> u32 {
+    let mut counts = vec![0.0f64; data.n_classes()];
+    for &i in idx {
+        counts[data.label(i) as usize] += weight_of(weights, i);
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+        .map(|(c, _)| c as u32)
+        .unwrap_or(0)
+}
+
+fn gini(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c / total;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+/// Finds the `(feature, threshold)` with the lowest weighted Gini impurity
+/// among `k_features` randomly chosen features, or `None` if no split
+/// separates the samples.
+fn best_split(
+    data: &Dataset,
+    idx: &[usize],
+    weights: Option<&[f64]>,
+    k_features: usize,
+    max_thresholds: usize,
+    rng: &mut StdRng,
+) -> Option<(u32, f32)> {
+    let mut features: Vec<usize> = (0..data.n_features()).collect();
+    features.shuffle(rng);
+    features.truncate(k_features);
+
+    let n_classes = data.n_classes();
+    let total_weight: f64 = idx.iter().map(|&i| weight_of(weights, i)).sum();
+    let mut best: Option<(f64, u32, f32)> = None;
+
+    for &feature in &features {
+        // Candidate thresholds: midpoints between adjacent distinct values.
+        let mut values: Vec<f32> = idx.iter().map(|&i| data.sample(i)[feature]).collect();
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        let stride = (values.len() - 1).div_ceil(max_thresholds).max(1);
+        let mut t = 0;
+        while t + 1 < values.len() {
+            let threshold = (values[t] + values[t + 1]) / 2.0;
+            let mut left = vec![0.0f64; n_classes];
+            let mut right = vec![0.0f64; n_classes];
+            let (mut wl, mut wr) = (0.0f64, 0.0f64);
+            for &i in idx {
+                let w = weight_of(weights, i);
+                if data.sample(i)[feature] <= threshold {
+                    left[data.label(i) as usize] += w;
+                    wl += w;
+                } else {
+                    right[data.label(i) as usize] += w;
+                    wr += w;
+                }
+            }
+            if wl > 0.0 && wr > 0.0 {
+                let score = (wl * gini(&left, wl) + wr * gini(&right, wr)) / total_weight;
+                let better = best.is_none_or(|(s, _, _)| score + 1e-12 < s);
+                if better {
+                    best = Some((score, feature as u32, threshold));
+                }
+            }
+            t += stride;
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_dataset() -> Dataset {
+        // XOR of two binary features: needs height >= 2.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..10 {
+                    rows.push(vec![a as f32, b as f32]);
+                    labels.push((a ^ b) as u32);
+                }
+            }
+        }
+        Dataset::from_rows(rows, labels, 2).expect("valid")
+    }
+
+    #[test]
+    fn learns_xor_with_enough_height() {
+        let data = xor_dataset();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let cfg = TreeConfig::new()
+            .with_max_height(3)
+            .with_features_per_split(2)
+            .with_seed(3);
+        let tree = train_tree(&data, &idx, None, &cfg);
+        for (sample, label) in data.iter() {
+            assert_eq!(tree.predict(sample), label);
+        }
+    }
+
+    #[test]
+    fn respects_max_height() {
+        let data = xor_dataset();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        for h in 0..4 {
+            let cfg = TreeConfig::new()
+                .with_max_height(h)
+                .with_features_per_split(2);
+            let tree = train_tree(&data, &idx, None, &cfg);
+            assert!(tree.height() <= h, "height {} > limit {h}", tree.height());
+        }
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let data = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1, 1, 1], 2)
+            .expect("valid");
+        let tree = train_tree(&data, &[0, 1, 2], None, &TreeConfig::new());
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.predict(&[9.0]), 1);
+    }
+
+    #[test]
+    fn weighted_majority_prefers_heavy_samples() {
+        let data = Dataset::from_rows(vec![vec![0.0], vec![0.0], vec![0.0]], vec![0, 0, 1], 2)
+            .expect("valid");
+        // Identical features: tree is a single leaf; weights decide the class.
+        let weights = vec![0.1, 0.1, 5.0];
+        let tree = train_tree(&data, &[0, 1, 2], Some(&weights), &TreeConfig::new());
+        assert_eq!(tree.predict(&[0.0]), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = xor_dataset();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let cfg = TreeConfig::new().with_seed(11);
+        let a = train_tree(&data, &idx, None, &cfg);
+        let b = train_tree(&data, &idx, None, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_builder_chains() {
+        let cfg = TreeConfig::new()
+            .with_max_height(2)
+            .with_min_samples_split(1)
+            .with_features_per_split(3)
+            .with_seed(5);
+        assert_eq!(cfg.max_height, 2);
+        assert_eq!(cfg.min_samples_split, 2, "min split clamps to 2");
+        assert_eq!(cfg.features_per_split, Some(3));
+        assert_eq!(cfg.seed, 5);
+    }
+}

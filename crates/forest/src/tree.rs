@@ -1,0 +1,315 @@
+//! Binary threshold decision trees.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within a [`DecisionTree`]'s arena.
+pub type NodeId = u32;
+
+/// A node of a [`DecisionTree`].
+///
+/// Following the paper's model (§4), internal nodes test
+/// `sample[feature] <= threshold`; the *yes* (true) edge goes to `left`, the
+/// *no* (false) edge to `right`. Leaves carry the predicted class.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An internal split node.
+    Split {
+        /// Feature index tested by this node.
+        feature: u32,
+        /// Split threshold; the test is `sample[feature] <= threshold`.
+        threshold: f32,
+        /// Child taken when the test is true.
+        left: NodeId,
+        /// Child taken when the test is false.
+        right: NodeId,
+    },
+    /// A terminal node carrying the classification result.
+    Leaf {
+        /// Predicted class index.
+        class: u32,
+    },
+}
+
+/// One root→leaf path: the sequence of `(feature, threshold, taken)` tests
+/// plus the leaf class. `taken` is true when the path follows the *yes*
+/// (`<=`) edge.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreePath {
+    /// Tests along the path, root first.
+    pub tests: Vec<(u32, f32, bool)>,
+    /// Class stored in the terminal leaf.
+    pub class: u32,
+}
+
+/// A trained binary decision tree stored as a flat node arena (root at
+/// index 0).
+///
+/// # Examples
+///
+/// ```
+/// use bolt_forest::{DecisionTree, NodeKind};
+///
+/// // if x0 <= 0.5 { class 0 } else { class 1 }
+/// let tree = DecisionTree::from_nodes(
+///     vec![
+///         NodeKind::Split { feature: 0, threshold: 0.5, left: 1, right: 2 },
+///         NodeKind::Leaf { class: 0 },
+///         NodeKind::Leaf { class: 1 },
+///     ],
+///     1,
+///     2,
+/// );
+/// assert_eq!(tree.predict(&[0.0]), 0);
+/// assert_eq!(tree.predict(&[1.0]), 1);
+/// assert_eq!(tree.height(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<NodeKind>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Builds a tree from an explicit node arena with the root at index 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, any child index is out of bounds or not
+    /// strictly greater than its parent (which also rules out cycles), or a
+    /// leaf class is `>= n_classes`.
+    #[must_use]
+    pub fn from_nodes(nodes: Vec<NodeKind>, n_features: usize, n_classes: usize) -> Self {
+        assert!(!nodes.is_empty(), "a tree needs at least one node");
+        for (i, node) in nodes.iter().enumerate() {
+            match *node {
+                NodeKind::Split {
+                    feature,
+                    left,
+                    right,
+                    ..
+                } => {
+                    assert!(
+                        (feature as usize) < n_features,
+                        "node {i}: feature {feature} out of range {n_features}"
+                    );
+                    for child in [left, right] {
+                        assert!(
+                            (child as usize) < nodes.len() && child as usize > i,
+                            "node {i}: child {child} must point forward within the arena"
+                        );
+                    }
+                }
+                NodeKind::Leaf { class } => {
+                    assert!(
+                        (class as usize) < n_classes,
+                        "node {i}: class {class} out of range {n_classes}"
+                    );
+                }
+            }
+        }
+        Self {
+            nodes,
+            n_features,
+            n_classes,
+        }
+    }
+
+    /// Borrows the node arena (root at index 0).
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeKind] {
+        &self.nodes
+    }
+
+    /// Number of input features the tree was trained on.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of target classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of leaf nodes.
+    #[must_use]
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, NodeKind::Leaf { .. }))
+            .count()
+    }
+
+    /// Height of the tree (edges on the longest root→leaf path; 0 for a
+    /// single leaf).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        fn depth(nodes: &[NodeKind], id: NodeId) -> usize {
+            match nodes[id as usize] {
+                NodeKind::Leaf { .. } => 0,
+                NodeKind::Split { left, right, .. } => {
+                    1 + depth(nodes, left).max(depth(nodes, right))
+                }
+            }
+        }
+        depth(&self.nodes, 0)
+    }
+
+    /// Classifies one sample by walking the tree from the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() < n_features()`.
+    #[must_use]
+    pub fn predict(&self, sample: &[f32]) -> u32 {
+        assert!(
+            sample.len() >= self.n_features,
+            "sample has {} features, tree expects {}",
+            sample.len(),
+            self.n_features
+        );
+        let mut id = 0u32;
+        loop {
+            match self.nodes[id as usize] {
+                NodeKind::Leaf { class } => return class,
+                NodeKind::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if sample[feature as usize] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Enumerates every root→leaf path (Fig. 3 step 1 of the paper).
+    #[must_use]
+    pub fn paths(&self) -> Vec<TreePath> {
+        let mut out = Vec::with_capacity(self.n_leaves());
+        let mut stack: Vec<(NodeId, Vec<(u32, f32, bool)>)> = vec![(0, Vec::new())];
+        while let Some((id, tests)) = stack.pop() {
+            match self.nodes[id as usize] {
+                NodeKind::Leaf { class } => out.push(TreePath { tests, class }),
+                NodeKind::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let mut no = tests.clone();
+                    no.push((feature, threshold, false));
+                    stack.push((right, no));
+                    let mut yes = tests;
+                    yes.push((feature, threshold, true));
+                    stack.push((left, yes));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depth2_tree() -> DecisionTree {
+        // root: x0 <= 0.5 ? (x1 <= 2.0 ? c0 : c1) : c2
+        DecisionTree::from_nodes(
+            vec![
+                NodeKind::Split {
+                    feature: 0,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 4,
+                },
+                NodeKind::Split {
+                    feature: 1,
+                    threshold: 2.0,
+                    left: 2,
+                    right: 3,
+                },
+                NodeKind::Leaf { class: 0 },
+                NodeKind::Leaf { class: 1 },
+                NodeKind::Leaf { class: 2 },
+            ],
+            2,
+            3,
+        )
+    }
+
+    #[test]
+    fn predict_all_branches() {
+        let t = depth2_tree();
+        assert_eq!(t.predict(&[0.0, 1.0]), 0);
+        assert_eq!(t.predict(&[0.0, 3.0]), 1);
+        assert_eq!(t.predict(&[1.0, 0.0]), 2);
+    }
+
+    #[test]
+    fn shape_metrics() {
+        let t = depth2_tree();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.n_leaves(), 3);
+    }
+
+    #[test]
+    fn boundary_goes_left() {
+        let t = depth2_tree();
+        // x0 == threshold takes the yes (<=) edge.
+        assert_eq!(t.predict(&[0.5, 5.0]), 1);
+    }
+
+    #[test]
+    fn paths_cover_all_leaves_and_agree_with_predict() {
+        let t = depth2_tree();
+        let paths = t.paths();
+        assert_eq!(paths.len(), 3);
+        // Reconstruct a sample satisfying each path and check predict.
+        for path in &paths {
+            let mut sample = vec![0.0f32; 2];
+            for &(f, thr, taken) in &path.tests {
+                sample[f as usize] = if taken { thr - 0.1 } else { thr + 0.1 };
+            }
+            assert_eq!(t.predict(&sample), path.class, "path {path:?}");
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = DecisionTree::from_nodes(vec![NodeKind::Leaf { class: 0 }], 1, 1);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.predict(&[42.0]), 0);
+        assert_eq!(t.paths().len(), 1);
+        assert!(t.paths()[0].tests.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "point forward")]
+    fn backward_child_rejected() {
+        let _ = DecisionTree::from_nodes(
+            vec![NodeKind::Split {
+                feature: 0,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+            }],
+            1,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "class 7 out of range")]
+    fn bad_class_rejected() {
+        let _ = DecisionTree::from_nodes(vec![NodeKind::Leaf { class: 7 }], 1, 2);
+    }
+}

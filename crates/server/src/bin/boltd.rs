@@ -1,0 +1,111 @@
+//! `boltd` — serve a compiled Bolt artifact (or a baseline engine over a
+//! forest artifact) on a Unix domain socket.
+//!
+//! ```text
+//! boltd --artifact bolt.json --socket /tmp/bolt.sock
+//! boltd --forest forest.json --engine ranger --socket /tmp/rf.sock
+//! boltd --forest forest.json --engine fp --calibration-csv cal.csv --socket /tmp/fp.sock
+//! ```
+//!
+//! Pair with `boltc` (the compiler CLI in the workspace root) to train and
+//! compile artifacts. The front-end hosts any engine, mirroring §4.5:
+//! "the front-end can connect to other forest implementations".
+
+use bolt_baselines::{ForestPackingForest, InferenceEngine, RangerLikeForest, ScikitLikeForest};
+use bolt_core::BoltForest;
+use bolt_forest::{csv, RandomForest};
+use bolt_server::{BoltEngine, ClassificationServer};
+use std::io::BufReader;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: boltd (--artifact BOLT.json | --forest FOREST.json \
+                 [--engine scikit|ranger|fp] [--calibration-csv FILE]) --socket PATH"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut artifact = None;
+    let mut forest_path = None;
+    let mut engine_name = "scikit".to_owned();
+    let mut calibration = None;
+    let mut socket = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
+        match arg.as_str() {
+            "--artifact" => artifact = Some(value),
+            "--forest" => forest_path = Some(value),
+            "--engine" => engine_name = value,
+            "--calibration-csv" => calibration = Some(value),
+            "--socket" => socket = Some(value),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let socket = socket.ok_or("need --socket")?;
+
+    let engine: Box<dyn InferenceEngine> = if let Some(path) = artifact {
+        let json = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+        let mut bolt: BoltForest = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+        bolt.rebuild();
+        println!(
+            "loaded Bolt artifact: {} dictionary entries, {} table cells, {} classes",
+            bolt.dictionary().len(),
+            bolt.table().n_cells(),
+            bolt.n_classes()
+        );
+        Box::new(BoltEngine::new(Arc::new(bolt)))
+    } else {
+        let path = forest_path.ok_or("need --artifact or --forest")?;
+        let json = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+        let forest: RandomForest = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+        println!(
+            "loaded forest: {} trees, {} features, {} classes",
+            forest.n_trees(),
+            forest.n_features(),
+            forest.n_classes()
+        );
+        match engine_name.as_str() {
+            "scikit" => Box::new(ScikitLikeForest::from_forest(&forest)),
+            "ranger" => Box::new(RangerLikeForest::from_forest(&forest)),
+            "fp" => {
+                let cal_path = calibration
+                    .ok_or("--engine fp needs --calibration-csv for hot-path estimation")?;
+                let file =
+                    std::fs::File::open(&cal_path).map_err(|e| format!("open {cal_path}: {e}"))?;
+                let cal = csv::from_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
+                Box::new(ForestPackingForest::from_forest(&forest, &cal))
+            }
+            other => return Err(format!("unknown engine {other:?} (scikit|ranger|fp)")),
+        }
+    };
+    println!("engine: {}", engine.name());
+
+    let server =
+        ClassificationServer::bind(&socket, engine).map_err(|e| format!("bind {socket}: {e}"))?;
+    println!("boltd listening on {socket} (Ctrl-C to stop)");
+
+    // Serve until interrupted; report stats whenever they change.
+    let mut last = server.stats();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let stats = server.stats();
+        if stats != last {
+            println!(
+                "served {} requests, mean latency {:.3} µs",
+                stats.requests,
+                stats.mean_latency_ns() / 1000.0
+            );
+            last = stats;
+        }
+    }
+}

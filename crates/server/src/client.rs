@@ -1,0 +1,63 @@
+//! Blocking client for the classification service.
+
+use crate::proto::{read_frame, write_frame, ClassifyRequest, ClassifyResponse, ProtoError};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Object-safe byte stream the client can ride (Unix or TCP transport).
+trait Transport: Read + Write + Send + std::fmt::Debug {}
+impl<T: Read + Write + Send + std::fmt::Debug> Transport for T {}
+
+/// A blocking client holding one connection to a classification server
+/// ([`ClassificationServer`] over Unix sockets or
+/// [`TcpClassificationServer`] over TCP).
+///
+/// [`ClassificationServer`]: crate::ClassificationServer
+/// [`TcpClassificationServer`]: crate::TcpClassificationServer
+#[derive(Debug)]
+pub struct ClassificationClient {
+    stream: Box<dyn Transport>,
+}
+
+impl ClassificationClient {
+    /// Connects to a server's Unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the socket is absent or refuses.
+    pub fn connect(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: Box::new(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Connects to a server's TCP address (Nagle disabled for
+    /// latency-sensitive single-sample requests).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address refuses.
+    pub fn connect_tcp(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream: Box::new(stream),
+        })
+    }
+
+    /// Sends one sample and waits for its classification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] on socket failure, a malformed response, or
+    /// the server closing mid-request.
+    pub fn classify(&mut self, features: &[f32]) -> Result<ClassifyResponse, ProtoError> {
+        let request = ClassifyRequest {
+            features: features.to_vec(),
+        };
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or(ProtoError::UnexpectedEof)?;
+        ClassifyResponse::decode(&payload)
+    }
+}

@@ -1,0 +1,59 @@
+//! Engine adapters for the service.
+
+use bolt_baselines::InferenceEngine;
+use bolt_core::BoltForest;
+use std::sync::Arc;
+
+/// Adapts a compiled [`BoltForest`] to the [`InferenceEngine`] interface so
+/// the front-end can host Bolt and the baselines interchangeably (§4.5:
+/// "the front-end can connect to other forest implementations").
+#[derive(Clone, Debug)]
+pub struct BoltEngine {
+    bolt: Arc<BoltForest>,
+}
+
+impl BoltEngine {
+    /// Wraps a compiled forest.
+    #[must_use]
+    pub fn new(bolt: Arc<BoltForest>) -> Self {
+        Self { bolt }
+    }
+
+    /// The wrapped forest.
+    #[must_use]
+    pub fn bolt(&self) -> &BoltForest {
+        &self.bolt
+    }
+}
+
+impl InferenceEngine for BoltEngine {
+    fn name(&self) -> &'static str {
+        "BOLT"
+    }
+
+    fn classify(&self, sample: &[f32]) -> u32 {
+        self.bolt.classify(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_core::BoltConfig;
+    use bolt_forest::{Dataset, ForestConfig, RandomForest};
+
+    #[test]
+    fn adapter_matches_forest() {
+        let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 4) as f32]).collect();
+        let labels: Vec<u32> = (0..40).map(|i| u32::from(i % 4 > 1)).collect();
+        let data = Dataset::from_rows(rows, labels, 2).expect("valid");
+        let forest = RandomForest::train(&data, &ForestConfig::new(3).with_seed(5));
+        let bolt =
+            Arc::new(BoltForest::compile(&forest, &BoltConfig::default()).expect("compiles"));
+        let engine = BoltEngine::new(bolt);
+        assert_eq!(engine.name(), "BOLT");
+        for (sample, _) in data.iter() {
+            assert_eq!(engine.classify(sample), forest.predict(sample));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Networked classification service over Unix domain sockets.
+//!
+//! Reproduces the paper's evaluation harness (§5–6, Fig. 7): "Input data is
+//! sent via network to a front-end. The front-end calls the inference
+//! processing engine ... input samples are executed sequentially without
+//! batching." Requests and responses travel as length-prefixed binary
+//! frames over a Unix domain socket; the response carries the engine's
+//! classification and the service-side latency measured "from the time
+//! input samples are received to the moment inference finishes, not
+//! including network delays".
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use bolt_server::{BoltEngine, ClassificationClient, ClassificationServer};
+//! use bolt_core::{BoltConfig, BoltForest};
+//! use bolt_forest::{Dataset, ForestConfig, RandomForest};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 4) as f32]).collect();
+//! let labels: Vec<u32> = (0..40).map(|i| u32::from(i % 4 > 1)).collect();
+//! let data = Dataset::from_rows(rows, labels, 2)?;
+//! let forest = RandomForest::train(&data, &ForestConfig::new(3).with_seed(1));
+//! let bolt = Arc::new(BoltForest::compile(&forest, &BoltConfig::default())?);
+//!
+//! let server = ClassificationServer::bind("/tmp/bolt.sock", Box::new(BoltEngine::new(bolt)))?;
+//! let mut client = ClassificationClient::connect("/tmp/bolt.sock")?;
+//! let response = client.classify(&[3.0])?;
+//! assert!(response.class < 2);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod engine;
+pub mod proto;
+mod server;
+mod tcp;
+
+pub use client::ClassificationClient;
+pub use engine::BoltEngine;
+pub use proto::{ClassifyRequest, ClassifyResponse, ProtoError};
+pub use server::{ClassificationServer, ServerStats};
+pub use tcp::TcpClassificationServer;

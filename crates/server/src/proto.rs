@@ -1,0 +1,296 @@
+//! Length-prefixed binary wire protocol.
+//!
+//! Frames are `u32` little-endian length followed by the payload. A request
+//! payload is a feature vector (`u32` count + IEEE-754 `f32` values); a
+//! response payload is the class plus the service-side latency in
+//! nanoseconds.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Largest accepted frame (1 MiB), bounding memory per connection.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Protocol-level failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// A frame declared a length beyond [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// Declared length.
+        declared: usize,
+    },
+    /// The payload did not decode as the expected message.
+    Malformed {
+        /// Description of the decoding failure.
+        detail: String,
+    },
+    /// The peer closed the connection mid-frame.
+    UnexpectedEof,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::FrameTooLarge { declared } => {
+                write!(
+                    f,
+                    "frame of {declared} bytes exceeds limit {MAX_FRAME_BYTES}"
+                )
+            }
+            Self::Malformed { detail } => write!(f, "malformed payload: {detail}"),
+            Self::UnexpectedEof => write!(f, "connection closed mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// A classification request: one feature vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassifyRequest {
+    /// The sample's features.
+    pub features: Vec<f32>,
+}
+
+impl ClassifyRequest {
+    /// Serializes into a framed byte buffer.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let payload_len = 4 + self.features.len() * 4;
+        let mut buf = BytesMut::with_capacity(4 + payload_len);
+        buf.put_u32_le(payload_len as u32);
+        buf.put_u32_le(self.features.len() as u32);
+        for &f in &self.features {
+            buf.put_f32_le(f);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a request payload (frame length already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] if the count and byte length
+    /// disagree.
+    pub fn decode(mut payload: &[u8]) -> Result<Self, ProtoError> {
+        if payload.len() < 4 {
+            return Err(ProtoError::Malformed {
+                detail: "payload shorter than feature count".into(),
+            });
+        }
+        let n = payload.get_u32_le() as usize;
+        if payload.len() != n * 4 {
+            return Err(ProtoError::Malformed {
+                detail: format!("{n} features declared but {} bytes remain", payload.len()),
+            });
+        }
+        let features = (0..n).map(|_| payload.get_f32_le()).collect();
+        Ok(Self { features })
+    }
+}
+
+/// A classification response: class plus service-side latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassifyResponse {
+    /// Predicted class index.
+    pub class: u32,
+    /// Nanoseconds from request receipt to aggregation output.
+    pub latency_ns: u64,
+}
+
+impl ClassifyResponse {
+    /// Serializes into a framed byte buffer.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + 12);
+        buf.put_u32_le(12);
+        buf.put_u32_le(self.class);
+        buf.put_u64_le(self.latency_ns);
+        buf.freeze()
+    }
+
+    /// Decodes a response payload (frame length already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] on a size mismatch.
+    pub fn decode(mut payload: &[u8]) -> Result<Self, ProtoError> {
+        if payload.len() != 12 {
+            return Err(ProtoError::Malformed {
+                detail: format!("response payload must be 12 bytes, got {}", payload.len()),
+            });
+        }
+        Ok(Self {
+            class: payload.get_u32_le(),
+            latency_ns: payload.get_u64_le(),
+        })
+    }
+}
+
+/// Reads one length-prefixed frame from `reader`. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Returns [`ProtoError::FrameTooLarge`] for oversized declarations,
+/// [`ProtoError::UnexpectedEof`] for mid-frame closes, and
+/// [`ProtoError::Io`] for socket failures.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    match reader.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::FrameTooLarge { declared: len });
+    }
+    let mut payload = vec![0u8; len];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => ProtoError::UnexpectedEof,
+            _ => ProtoError::Io(e),
+        })?;
+    Ok(Some(payload))
+}
+
+/// Writes a pre-framed buffer (as produced by the `encode` methods).
+///
+/// # Errors
+///
+/// Returns [`ProtoError::Io`] on socket failure.
+pub fn write_frame<W: Write>(writer: &mut W, framed: &[u8]) -> Result<(), ProtoError> {
+    writer.write_all(framed)?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = ClassifyRequest {
+            features: vec![1.5, -2.0, 0.0, f32::MAX],
+        };
+        let framed = req.encode();
+        let mut cursor = std::io::Cursor::new(framed.to_vec());
+        let payload = read_frame(&mut cursor).expect("read").expect("frame");
+        assert_eq!(ClassifyRequest::decode(&payload).expect("decode"), req);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = ClassifyResponse {
+            class: 7,
+            latency_ns: 123_456,
+        };
+        let framed = resp.encode();
+        let mut cursor = std::io::Cursor::new(framed.to_vec());
+        let payload = read_frame(&mut cursor).expect("read").expect("frame");
+        assert_eq!(ClassifyResponse::decode(&payload).expect("decode"), resp);
+    }
+
+    #[test]
+    fn empty_features_allowed() {
+        let req = ClassifyRequest { features: vec![] };
+        let framed = req.encode();
+        let payload = &framed[4..];
+        assert_eq!(ClassifyRequest::decode(payload).expect("decode"), req);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let err = ClassifyRequest::decode(&[1, 0, 0, 0, 0, 0]).expect_err("short");
+        assert!(matches!(err, ProtoError::Malformed { .. }));
+        let err = ClassifyResponse::decode(&[0u8; 5]).expect_err("short");
+        assert!(err.to_string().contains("12 bytes"));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(bad);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtoError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut cursor).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic() {
+        use proptest::prelude::*;
+        proptest!(|(bytes in proptest::collection::vec(any::<u8>(), 0..600))| {
+            // Framing layer: any byte soup either yields frames or errors,
+            // never panics or loops.
+            let mut cursor = std::io::Cursor::new(bytes.clone());
+            for _ in 0..8 {
+                match read_frame(&mut cursor) {
+                    Ok(Some(payload)) => {
+                        // Decoders must also be total.
+                        let _ = ClassifyRequest::decode(&payload);
+                        let _ = ClassifyResponse::decode(&payload);
+                    }
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn request_roundtrip_is_total_over_feature_vectors() {
+        use proptest::prelude::*;
+        proptest!(|(features in proptest::collection::vec(any::<f32>(), 0..300))| {
+            let req = ClassifyRequest { features: features.clone() };
+            let framed = req.encode();
+            let mut cursor = std::io::Cursor::new(framed.to_vec());
+            let payload = read_frame(&mut cursor).expect("read").expect("frame");
+            let decoded = ClassifyRequest::decode(&payload).expect("decode");
+            // Bit-exact round trip (NaN-safe comparison).
+            prop_assert_eq!(decoded.features.len(), features.len());
+            for (a, b) in decoded.features.iter().zip(&features) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn midframe_eof_is_error() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&8u32.to_le_bytes());
+        bad.extend_from_slice(&[1, 2, 3]); // only 3 of 8 payload bytes
+        let mut cursor = std::io::Cursor::new(bad);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtoError::UnexpectedEof)
+        ));
+    }
+}

@@ -1,0 +1,300 @@
+//! The classification front-end (Fig. 7).
+
+use crate::proto::{read_frame, write_frame, ClassifyRequest, ClassifyResponse, ProtoError};
+use bolt_baselines::InferenceEngine;
+use parking_lot::Mutex;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Aggregate service statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Total service-side latency across requests, in nanoseconds.
+    pub total_latency_ns: u64,
+}
+
+impl ServerStats {
+    /// Mean service-side latency in nanoseconds.
+    #[must_use]
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency_ns as f64 / self.requests as f64
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) engine: Box<dyn InferenceEngine>,
+    pub(crate) stats: Mutex<ServerStats>,
+    pub(crate) shutdown: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn new(engine: Box<dyn InferenceEngine>) -> Self {
+        Self {
+            engine,
+            stats: Mutex::new(ServerStats::default()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A classification server on a Unix domain socket, one thread per
+/// connection (requests on a connection are processed sequentially, without
+/// batching, per §6's methodology).
+pub struct ClassificationServer {
+    shared: Arc<Shared>,
+    path: PathBuf,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ClassificationServer {
+    /// Binds the socket (removing any stale file) and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the socket cannot be bound.
+    pub fn bind(path: impl AsRef<Path>, engine: Box<dyn InferenceEngine>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            engine,
+            stats: Mutex::new(ServerStats::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_shared.shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_shared = Arc::clone(&accept_shared);
+                        workers.push(std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &conn_shared);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+        });
+        Ok(Self {
+            shared,
+            path,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The socket path clients connect to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Snapshot of the aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        *self.shared.stats.lock()
+    }
+
+    /// Stops accepting, waits for in-flight connections, and removes the
+    /// socket file.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for ClassificationServer {
+    fn drop(&mut self) {
+        // Infallible teardown; `shutdown` is the checked variant.
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for ClassificationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassificationServer")
+            .field("path", &self.path)
+            .field("engine", &self.shared.engine.name())
+            .finish()
+    }
+}
+
+fn handle_connection(stream: UnixStream, shared: &Shared) -> Result<(), ProtoError> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    handle_stream(stream, shared)
+}
+
+/// Serves framed requests on any byte stream whose read timeout has been
+/// configured by the caller (both Unix and TCP transports funnel here).
+pub(crate) fn handle_stream<S: std::io::Read + std::io::Write>(
+    mut stream: S,
+    shared: &Shared,
+) -> Result<(), ProtoError> {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()), // client hung up cleanly
+            Err(ProtoError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // idle; re-check shutdown
+            }
+            Err(e) => return Err(e),
+        };
+        let request = ClassifyRequest::decode(&payload)?;
+        // Latency measured from receipt to aggregation output (§6).
+        let start = Instant::now();
+        let class = shared.engine.classify(&request.features);
+        let latency_ns = start.elapsed().as_nanos() as u64;
+        {
+            let mut stats = shared.stats.lock();
+            stats.requests += 1;
+            stats.total_latency_ns += latency_ns;
+        }
+        write_frame(
+            &mut stream,
+            &ClassifyResponse { class, latency_ns }.encode(),
+        )?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClassificationClient;
+    use crate::engine::BoltEngine;
+    use bolt_core::{BoltConfig, BoltForest};
+    use bolt_forest::{Dataset, ForestConfig, RandomForest};
+
+    fn unique_socket(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bolt-test-{tag}-{}.sock", std::process::id()))
+    }
+
+    fn fixture() -> (Dataset, RandomForest, Arc<BoltForest>) {
+        let rows: Vec<Vec<f32>> = (0..80)
+            .map(|i| vec![(i % 8) as f32, (i % 3) as f32])
+            .collect();
+        let labels: Vec<u32> = rows.iter().map(|r| u32::from(r[0] > 3.0)).collect();
+        let data = Dataset::from_rows(rows, labels, 2).expect("valid");
+        let forest =
+            RandomForest::train(&data, &ForestConfig::new(5).with_max_height(3).with_seed(3));
+        let bolt =
+            Arc::new(BoltForest::compile(&forest, &BoltConfig::default()).expect("compiles"));
+        (data, forest, bolt)
+    }
+
+    #[test]
+    fn end_to_end_roundtrip() {
+        let (data, forest, bolt) = fixture();
+        let path = unique_socket("roundtrip");
+        let server =
+            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        let mut client = ClassificationClient::connect(&path).expect("connects");
+        for (sample, _) in data.iter().take(30) {
+            let response = client.classify(sample).expect("classifies");
+            assert_eq!(response.class, forest.predict(sample));
+            assert!(response.latency_ns > 0);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, 30);
+        assert!(stats.mean_latency_ns() > 0.0);
+        server.shutdown();
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn multiple_concurrent_clients() {
+        let (data, forest, bolt) = fixture();
+        let path = unique_socket("concurrent");
+        let server =
+            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        let expected: Vec<u32> = (0..20).map(|i| forest.predict(data.sample(i))).collect();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let path = path.clone();
+                let data = data.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let mut client = ClassificationClient::connect(&path).expect("connects");
+                    for i in 0..20 {
+                        let response = client.classify(data.sample(i)).expect("classifies");
+                        assert_eq!(response.class, expected[i]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        assert_eq!(server.stats().requests, 60);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_client_does_not_take_down_the_service() {
+        use std::io::Write as _;
+        let (data, forest, bolt) = fixture();
+        let path = unique_socket("malformed");
+        let server =
+            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        // A hostile client: declares an oversized frame, then hangs up.
+        {
+            let mut bad = UnixStream::connect(&path).expect("connects");
+            bad.write_all(&(u32::MAX).to_le_bytes()).expect("writes");
+            bad.write_all(&[0u8; 16]).expect("writes");
+        }
+        // A second hostile client: truncated frame.
+        {
+            let mut bad = UnixStream::connect(&path).expect("connects");
+            bad.write_all(&100u32.to_le_bytes()).expect("writes");
+            bad.write_all(&[1, 2, 3]).expect("writes");
+        }
+        // A well-behaved client still gets answers.
+        let mut client = ClassificationClient::connect(&path).expect("connects");
+        for (sample, _) in data.iter().take(5) {
+            let response = client.classify(sample).expect("classifies");
+            assert_eq!(response.class, forest.predict(sample));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stale_socket_file_is_replaced() {
+        let (_, _, bolt) = fixture();
+        let path = unique_socket("stale");
+        std::fs::write(&path, b"stale").expect("write stale file");
+        let server = ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt)))
+            .expect("binds over stale file");
+        server.shutdown();
+    }
+}

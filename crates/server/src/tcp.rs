@@ -1,0 +1,196 @@
+//! TCP transport for the classification front-end.
+//!
+//! The paper's evaluation uses a Unix domain socket on one host; a real
+//! deployment fronts remote clients over TCP ("input data is sent via
+//! network to a front-end", Fig. 7). Same framing, same engine interface,
+//! same statistics — only the listener differs.
+
+use crate::server::{handle_stream, Shared};
+use crate::ServerStats;
+use bolt_baselines::InferenceEngine;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A classification server on a TCP socket, one thread per connection.
+///
+/// # Examples
+///
+/// ```no_run
+/// use bolt_server::{BoltEngine, TcpClassificationServer};
+/// # use bolt_core::{BoltConfig, BoltForest};
+/// # use bolt_forest::{Dataset, ForestConfig, RandomForest};
+/// # use std::sync::Arc;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let data = Dataset::from_rows(vec![vec![0.0]], vec![0], 1)?;
+/// # let forest = RandomForest::train(&data, &ForestConfig::new(1));
+/// # let bolt = Arc::new(BoltForest::compile(&forest, &BoltConfig::default())?);
+/// let server = TcpClassificationServer::bind("127.0.0.1:0", Box::new(BoltEngine::new(bolt)))?;
+/// println!("serving on {}", server.local_addr());
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct TcpClassificationServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpClassificationServer {
+    /// Binds the address (use port 0 for an ephemeral port) and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound.
+    pub fn bind(
+        addr: impl std::net::ToSocketAddrs,
+        engine: Box<dyn InferenceEngine>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared::new(engine));
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_shared.shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_shared = Arc::clone(&accept_shared);
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_tcp_connection(stream, &conn_shared);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+        });
+        Ok(Self {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        *self.shared.stats.lock()
+    }
+
+    /// Stops accepting and waits for in-flight connections.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpClassificationServer {
+    fn drop(&mut self) {
+        // Infallible teardown; `shutdown` is the checked variant.
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for TcpClassificationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClassificationServer")
+            .field("local_addr", &self.local_addr)
+            .field("engine", &self.shared.engine.name())
+            .finish()
+    }
+}
+
+fn serve_tcp_connection(
+    stream: TcpStream,
+    shared: &Shared,
+) -> Result<(), crate::proto::ProtoError> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_nodelay(true)?; // latency-sensitive single-sample requests
+    handle_stream(stream, shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClassificationClient;
+    use crate::engine::BoltEngine;
+    use bolt_core::{BoltConfig, BoltForest};
+    use bolt_forest::{Dataset, ForestConfig, RandomForest};
+
+    fn fixture() -> (Dataset, RandomForest, Arc<BoltForest>) {
+        let rows: Vec<Vec<f32>> = (0..60)
+            .map(|i| vec![(i % 6) as f32, (i % 4) as f32])
+            .collect();
+        let labels: Vec<u32> = rows.iter().map(|r| u32::from(r[0] > 2.0)).collect();
+        let data = Dataset::from_rows(rows, labels, 2).expect("valid");
+        let forest =
+            RandomForest::train(&data, &ForestConfig::new(4).with_max_height(3).with_seed(9));
+        let bolt =
+            Arc::new(BoltForest::compile(&forest, &BoltConfig::default()).expect("compiles"));
+        (data, forest, bolt)
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let (data, forest, bolt) = fixture();
+        let server = TcpClassificationServer::bind("127.0.0.1:0", Box::new(BoltEngine::new(bolt)))
+            .expect("binds");
+        let mut client = ClassificationClient::connect_tcp(server.local_addr()).expect("connects");
+        for (sample, _) in data.iter().take(25) {
+            let response = client.classify(sample).expect("classifies");
+            assert_eq!(response.class, forest.predict(sample));
+        }
+        assert_eq!(server.stats().requests, 25);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_tcp_clients() {
+        let (data, forest, bolt) = fixture();
+        let server = TcpClassificationServer::bind("127.0.0.1:0", Box::new(BoltEngine::new(bolt)))
+            .expect("binds");
+        let addr = server.local_addr();
+        let expected: Vec<u32> = (0..15).map(|i| forest.predict(data.sample(i))).collect();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let data = data.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let mut client = ClassificationClient::connect_tcp(addr).expect("connects");
+                    for i in 0..15 {
+                        let response = client.classify(data.sample(i)).expect("classifies");
+                        assert_eq!(response.class, expected[i]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        assert_eq!(server.stats().requests, 45);
+        server.shutdown();
+    }
+}

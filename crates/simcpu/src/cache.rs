@@ -1,0 +1,194 @@
+//! Set-associative LRU cache model.
+
+/// A single-level, set-associative cache with true-LRU replacement.
+///
+/// Models the last-level cache the Bolt paper reasons about: the structure
+/// either fits (hits) or thrashes (misses to memory).
+///
+/// # Examples
+///
+/// ```
+/// use bolt_simcpu::CacheSim;
+///
+/// let mut cache = CacheSim::new(4096, 64, 4);
+/// assert!(!cache.access(0));      // cold miss
+/// assert!(cache.access(8));       // same 64-byte line
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheSim {
+    /// Per-set tag stacks; most recently used at the back.
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    line_bits: u32,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Creates a cache of `capacity_bytes` with `line_bytes` lines and
+    /// `assoc`-way associativity. Capacity and line size are rounded to the
+    /// nearest powers of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero or `capacity_bytes < line_bytes * assoc`.
+    #[must_use]
+    pub fn new(capacity_bytes: usize, line_bytes: usize, assoc: usize) -> Self {
+        assert!(
+            capacity_bytes > 0 && line_bytes > 0 && assoc > 0,
+            "zero cache parameter"
+        );
+        let line_bytes = line_bytes.next_power_of_two();
+        let capacity = capacity_bytes.next_power_of_two();
+        assert!(
+            capacity >= line_bytes * assoc,
+            "capacity {capacity} too small for {assoc}-way sets of {line_bytes}-byte lines"
+        );
+        // Set count must be a power of two for the index mask; round down
+        // (equivalently, round associativity up a little).
+        let raw_sets = (capacity / line_bytes / assoc).max(1);
+        let n_sets = if raw_sets.is_power_of_two() {
+            raw_sets
+        } else {
+            raw_sets.next_power_of_two() / 2
+        };
+        Self {
+            sets: vec![Vec::with_capacity(assoc); n_sets],
+            assoc,
+            line_bits: line_bytes.trailing_zeros(),
+            set_mask: (n_sets - 1) as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses one byte address; returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_bits;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.push(tag);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.remove(0);
+            }
+            set.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Accesses a byte range, touching every line it spans.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) {
+        let first = addr >> self.line_bits;
+        let last = (addr + bytes.max(1) - 1) >> self.line_bits;
+        for line in first..=last {
+            self.access(line << self.line_bits);
+        }
+    }
+
+    /// Total hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cache sets.
+    #[must_use]
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        assert!(!c.access(100));
+        for _ in 0..10 {
+            assert!(c.access(100));
+        }
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 10);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way, 1 set: capacity = 2 lines of 64B.
+        let mut c = CacheSim::new(128, 64, 2);
+        c.access(0); // line 0
+        c.access(64); // line 1
+        c.access(0); // touch line 0 (now MRU)
+        c.access(128); // evicts line 1 (LRU)
+        assert!(c.access(0), "line 0 must survive");
+        assert!(!c.access(64), "line 1 was evicted");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = CacheSim::new(1024, 64, 2); // 16 lines
+                                                // Stream 64 distinct lines twice: second pass still misses.
+        for pass in 0..2 {
+            for i in 0..64u64 {
+                c.access(i * 64);
+            }
+            let _ = pass;
+        }
+        assert_eq!(c.misses(), 128, "streaming working set 4x cache never hits");
+    }
+
+    #[test]
+    fn small_working_set_fits() {
+        let mut c = CacheSim::new(4096, 64, 4);
+        for _ in 0..4 {
+            for i in 0..8u64 {
+                c.access(i * 64);
+            }
+        }
+        assert_eq!(c.misses(), 8, "8 lines fit; only cold misses");
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut c = CacheSim::new(4096, 64, 4);
+        c.access_range(60, 10); // spans lines 0 and 1
+        assert_eq!(c.misses(), 2);
+        c.access_range(0, 1);
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cache parameter")]
+    fn zero_parameter_panics() {
+        let _ = CacheSim::new(0, 64, 4);
+    }
+
+    #[test]
+    fn set_count_is_always_a_power_of_two() {
+        // 30 MiB / 64 B / 20-way would be 24576 sets — not a power of two.
+        let c = CacheSim::new(30 * 1024 * 1024, 64, 20);
+        assert!(c.n_sets().is_power_of_two(), "sets {}", c.n_sets());
+        let c = CacheSim::new(4096, 64, 3);
+        assert!(c.n_sets().is_power_of_two());
+    }
+}

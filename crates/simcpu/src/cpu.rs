@@ -1,0 +1,234 @@
+//! The accounting CPU: instructions + branches + a three-level memory
+//! hierarchy (L1 → L2 → LLC → memory).
+
+use crate::branch::GsharePredictor;
+use crate::cache::CacheSim;
+use crate::hw::HardwareProfile;
+
+/// Counter snapshot covering the paper's Fig. 12 categories plus the
+/// per-level miss breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Branches executed ("branches taken" axis of Fig. 12).
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub branch_misses: u64,
+    /// Memory accesses issued.
+    pub mem_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Last-level cache misses (the "cache misses" axis of Fig. 12).
+    pub cache_misses: u64,
+}
+
+impl Counters {
+    /// Adds another snapshot's counts.
+    pub fn accumulate(&mut self, other: &Counters) {
+        self.instructions += other.instructions;
+        self.branches += other.branches;
+        self.branch_misses += other.branch_misses;
+        self.mem_accesses += other.mem_accesses;
+        self.l1_misses += other.l1_misses;
+        self.l2_misses += other.l2_misses;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+impl std::fmt::Display for Counters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "inst={} branches={} branch_misses={} mem={} l1_misses={} l2_misses={} cache_misses={}",
+            self.instructions,
+            self.branches,
+            self.branch_misses,
+            self.mem_accesses,
+            self.l1_misses,
+            self.l2_misses,
+            self.cache_misses
+        )
+    }
+}
+
+/// A simulated single core: instruction accounting, a gshare predictor, and
+/// an inclusive L1/L2/LLC hierarchy parameterized by a [`HardwareProfile`].
+#[derive(Clone, Debug)]
+pub struct SimCpu {
+    l1: CacheSim,
+    l2: CacheSim,
+    llc: CacheSim,
+    branch: GsharePredictor,
+    instructions: u64,
+    mem_accesses: u64,
+    profile: HardwareProfile,
+}
+
+impl SimCpu {
+    /// Creates a core with the profile's cache geometry.
+    #[must_use]
+    pub fn new(profile: &HardwareProfile) -> Self {
+        Self {
+            l1: CacheSim::new(profile.l1_bytes, profile.line_bytes, 8),
+            l2: CacheSim::new(profile.l2_bytes, profile.line_bytes, 8),
+            llc: CacheSim::new(profile.llc_bytes, profile.line_bytes, profile.associativity),
+            branch: GsharePredictor::new(12),
+            instructions: 0,
+            mem_accesses: 0,
+            profile: profile.clone(),
+        }
+    }
+
+    /// Retires `n` straight-line instructions.
+    pub fn inst(&mut self, n: u64) {
+        self.instructions += n;
+    }
+
+    /// Executes a conditional branch at `pc` with outcome `taken` (also
+    /// retires one instruction).
+    pub fn branch_at(&mut self, pc: u64, taken: bool) {
+        self.instructions += 1;
+        self.branch.branch(pc, taken);
+    }
+
+    /// Loads `bytes` bytes at `addr` (retires one instruction; each line
+    /// spanned walks the hierarchy until it hits).
+    pub fn load(&mut self, addr: u64, bytes: u64) {
+        self.instructions += 1;
+        self.mem_accesses += 1;
+        let line_bytes = self.l1.line_bytes();
+        let first = addr / line_bytes;
+        let last = (addr + bytes.max(1) - 1) / line_bytes;
+        for line in first..=last {
+            let a = line * line_bytes;
+            if self.l1.access(a) {
+                continue;
+            }
+            if self.l2.access(a) {
+                continue;
+            }
+            self.llc.access(a);
+        }
+    }
+
+    /// Current counter snapshot.
+    #[must_use]
+    pub fn counters(&self) -> Counters {
+        Counters {
+            instructions: self.instructions,
+            branches: self.branch.branches(),
+            branch_misses: self.branch.misses(),
+            mem_accesses: self.mem_accesses,
+            l1_misses: self.l1.misses(),
+            l2_misses: self.l2.misses(),
+            cache_misses: self.llc.misses(),
+        }
+    }
+
+    /// Models wall-clock nanoseconds for the counters so far: instruction
+    /// throughput at the profile's clock, branch-miss bubbles, and
+    /// level-by-level access latencies.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> f64 {
+        let c = self.counters();
+        let cycles = c.instructions as f64 / self.profile.ipc
+            + c.branch_misses as f64 * self.profile.branch_miss_penalty_cycles;
+        let l1_hits = c.mem_accesses.saturating_sub(c.l1_misses);
+        let l2_hits = c.l1_misses.saturating_sub(c.l2_misses);
+        let llc_hits = c.l2_misses.saturating_sub(c.cache_misses);
+        cycles / self.profile.freq_ghz
+            + l1_hits as f64 * self.profile.l1_latency_ns
+            + l2_hits as f64 * self.profile.l2_latency_ns
+            + llc_hits as f64 * self.profile.cache_latency_ns
+            + c.cache_misses as f64 * self.profile.mem_latency_ns
+    }
+
+    /// The profile this core models.
+    #[must_use]
+    pub fn profile(&self) -> &HardwareProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw;
+
+    #[test]
+    fn counters_accumulate_categories() {
+        let mut cpu = SimCpu::new(&hw::xeon_e5_2650_v4());
+        cpu.inst(5);
+        cpu.branch_at(0x10, true);
+        cpu.load(0x100, 8);
+        let c = cpu.counters();
+        assert_eq!(c.instructions, 7); // 5 + branch + load
+        assert_eq!(c.branches, 1);
+        assert_eq!(c.mem_accesses, 1);
+        assert_eq!(c.l1_misses, 1);
+        assert_eq!(c.l2_misses, 1);
+        assert_eq!(c.cache_misses, 1);
+    }
+
+    #[test]
+    fn hierarchy_absorbs_working_sets_by_size() {
+        let profile = hw::xeon_e5_2650_v4();
+        // Working set of 16 KiB fits L1 after the first pass.
+        let mut small = SimCpu::new(&profile);
+        for pass in 0..4 {
+            for i in 0..256u64 {
+                small.load(i * 64, 8);
+            }
+            let _ = pass;
+        }
+        let c = small.counters();
+        assert_eq!(c.l1_misses, 256, "only cold misses in L1");
+        // Working set of 128 KiB exceeds 32 KiB L1 but fits 256 KiB L2.
+        let mut medium = SimCpu::new(&profile);
+        for _ in 0..4 {
+            for i in 0..2048u64 {
+                medium.load(i * 64, 8);
+            }
+        }
+        let m = medium.counters();
+        assert!(m.l1_misses > 2048, "L1 thrashes");
+        assert_eq!(m.l2_misses, 2048, "L2 absorbs after cold pass");
+        assert_eq!(m.cache_misses, 2048);
+    }
+
+    #[test]
+    fn elapsed_time_grows_with_miss_depth() {
+        let profile = hw::xeon_e5_2650_v4();
+        let mut hot = SimCpu::new(&profile);
+        let mut cold = SimCpu::new(&profile);
+        for _ in 0..100 {
+            hot.load(0x100, 8);
+        }
+        for i in 0..100u64 {
+            cold.load(i * (1 << 21), 8); // distinct sets everywhere
+        }
+        assert!(cold.elapsed_ns() > hot.elapsed_ns());
+        assert_eq!(cold.counters().cache_misses, 100);
+        assert_eq!(hot.counters().cache_misses, 1);
+    }
+
+    #[test]
+    fn accumulate_combines_snapshots() {
+        let mut a = Counters {
+            instructions: 1,
+            branches: 2,
+            branch_misses: 3,
+            mem_accesses: 4,
+            l1_misses: 5,
+            l2_misses: 5,
+            cache_misses: 5,
+        };
+        a.accumulate(&a.clone());
+        assert_eq!(a.instructions, 2);
+        assert_eq!(a.cache_misses, 10);
+        assert!(a.to_string().contains("branch_misses=6"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Hardware profiles for the machines of §6.2.
+//!
+//! The paper evaluates on an Intel Xeon E5-2650 v4 (12 cores, 30 MB LLC,
+//! 2.2 GHz) and two Google Cloud instances: E2-standard-4 ("EC Small",
+//! 4 vCPUs, 16 GB) and E2-standard-32 ("EC Large", 32 vCPUs, 128 GB).
+//! Cache/latency values for the cloud VMs are typical for the E2 family's
+//! underlying hosts; the reproduction only relies on their relative shape.
+
+use bolt_core::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// A named single-core hardware model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HardwareProfile {
+    /// Marketing-style name used in Fig. 9's x axis.
+    pub name: String,
+    /// Physical/virtual cores available for partitioned inference.
+    pub cores: usize,
+    /// Per-core L1 data cache capacity in bytes.
+    pub l1_bytes: usize,
+    /// Per-core L2 cache capacity in bytes.
+    pub l2_bytes: usize,
+    /// Last-level cache capacity in bytes (whole socket).
+    pub llc_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// LLC associativity.
+    pub associativity: usize,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Sustained instructions per cycle.
+    pub ipc: f64,
+    /// Main-memory access latency in nanoseconds.
+    pub mem_latency_ns: f64,
+    /// LLC hit latency in nanoseconds.
+    pub cache_latency_ns: f64,
+    /// L1 hit latency in nanoseconds.
+    pub l1_latency_ns: f64,
+    /// L2 hit latency in nanoseconds.
+    pub l2_latency_ns: f64,
+    /// Cycles lost per branch misprediction.
+    pub branch_miss_penalty_cycles: f64,
+}
+
+impl HardwareProfile {
+    /// Converts to the analytic [`CostModel`] Phase 2 uses, giving one core
+    /// its proportional slice of the LLC.
+    #[must_use]
+    pub fn to_cost_model(&self) -> CostModel {
+        CostModel {
+            llc_bytes: self.llc_bytes / self.cores.max(1),
+            freq_ghz: self.freq_ghz,
+            mem_latency_ns: self.mem_latency_ns,
+            cache_latency_ns: self.cache_latency_ns,
+            aggregation_ns_per_core: 25.0,
+        }
+    }
+}
+
+/// The paper's default server: Intel Xeon E5-2650 v4 @ 2.20 GHz, 12 cores,
+/// 30 MB LLC.
+#[must_use]
+pub fn xeon_e5_2650_v4() -> HardwareProfile {
+    HardwareProfile {
+        name: "E5-2650 v4".to_owned(),
+        cores: 12,
+        l1_bytes: 32 * 1024,
+        l2_bytes: 256 * 1024,
+        llc_bytes: 30 * 1024 * 1024,
+        line_bytes: 64,
+        associativity: 20,
+        freq_ghz: 2.2,
+        ipc: 2.5,
+        mem_latency_ns: 90.0,
+        cache_latency_ns: 12.0,
+        l1_latency_ns: 1.1,
+        l2_latency_ns: 4.0,
+        branch_miss_penalty_cycles: 15.0,
+    }
+}
+
+/// Google Cloud E2-standard-4 ("EC Small"): 4 vCPUs, 16 GB.
+#[must_use]
+pub fn ec_small() -> HardwareProfile {
+    HardwareProfile {
+        name: "EC Small".to_owned(),
+        cores: 4,
+        l1_bytes: 32 * 1024,
+        l2_bytes: 1024 * 1024,
+        llc_bytes: 16 * 1024 * 1024,
+        line_bytes: 64,
+        associativity: 16,
+        freq_ghz: 2.25,
+        ipc: 2.2,
+        mem_latency_ns: 110.0,
+        cache_latency_ns: 14.0,
+        l1_latency_ns: 1.3,
+        l2_latency_ns: 5.0,
+        branch_miss_penalty_cycles: 16.0,
+    }
+}
+
+/// Google Cloud E2-standard-32 ("EC Large"): 32 vCPUs, 128 GB.
+#[must_use]
+pub fn ec_large() -> HardwareProfile {
+    HardwareProfile {
+        name: "EC Large".to_owned(),
+        cores: 32,
+        l1_bytes: 32 * 1024,
+        l2_bytes: 1024 * 1024,
+        llc_bytes: 33 * 1024 * 1024,
+        line_bytes: 64,
+        associativity: 16,
+        freq_ghz: 2.25,
+        ipc: 2.3,
+        mem_latency_ns: 100.0,
+        cache_latency_ns: 13.0,
+        l1_latency_ns: 1.2,
+        l2_latency_ns: 4.5,
+        branch_miss_penalty_cycles: 16.0,
+    }
+}
+
+/// All three evaluation machines, in Fig. 9 order.
+#[must_use]
+pub fn all_profiles() -> Vec<HardwareProfile> {
+    vec![xeon_e5_2650_v4(), ec_small(), ec_large()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_paper_shapes() {
+        let xeon = xeon_e5_2650_v4();
+        assert_eq!(xeon.cores, 12);
+        assert_eq!(xeon.llc_bytes, 30 * 1024 * 1024);
+        assert!((xeon.freq_ghz - 2.2).abs() < 1e-9);
+        assert_eq!(ec_small().cores, 4);
+        assert_eq!(ec_large().cores, 32);
+        assert_eq!(all_profiles().len(), 3);
+    }
+
+    #[test]
+    fn cost_model_splits_llc_per_core() {
+        let xeon = xeon_e5_2650_v4();
+        let model = xeon.to_cost_model();
+        assert_eq!(model.llc_bytes, xeon.llc_bytes / 12);
+        assert_eq!(model.freq_ghz, xeon.freq_ghz);
+    }
+}

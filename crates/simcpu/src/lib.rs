@@ -1,0 +1,43 @@
+//! Software CPU-metrics substrate for the Bolt reproduction.
+//!
+//! The paper's Fig. 12 reports hardware performance counters (instructions,
+//! branches taken, branch misses, cache misses) for each platform. Portable
+//! access to PMUs is unavailable in this reproduction environment, so this
+//! crate provides the substitute substrate: a set-associative LRU cache
+//! model ([`CacheSim`]), a gshare branch predictor ([`GsharePredictor`]),
+//! and an accounting CPU ([`SimCpu`]) through which *instrumented mirrors*
+//! of the real inference algorithms ([`instrument`]) replay their memory
+//! and branching behaviour. Fig. 12's claim is relative — Bolt does orders
+//! of magnitude fewer branches and cache misses than per-node traversal —
+//! and that relation is exactly what the event streams preserve.
+//!
+//! [`hw`] defines the named hardware profiles of §6.2 (Xeon E5-2650 v4 and
+//! the two Google Cloud instances) used by Fig. 9's latency model.
+//!
+//! # Examples
+//!
+//! ```
+//! use bolt_simcpu::{hw, SimCpu};
+//!
+//! let mut cpu = SimCpu::new(&hw::xeon_e5_2650_v4());
+//! cpu.inst(10);
+//! cpu.load(0x1000, 8);
+//! cpu.branch_at(0x40, true);
+//! let c = cpu.counters();
+//! assert_eq!(c.instructions, 12); // 10 ALU + 1 load + 1 branch
+//! assert_eq!(c.branches, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod cache;
+mod cpu;
+pub mod hw;
+pub mod instrument;
+
+pub use branch::GsharePredictor;
+pub use cache::CacheSim;
+pub use cpu::{Counters, SimCpu};
+pub use hw::HardwareProfile;

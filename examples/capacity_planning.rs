@@ -1,0 +1,67 @@
+//! Capacity planning with Bolt (§4.6): "given a forest workload, which
+//! processor provides best performance" — diagnose whether a forest is
+//! bottlenecked by LLC capacity (table too big) or clock rate (dictionary
+//! too long) on each candidate machine.
+//!
+//! Run: `cargo run --release --example capacity_planning`
+
+use bolt_repro::core::{BoltConfig, BoltForest};
+use bolt_repro::data::Workload;
+use bolt_repro::forest::{ForestConfig, RandomForest};
+use bolt_repro::simcpu::{hw, instrument, SimCpu};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let train = bolt_repro::data::generate(Workload::MnistLike, 2000, 1);
+    let test = bolt_repro::data::generate(Workload::MnistLike, 300, 2);
+
+    // Two candidate workloads: a shallow service forest and a deeper,
+    // storage-hungry one.
+    for (label, n_trees, height, threshold) in [
+        ("shallow service forest", 10, 4usize, 2usize),
+        ("deep accuracy forest", 10, 8, 1),
+    ] {
+        let forest = RandomForest::train(
+            &train,
+            &ForestConfig::new(n_trees)
+                .with_max_height(height)
+                .with_seed(5),
+        );
+        let bolt = BoltForest::compile(
+            &forest,
+            &BoltConfig::default().with_cluster_threshold(threshold),
+        )?;
+        let table_bytes = bolt.approx_resident_bytes();
+        println!(
+            "\n{label}: {} dictionary entries, resident structures ~{} KiB",
+            bolt.dictionary().len(),
+            table_bytes / 1024
+        );
+
+        for profile in hw::all_profiles() {
+            let mut cpu = SimCpu::new(&profile);
+            for (sample, _) in test.iter() {
+                instrument::run_bolt(&bolt, &bolt.encode(sample), &mut cpu);
+            }
+            let per_sample_ns = cpu.elapsed_ns() / test.len() as f64;
+            let c = cpu.counters();
+            // §4.6 diagnosis: storage-bound if the table overflows one
+            // core's LLC slice; compute-bound if the dictionary scan
+            // dominates retired instructions.
+            let llc_slice = profile.llc_bytes / profile.cores;
+            let bottleneck = if table_bytes > llc_slice {
+                "LLC capacity"
+            } else if c.cache_misses * 50 < c.instructions {
+                "clock rate (dictionary scan)"
+            } else {
+                "memory latency"
+            };
+            println!(
+                "  {:>10}: {:>8.3} µs/sample  (cache misses {:>6}, bottleneck: {bottleneck})",
+                profile.name,
+                per_sample_ns / 1000.0,
+                c.cache_misses
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: train a random forest, compile it with Bolt, and verify that
+//! lookup-table inference matches tree traversal exactly.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use bolt_repro::core::{BoltConfig, BoltForest};
+use bolt_repro::data::Workload;
+use bolt_repro::forest::{ForestConfig, RandomForest};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A digit-recognition workload shaped like MNIST (784 pixels, 10
+    //    classes); the paper's headline setting is 10 trees of height 4.
+    let train = bolt_repro::data::generate(Workload::MnistLike, 2000, 1);
+    let test = bolt_repro::data::generate(Workload::MnistLike, 500, 2);
+    let forest = RandomForest::train(
+        &train,
+        &ForestConfig::new(10).with_max_height(4).with_seed(42),
+    );
+    println!(
+        "trained {} trees (height <= {}), {} root-leaf paths, accuracy {:.1}%",
+        forest.n_trees(),
+        forest.height(),
+        forest.total_paths(),
+        100.0 * forest.accuracy(&test)
+    );
+
+    // 2. Compile the whole forest into Bolt's lookup structures.
+    let bolt = BoltForest::compile(&forest, &BoltConfig::default().with_cluster_threshold(2))?;
+    println!(
+        "compiled: {} predicates, {} dictionary entries, {} lookup-table cells, bloom filter {} KiB",
+        bolt.universe().len(),
+        bolt.dictionary().len(),
+        bolt.table().n_cells(),
+        bolt.bloom().map_or(0, |b| b.size_bytes() / 1024).max(1)
+    );
+
+    // 3. Safety property (§4 of the paper): identical classifications.
+    let mut agree = 0;
+    for (sample, _) in test.iter() {
+        if bolt.classify(sample) == forest.predict(sample) {
+            agree += 1;
+        }
+    }
+    println!(
+        "equivalence: {agree}/{} test samples match tree traversal",
+        test.len()
+    );
+
+    // 4. Service-style latency with the allocation-free hot path.
+    let mut scratch = bolt.scratch();
+    let start = Instant::now();
+    let mut sink = 0u32;
+    for (sample, _) in test.iter() {
+        sink = sink.wrapping_add(bolt.classify_with(sample, &mut scratch));
+    }
+    std::hint::black_box(sink);
+    println!(
+        "bolt inference: {:.3} µs/sample over {} samples",
+        start.elapsed().as_micros() as f64 / test.len() as f64,
+        test.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Traffic-severity triage on the LSTW-shaped workload, with Phase-2
+//! parameter search and partitioned (multi-core) single-sample inference —
+//! the paper's §4.2/Fig. 4 machinery on a heterogeneous dataset.
+//!
+//! Run: `cargo run --release --example traffic_triage`
+
+use bolt_repro::core::{
+    BoltConfig, BoltForest, CostModel, ParameterSearch, PartitionPlan, PartitionedBolt,
+};
+use bolt_repro::data::Workload;
+use bolt_repro::forest::{ForestConfig, RandomForest};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let train = bolt_repro::data::generate(Workload::LstwLike, 4000, 1);
+    let test = bolt_repro::data::generate(Workload::LstwLike, 800, 2);
+    let forest = RandomForest::train(
+        &train,
+        &ForestConfig::new(12).with_max_height(5).with_seed(9),
+    );
+    println!(
+        "traffic forest: {} trees, height {}, accuracy {:.1}%",
+        forest.n_trees(),
+        forest.height(),
+        100.0 * forest.accuracy(&test)
+    );
+
+    // Phase 2: sweep clustering thresholds and partition plans for this
+    // hardware (modeled as the paper's default Xeon).
+    let model = CostModel::default();
+    let report = ParameterSearch::new()
+        .with_thresholds([0, 1, 2, 4, 8])
+        .with_max_cores(4)
+        .with_calibration_samples(128)
+        .run(&forest, &test, &model)?;
+    let best = report.best();
+    println!(
+        "parameter search: best threshold={} plan={}x{} (modeled {:.3} µs); spread {:.1}x",
+        best.threshold,
+        best.plan.dict_parts,
+        best.plan.table_parts,
+        best.modeled_ns / 1000.0,
+        report.spread()
+    );
+
+    // Compile at the chosen threshold and run partitioned inference: one
+    // sample split across dictionary/table partitions (Fig. 4).
+    let bolt = Arc::new(BoltForest::compile(
+        &forest,
+        &BoltConfig::default().with_cluster_threshold(best.threshold),
+    )?);
+    let plan = PartitionPlan::new(best.plan.dict_parts, best.plan.table_parts);
+    let partitioned = PartitionedBolt::new(Arc::clone(&bolt), plan)?;
+    let mut agree = 0usize;
+    for (sample, _) in test.iter().take(200) {
+        if partitioned.classify(sample) == forest.predict(sample) {
+            agree += 1;
+        }
+    }
+    println!(
+        "partitioned inference across {} cores agrees with the forest on {agree}/200 samples",
+        plan.cores()
+    );
+
+    // Per-core work profile for one rush-hour sample.
+    let bits = bolt.encode(test.sample(0));
+    for (core, work) in partitioned.work_profile(&bits).iter().enumerate() {
+        println!(
+            "  core {core}: scanned {} entries, matched {}, performed {} lookups (skipped {})",
+            work.entries_scanned,
+            work.entries_matched,
+            work.lookups_performed,
+            work.lookups_skipped
+        );
+    }
+    Ok(())
+}

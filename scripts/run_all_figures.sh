@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every figure of the paper plus the extra experiments,
+# writing one text report per figure into results/.
+#
+# Usage: scripts/run_all_figures.sh [samples]
+#   samples — service requests per timing run (default 2000; the paper's
+#             MNIST test set is 10000).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAMPLES="${1:-2000}"
+export BOLT_BENCH_SAMPLES="$SAMPLES"
+
+cargo build --release --workspace
+mkdir -p results
+
+for fig in fig08_layout fig09_architectures fig10_platforms fig11_scaling \
+           fig12_metrics fig13_hyperparams fig14_datasets fig15_deep_forest \
+           extra_service_latency extra_batching; do
+    echo "== $fig (samples=$SAMPLES) =="
+    ./target/release/"$fig" | tee "results/$fig.txt"
+done
+
+echo "All figures regenerated under results/."

@@ -1,0 +1,38 @@
+//! Umbrella crate for the Bolt reproduction (Middleware '22): re-exports
+//! every workspace crate under one roof and hosts the runnable examples and
+//! cross-crate integration tests.
+//!
+//! * [`core`] — Bolt itself: clustering, dictionaries, recombined lookup
+//!   tables, bloom filters, parameter search, partitioned inference.
+//! * [`forest`] — the decision-tree/random-forest training substrate.
+//! * [`data`] — synthetic MNIST/LSTW/Yelp-shaped workload generators.
+//! * [`baselines`] — Scikit-, Ranger-, and Forest-Packing-style engines.
+//! * [`simcpu`] — cache/branch/instruction simulator and hardware profiles.
+//! * [`server`] — the Unix-domain-socket classification service.
+//! * [`bitpack`] — bit-level packed containers behind the compressed layouts.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bolt_repro::core::{BoltConfig, BoltForest};
+//! use bolt_repro::forest::{ForestConfig, RandomForest};
+//!
+//! let data = bolt_repro::data::mnist_like(300, 7);
+//! let forest = RandomForest::train(&data, &ForestConfig::new(5).with_max_height(4));
+//! let bolt = BoltForest::compile(&forest, &BoltConfig::default())?;
+//! for (sample, _) in data.iter().take(10) {
+//!     assert_eq!(bolt.classify(sample), forest.predict(sample));
+//! }
+//! # Ok::<(), bolt_repro::core::BoltError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bolt_baselines as baselines;
+pub use bolt_bitpack as bitpack;
+pub use bolt_core as core;
+pub use bolt_data as data;
+pub use bolt_forest as forest;
+pub use bolt_server as server;
+pub use bolt_simcpu as simcpu;

@@ -1,0 +1,201 @@
+//! End-to-end test of the `boltc` CLI: train → compile → eval on disk
+//! artifacts, plus CSV ingestion and error reporting.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn boltc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_boltc"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("boltc-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn train_compile_eval_round_trip() {
+    let forest_path = temp_path("forest.json");
+    let bolt_path = temp_path("bolt.json");
+
+    let out = boltc()
+        .args([
+            "train",
+            "--workload",
+            "mnist",
+            "--samples",
+            "400",
+            "--trees",
+            "5",
+            "--height",
+            "3",
+            "--seed",
+            "9",
+        ])
+        .args(["--out", forest_path.to_str().expect("utf8 path")])
+        .output()
+        .expect("boltc train runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(forest_path.exists());
+
+    let out = boltc()
+        .args(["compile", "--forest", forest_path.to_str().expect("utf8")])
+        .args([
+            "--threshold",
+            "2",
+            "--out",
+            bolt_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("boltc compile runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("dictionary entries"), "{stdout}");
+
+    for model_flag in [("--forest", &forest_path), ("--bolt", &bolt_path)] {
+        let out = boltc()
+            .args(["eval", model_flag.0, model_flag.1.to_str().expect("utf8")])
+            .args(["--workload", "mnist", "--samples", "200", "--seed", "9"])
+            .output()
+            .expect("boltc eval runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("accuracy"));
+    }
+
+    // The two representations agree on accuracy for the same eval set.
+    let acc = |flag: &str, path: &PathBuf| -> String {
+        let out = boltc()
+            .args(["eval", flag, path.to_str().expect("utf8")])
+            .args(["--workload", "mnist", "--samples", "200", "--seed", "9"])
+            .output()
+            .expect("runs");
+        String::from_utf8_lossy(&out.stdout)
+            .split_whitespace()
+            .last()
+            .expect("accuracy token")
+            .to_owned()
+    };
+    assert_eq!(acc("--forest", &forest_path), acc("--bolt", &bolt_path));
+
+    let _ = std::fs::remove_file(forest_path);
+    let _ = std::fs::remove_file(bolt_path);
+}
+
+#[test]
+fn csv_training_works() {
+    let csv_path = temp_path("data.csv");
+    let forest_path = temp_path("csv-forest.json");
+    let mut csv = String::from("x0,x1,label\n");
+    for i in 0..60 {
+        let x0 = i % 6;
+        csv.push_str(&format!("{x0},{},{}\n", i % 3, u32::from(x0 > 2)));
+    }
+    std::fs::write(&csv_path, csv).expect("writes csv");
+
+    let out = boltc()
+        .args(["train", "--csv", csv_path.to_str().expect("utf8")])
+        .args(["--trees", "3", "--height", "3"])
+        .args(["--out", forest_path.to_str().expect("utf8")])
+        .output()
+        .expect("boltc train runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = boltc()
+        .args(["eval", "--forest", forest_path.to_str().expect("utf8")])
+        .args(["--csv", csv_path.to_str().expect("utf8")])
+        .output()
+        .expect("boltc eval runs");
+    assert!(out.status.success());
+
+    let _ = std::fs::remove_file(csv_path);
+    let _ = std::fs::remove_file(forest_path);
+}
+
+#[test]
+fn regression_train_compile_eval_round_trip() {
+    let forest_path = temp_path("reg-forest.json");
+    let bolt_path = temp_path("reg-bolt.json");
+
+    let out = boltc()
+        .args(["train-reg", "--workload", "trips", "--samples", "500"])
+        .args(["--trees", "4", "--height", "4", "--seed", "3"])
+        .args(["--out", forest_path.to_str().expect("utf8")])
+        .output()
+        .expect("boltc train-reg runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("RMSE"));
+
+    let out = boltc()
+        .args([
+            "compile-reg",
+            "--forest",
+            forest_path.to_str().expect("utf8"),
+        ])
+        .args(["--out", bolt_path.to_str().expect("utf8")])
+        .output()
+        .expect("boltc compile-reg runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let rmse = |flag: &str, path: &PathBuf| -> String {
+        let out = boltc()
+            .args(["eval-reg", flag, path.to_str().expect("utf8")])
+            .args(["--workload", "trips", "--samples", "300", "--seed", "3"])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .split_whitespace()
+            .last()
+            .expect("rmse token")
+            .to_owned()
+    };
+    // Compiled regressor matches the forest to printed precision.
+    assert_eq!(rmse("--forest", &forest_path), rmse("--bolt", &bolt_path));
+
+    let _ = std::fs::remove_file(forest_path);
+    let _ = std::fs::remove_file(bolt_path);
+}
+
+#[test]
+fn bad_usage_reports_errors() {
+    let out = boltc().output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = boltc()
+        .args(["train", "--out", "/tmp/x.json"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workload or --csv"));
+
+    let out = boltc().args(["frobnicate"]).output().expect("runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,60 @@
+//! The paper's exact interchange pipeline (§5): trained forest → DOT files →
+//! parsed trees → Bolt compilation, with end-to-end equivalence.
+
+use bolt_repro::core::{BoltConfig, BoltForest};
+use bolt_repro::data::Workload;
+use bolt_repro::forest::{dot, ForestConfig, RandomForest};
+
+#[test]
+fn dot_round_trip_then_compile() {
+    let train = bolt_repro::data::generate(Workload::LstwLike, 1000, 3);
+    let original = RandomForest::train(
+        &train,
+        &ForestConfig::new(6).with_max_height(4).with_seed(8),
+    );
+
+    // Export every tree to DOT text and parse it back (the scikit-learn →
+    // DOT → Bolt pipeline of the paper).
+    let parsed: Vec<_> = original
+        .trees()
+        .iter()
+        .map(|tree| dot::from_dot(&dot::to_dot(tree)).expect("round trip"))
+        .collect();
+    // DOT text does not carry feature/class counts, so parsed trees infer
+    // minimal shapes; rebuild against the widest observed.
+    let n_features = parsed.iter().map(|t| t.n_features()).max().expect("trees");
+    let n_classes = parsed.iter().map(|t| t.n_classes()).max().expect("trees");
+    let rebuilt: Vec<_> = parsed
+        .into_iter()
+        .map(|t| {
+            bolt_repro::forest::DecisionTree::from_nodes(
+                t.nodes().to_vec(),
+                n_features.max(original.n_features()),
+                n_classes.max(original.n_classes()),
+            )
+        })
+        .collect();
+    let reloaded = RandomForest::from_trees(rebuilt).expect("consistent trees");
+
+    let bolt = BoltForest::compile(&reloaded, &BoltConfig::default()).expect("compiles");
+    for (sample, _) in train.iter().take(200) {
+        assert_eq!(bolt.classify(sample), original.predict(sample));
+    }
+}
+
+#[test]
+fn model_json_round_trip_then_compile() {
+    let train = bolt_repro::data::generate(Workload::MnistLike, 500, 4);
+    let original = RandomForest::train(
+        &train,
+        &ForestConfig::new(4).with_max_height(3).with_seed(2),
+    );
+    let json = serde_json::to_string(&original).expect("serializes");
+    let reloaded: RandomForest = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(original, reloaded);
+
+    let bolt = BoltForest::compile(&reloaded, &BoltConfig::default()).expect("compiles");
+    for (sample, _) in train.iter().take(100) {
+        assert_eq!(bolt.classify(sample), original.predict(sample));
+    }
+}

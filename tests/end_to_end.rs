@@ -1,0 +1,91 @@
+//! Cross-crate integration: full pipeline per workload — generate data,
+//! train, compile with Bolt, verify equivalence against every platform, and
+//! serve over the Unix-domain-socket front-end.
+
+use bolt_repro::baselines::{
+    ForestPackingForest, InferenceEngine, RangerLikeForest, ScikitLikeForest,
+};
+use bolt_repro::core::{BoltConfig, BoltForest};
+use bolt_repro::data::Workload;
+use bolt_repro::forest::{ForestConfig, RandomForest};
+use bolt_repro::server::{BoltEngine, ClassificationClient, ClassificationServer};
+use std::sync::Arc;
+
+fn pipeline(workload: Workload, n_trees: usize, height: usize) {
+    let train = bolt_repro::data::generate(workload, 800, 1);
+    let test = bolt_repro::data::generate(workload, 200, 2);
+    let forest = RandomForest::train(
+        &train,
+        &ForestConfig::new(n_trees)
+            .with_max_height(height)
+            .with_seed(17),
+    );
+    let bolt = BoltForest::compile(&forest, &BoltConfig::default().with_cluster_threshold(2))
+        .expect("compiles");
+    let scikit = ScikitLikeForest::from_forest(&forest);
+    let ranger = RangerLikeForest::from_forest(&forest);
+    let fp = ForestPackingForest::from_forest(&forest, &train);
+
+    for (sample, _) in test.iter() {
+        let expected = forest.predict(sample);
+        assert_eq!(bolt.classify(sample), expected, "{workload} bolt");
+        assert_eq!(scikit.classify(sample), expected, "{workload} scikit");
+        assert_eq!(ranger.classify(sample), expected, "{workload} ranger");
+        assert_eq!(fp.classify(sample), expected, "{workload} fp");
+    }
+}
+
+#[test]
+fn mnist_like_pipeline() {
+    pipeline(Workload::MnistLike, 10, 4);
+}
+
+#[test]
+fn lstw_like_pipeline() {
+    pipeline(Workload::LstwLike, 8, 5);
+}
+
+#[test]
+fn yelp_like_pipeline() {
+    pipeline(Workload::YelpLike, 6, 4);
+}
+
+#[test]
+fn service_round_trip_matches_local_inference() {
+    let train = bolt_repro::data::generate(Workload::MnistLike, 600, 3);
+    let test = bolt_repro::data::generate(Workload::MnistLike, 60, 4);
+    let forest = RandomForest::train(
+        &train,
+        &ForestConfig::new(6).with_max_height(4).with_seed(5),
+    );
+    let bolt = Arc::new(BoltForest::compile(&forest, &BoltConfig::default()).expect("compiles"));
+
+    let socket = std::env::temp_dir().join(format!("bolt-e2e-{}.sock", std::process::id()));
+    let server = ClassificationServer::bind(&socket, Box::new(BoltEngine::new(Arc::clone(&bolt))))
+        .expect("binds");
+    let mut client = ClassificationClient::connect(&socket).expect("connects");
+    for (sample, _) in test.iter() {
+        let response = client.classify(sample).expect("classifies");
+        assert_eq!(response.class, bolt.classify(sample));
+        assert_eq!(response.class, forest.predict(sample));
+    }
+    assert_eq!(server.stats().requests, test.len() as u64);
+    server.shutdown();
+}
+
+#[test]
+fn scratch_path_equals_allocating_path() {
+    let train = bolt_repro::data::generate(Workload::LstwLike, 800, 9);
+    let forest = RandomForest::train(
+        &train,
+        &ForestConfig::new(7).with_max_height(5).with_seed(23),
+    );
+    let bolt = BoltForest::compile(&forest, &BoltConfig::default()).expect("compiles");
+    let mut scratch = bolt.scratch();
+    for (sample, _) in train.iter().take(150) {
+        assert_eq!(
+            bolt.classify_with(sample, &mut scratch),
+            bolt.classify(sample)
+        );
+    }
+}
