@@ -1,0 +1,69 @@
+//! Baseline engines are the control group of every benchmark in the paper
+//! (§5); if any of them disagrees with the reference traversal, the
+//! speedup numbers compare against a broken yardstick. This suite reuses
+//! `bolt_core::oracle` to hold all three baselines — scikit-like object
+//! trees, ranger-like compact arrays (scalar and batched), and the
+//! forest-packing layout — to the same bit-exact standard as Bolt itself.
+
+use bolt_baselines::{ForestPackingForest, InferenceEngine, RangerLikeForest, ScikitLikeForest};
+use bolt_core::oracle::{self, ForestSpec, OracleRng};
+use bolt_forest::Dataset;
+
+/// A small dataset with the forest's shape, used only to calibrate the
+/// forest-packing node layout (it reorders nodes by observed hotness, so
+/// any valid dataset must leave classifications unchanged).
+fn calibration(n_features: usize, n_classes: usize, rng: &mut OracleRng) -> Dataset {
+    let rows: Vec<Vec<f32>> = (0..60)
+        .map(|_| (0..n_features).map(|_| rng.uniform(-6.0, 6.0)).collect())
+        .collect();
+    let labels: Vec<u32> = (0..60).map(|_| rng.below(n_classes) as u32).collect();
+    Dataset::from_rows(rows, labels, n_classes).expect("valid calibration dataset")
+}
+
+#[test]
+fn baselines_match_reference_on_adversarial_inputs() {
+    for seed in 0..12u64 {
+        let mut rng = OracleRng::new(seed);
+        let spec = ForestSpec::sampled(&mut rng);
+        let forest = oracle::random_forest(&spec, &mut rng);
+        let thresholds = oracle::forest_thresholds(&forest);
+        let inputs = oracle::adversarial_inputs(spec.n_features, &thresholds, &mut rng, 25);
+
+        let scikit = ScikitLikeForest::from_forest(&forest);
+        let ranger = RangerLikeForest::from_forest(&forest);
+        let packed = ForestPackingForest::from_forest(
+            &forest,
+            &calibration(spec.n_features, spec.n_classes, &mut rng),
+        );
+
+        for sample in &inputs {
+            let expected = forest.predict(sample);
+            // Scikit's `check_array` rejects NaN/inf by documented contract,
+            // so it only sees the finite slice of the adversarial set.
+            let engines: &[&dyn InferenceEngine] = if sample.iter().all(|v| v.is_finite()) {
+                &[&scikit, &ranger, &packed]
+            } else {
+                &[&ranger, &packed]
+            };
+            for engine in engines {
+                assert_eq!(
+                    engine.classify(sample),
+                    expected,
+                    "seed {seed}: {} diverged from reference on {sample:?}",
+                    engine.name()
+                );
+            }
+        }
+
+        // Ranger's batched entry point must agree with its scalar path.
+        let refs: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        let batch = ranger.classify_batch(&refs);
+        for (sample, got) in inputs.iter().zip(batch) {
+            assert_eq!(
+                got,
+                forest.predict(sample),
+                "seed {seed}: batched ranger diverged on {sample:?}"
+            );
+        }
+    }
+}

@@ -178,7 +178,7 @@ mod tests {
         // width 60: second value straddles the first/second word.
         let mut v = PackedIntVec::new(60);
         let a = (1u64 << 60) - 1;
-        let b = 0x0abc_def0_1234_567;
+        let b = 0x00ab_cdef_0123_4567;
         v.push(a);
         v.push(b);
         assert_eq!(v.get(0), Some(a));

@@ -215,8 +215,8 @@ impl Dictionary {
             }
             // Mask words beyond the input's width must still match a zero
             // input word (only possible when key bits are set there).
-            for w in words.len()..key.len() {
-                diff |= key[w];
+            for &key_word in key.iter().skip(words.len()) {
+                diff |= key_word;
             }
             if diff == 0 {
                 on_match(&self.entries[idx]);

@@ -222,9 +222,9 @@ impl PackedBolt {
         for cell in table.cells() {
             slot_to_cell[table.slot_of(cell.entry_id, cell.address)] = Some(cell);
         }
-        for slot in 0..capacity {
+        for (slot, cell) in slot_to_cell.iter().enumerate() {
             slot_vote_offsets.push(classes.len() as u32);
-            match slot_to_cell[slot] {
+            match *cell {
                 Some(cell) => {
                     occupied.set(slot, true);
                     slot_entry_ids.push(u64::from(cell.entry_id));

@@ -59,6 +59,7 @@ mod error;
 pub mod explain;
 pub mod filter;
 pub mod layout;
+pub mod oracle;
 pub mod parallel;
 pub mod paths;
 pub mod regress;

@@ -83,7 +83,7 @@ pub fn lstw_like(n_samples: usize, seed: u64) -> Dataset {
         let latitude = rng.gen_range(0.0..=180.0f32).round();
         let longitude = rng.gen_range(0.0..=360.0f32).round();
         let speed_limit = *[25.0f32, 35.0, 45.0, 55.0, 65.0, 75.0]
-            .get(rng.gen_range(0..6))
+            .get(rng.gen_range(0..6usize))
             .expect("index in range");
         let event_type = rng.gen_range(0..7) as f32;
 
@@ -108,7 +108,7 @@ pub fn lstw_like(n_samples: usize, seed: u64) -> Dataset {
             score += 0.4; // highway
         }
         // Label noise.
-        score += rng.gen_range(-0.5..0.5);
+        score += rng.gen_range(-0.5f32..0.5);
         let label = (score / 1.2).floor().clamp(0.0, (N_CLASSES - 1) as f32) as u32;
 
         values.extend_from_slice(&[

@@ -59,7 +59,7 @@ pub fn trip_duration_like(n_samples: usize, seed: u64) -> RegressionDataset {
         };
         let road_type = rng.gen_range(0..5) as f32;
         let speed_limit = *[25.0f32, 35.0, 45.0, 55.0, 65.0]
-            .get(rng.gen_range(0..5))
+            .get(rng.gen_range(0..5usize))
             .expect("index in range");
 
         let rush = (7.0..=9.0).contains(&hour) || (16.0..=18.0).contains(&hour);
@@ -72,7 +72,7 @@ pub fn trip_duration_like(n_samples: usize, seed: u64) -> RegressionDataset {
         if road_type >= 3.0 {
             minutes *= 1.2; // surface streets
         }
-        minutes += rng.gen_range(-1.0..1.0);
+        minutes += rng.gen_range(-1.0f32..1.0);
         targets.push(minutes.max(0.5));
         rows.push(vec![
             distance,

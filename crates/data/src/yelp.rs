@@ -54,14 +54,14 @@ pub fn yelp_like(n_samples: usize, seed: u64) -> Dataset {
         // Positive words: more likely (and more frequent) in high ratings.
         let p_pos = (0.10 + 0.22 * sentiment).max(0.01) as f64;
         let p_neg = (0.10 - 0.22 * sentiment).max(0.01) as f64;
-        for w in 0..N_POSITIVE {
+        for count in row.iter_mut().take(N_POSITIVE) {
             if rng.gen_bool(p_pos) {
-                row[w] = rng.gen_range(1..=4) as f32;
+                *count = rng.gen_range(1..=4) as f32;
             }
         }
-        for w in 0..N_NEGATIVE {
+        for count in row.iter_mut().skip(N_POSITIVE).take(N_NEGATIVE) {
             if rng.gen_bool(p_neg) {
-                row[N_POSITIVE + w] = rng.gen_range(1..=4) as f32;
+                *count = rng.gen_range(1..=4) as f32;
             }
         }
         // Background filler words: Zipf-ish, rating-independent.

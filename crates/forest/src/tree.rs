@@ -193,8 +193,11 @@ impl DecisionTree {
     /// Enumerates every root→leaf path (Fig. 3 step 1 of the paper).
     #[must_use]
     pub fn paths(&self) -> Vec<TreePath> {
+        // A frame is the node to visit plus the tests accumulated on the
+        // way down to it.
+        type Frame = (NodeId, Vec<(u32, f32, bool)>);
         let mut out = Vec::with_capacity(self.n_leaves());
-        let mut stack: Vec<(NodeId, Vec<(u32, f32, bool)>)> = vec![(0, Vec::new())];
+        let mut stack: Vec<Frame> = vec![(0, Vec::new())];
         while let Some((id, tests)) = stack.pop() {
             match self.nodes[id as usize] {
                 NodeKind::Leaf { class } => out.push(TreePath { tests, class }),

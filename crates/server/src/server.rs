@@ -246,9 +246,9 @@ mod tests {
                 let expected = expected.clone();
                 std::thread::spawn(move || {
                     let mut client = ClassificationClient::connect(&path).expect("connects");
-                    for i in 0..20 {
+                    for (i, &want) in expected.iter().enumerate() {
                         let response = client.classify(data.sample(i)).expect("classifies");
-                        assert_eq!(response.class, expected[i]);
+                        assert_eq!(response.class, want);
                     }
                 })
             })

@@ -1,0 +1,48 @@
+//! End-to-end differential check for the serving stack (Fig. 7 of the
+//! paper): a classification served over the Unix-socket front-end — frame
+//! codec, request dispatch, engine adapter, response framing — must equal
+//! the reference forest traversal for the same adversarial inputs the
+//! in-process harness uses, including NaN and infinite features, which
+//! must survive the wire encoding bit-exactly.
+
+use std::sync::Arc;
+
+use bolt_core::oracle::{self, ForestSpec, OracleRng};
+use bolt_core::{BoltConfig, BoltForest};
+use bolt_server::{BoltEngine, ClassificationClient, ClassificationServer};
+
+#[test]
+fn served_classifications_match_reference_forest() {
+    let mut rng = OracleRng::new(0x5E1F);
+    let spec = ForestSpec::sampled(&mut rng);
+    let forest = oracle::random_forest(&spec, &mut rng);
+    let thresholds = oracle::forest_thresholds(&forest);
+    let inputs = oracle::adversarial_inputs(spec.n_features, &thresholds, &mut rng, 40);
+
+    let bolt = Arc::new(
+        BoltForest::compile(
+            &forest,
+            &BoltConfig::default()
+                .with_cluster_threshold(4)
+                .with_bloom_bits_per_key(8),
+        )
+        .expect("compiles"),
+    );
+    let path =
+        std::env::temp_dir().join(format!("bolt-test-oracle-e2e-{}.sock", std::process::id()));
+    let server = ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+    let mut client = ClassificationClient::connect(&path).expect("connects");
+
+    for sample in &inputs {
+        let response = client.classify(sample).expect("classifies");
+        assert_eq!(
+            response.class,
+            forest.predict(sample),
+            "served classification diverged from reference on {sample:?}"
+        );
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.requests as usize, inputs.len());
+    server.shutdown();
+}

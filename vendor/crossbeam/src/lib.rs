@@ -1,0 +1,100 @@
+//! Vendored stand-in for `crossbeam`'s scoped threads, built for offline
+//! use and backed by `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Matches the crossbeam 0.8 call shape used in this workspace:
+//! `crossbeam::scope(|s| { s.spawn(move |_| ...); ... }).expect(...)`.
+//! One behavioral difference: a panicking unjoined child propagates the
+//! panic (std semantics) instead of surfacing it as `Err`; joined children
+//! report panics through `join()` exactly like crossbeam.
+
+/// Handle for spawning threads that may borrow from the enclosing scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result, or `Err` if it
+    /// panicked.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload when the spawned closure panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope; the closure receives the scope so
+    /// it can spawn further threads (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Creates a scope in which threads borrowing local data can be spawned;
+/// all are joined before this returns.
+///
+/// # Errors
+///
+/// Never returns `Err` in this implementation (panics propagate instead);
+/// the `Result` mirrors crossbeam's signature so call sites can `expect`.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, mirroring the upstream layout.
+pub mod thread {
+    pub use crate::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn joined_panic_is_err() {
+        crate::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .expect("scope");
+    }
+}

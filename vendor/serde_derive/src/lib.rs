@@ -1,0 +1,405 @@
+//! Hand-rolled derive macros for the vendored `serde` facade.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote`, which are
+//! unavailable offline) and emits `impl ::serde::Serialize` /
+//! `impl ::serde::Deserialize` blocks as parsed code strings. Supports
+//! named-field structs and enums with unit, named-field, and tuple
+//! variants — the shapes this workspace derives on. Generic types are
+//! rejected with a compile-time panic. The only recognized helper
+//! attribute is `#[serde(skip)]`, which omits the field on serialize and
+//! restores it via `Default::default()` on deserialize.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Returns true when the bracketed attribute body is `serde(... skip ...)`.
+fn attr_is_serde_skip(body: &[TokenTree]) -> bool {
+    match body {
+        [TokenTree::Ident(i), TokenTree::Group(g)] if i.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes; reports whether any was
+/// `#[serde(skip)]`.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+        skip |= attr_is_serde_skip(&body);
+        *pos += 2;
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips tokens until a comma at angle-bracket depth zero, consuming the
+/// comma itself. Used to pass over field types and variant discriminants.
+fn eat_until_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut pos);
+        eat_vis(&tokens, &mut pos);
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            panic!("serde_derive: expected field name, got {:?}", tokens[pos]);
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        eat_until_comma(&tokens, &mut pos);
+    }
+    fields
+}
+
+/// Counts the comma-separated types in a tuple-variant parenthesis group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        count += 1;
+        eat_until_comma(&tokens, &mut pos);
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        eat_attrs(&tokens, &mut pos);
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            panic!("serde_derive: expected variant name, got {:?}", tokens[pos]);
+        };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Swallow any `= discriminant` and the trailing comma.
+        eat_until_comma(&tokens, &mut pos);
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    eat_attrs(&tokens, &mut pos);
+    eat_vis(&tokens, &mut pos);
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+    let TokenTree::Ident(name) = &tokens[pos] else {
+        panic!("serde_derive: expected type name, got {:?}", tokens[pos]);
+    };
+    let name = name.to_string();
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive (vendored): `{name}` must have a braced body \
+             (tuple/unit structs unsupported), got {other:?}"
+        ),
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n"
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                let _ = writeln!(
+                    out,
+                    "entries.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname})));"
+                );
+            }
+            out.push_str("::serde::Value::Map(entries)\n}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            out,
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                            binders.join(", ")
+                        );
+                        for f in fields {
+                            let fname = &f.name;
+                            let _ = writeln!(
+                                out,
+                                "entries.push((\"{fname}\".to_string(), ::serde::Serialize::to_value({fname})));"
+                            );
+                        }
+                        let _ = write!(
+                            out,
+                            "::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(entries))])\n}}\n"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                            binders.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_named_field_build(type_name: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            let _ = writeln!(out, "{fname}: ::core::default::Default::default(),");
+        } else {
+            let _ = write!(
+                out,
+                "{fname}: match ::serde::field({map_expr}, \"{fname}\") {{\n\
+                 Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                 None => return Err(::serde::Error::custom(\"missing field `{fname}` in {type_name}\")),\n\
+                 }},\n"
+            );
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 let map = v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                 Ok({name} {{\n{}\
+                 }})\n}}\n}}\n",
+                gen_named_field_build(name, fields, "map")
+            );
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n"
+            );
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            if !units.is_empty() {
+                out.push_str("if let Some(s) = v.as_str() {\nmatch s {\n");
+                for v in &units {
+                    let vname = &v.name;
+                    let _ = writeln!(out, "\"{vname}\" => return Ok({name}::{vname}),");
+                }
+                out.push_str("_ => {}\n}\n}\n");
+            }
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            if !tagged.is_empty() {
+                out.push_str(
+                    "if let Some(entries) = v.as_map() {\n\
+                     if entries.len() == 1 {\n\
+                     let (tag, inner) = &entries[0];\n\
+                     match tag.as_str() {\n",
+                );
+                for v in &tagged {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Named(fields) => {
+                            let _ = write!(
+                                out,
+                                "\"{vname}\" => {{\n\
+                                 let vmap = inner.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for variant {name}::{vname}\"))?;\n\
+                                 return Ok({name}::{vname} {{\n{}\
+                                 }});\n}}\n",
+                                gen_named_field_build(&format!("{name}::{vname}"), fields, "vmap")
+                            );
+                        }
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            let _ = write!(
+                                out,
+                                "\"{vname}\" => {{\n\
+                                 let items = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected seq for variant {name}::{vname}\"))?;\n\
+                                 if items.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for {name}::{vname}\")); }}\n\
+                                 return Ok({name}::{vname}({}));\n}}\n",
+                                elems.join(", ")
+                            );
+                        }
+                        VariantKind::Unit => unreachable!(),
+                    }
+                }
+                out.push_str("_ => {}\n}\n}\n}\n");
+            }
+            let _ = write!(
+                out,
+                "Err(::serde::Error::custom(\"no variant of {name} matched\"))\n}}\n}}\n"
+            );
+        }
+    }
+    out
+}
+
+/// Derives `::serde::Serialize` (value-model form) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `::serde::Deserialize` (value-model form) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
