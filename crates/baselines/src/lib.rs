@@ -64,6 +64,22 @@ pub trait InferenceEngine: Send + Sync {
     /// Implementations may panic if the sample is shorter than the forest's
     /// feature count.
     fn classify(&self, sample: &[f32]) -> u32;
+
+    /// Classifies a batch of samples, returning one class per sample in
+    /// order.
+    ///
+    /// The default loops over [`classify`](Self::classify); engines with a
+    /// genuinely batched kernel (Bolt's entry-major scan, Ranger's
+    /// tree-major sweep) override this to amortize per-structure costs
+    /// across the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if any sample is shorter than the forest's
+    /// feature count.
+    fn classify_batch(&self, samples: &[&[f32]]) -> Vec<u32> {
+        samples.iter().map(|s| self.classify(s)).collect()
+    }
 }
 
 impl<T: InferenceEngine + ?Sized> InferenceEngine for &T {
@@ -73,6 +89,12 @@ impl<T: InferenceEngine + ?Sized> InferenceEngine for &T {
 
     fn classify(&self, sample: &[f32]) -> u32 {
         (**self).classify(sample)
+    }
+
+    // Forward explicitly so an engine's batched override is not lost
+    // behind the default when called through a reference.
+    fn classify_batch(&self, samples: &[&[f32]]) -> Vec<u32> {
+        (**self).classify_batch(samples)
     }
 }
 

@@ -162,6 +162,10 @@ impl InferenceEngine for RangerLikeForest {
         }
         best as u32
     }
+
+    fn classify_batch(&self, samples: &[&[f32]]) -> Vec<u32> {
+        Self::classify_batch(self, samples)
+    }
 }
 
 #[cfg(test)]

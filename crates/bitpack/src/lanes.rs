@@ -1,0 +1,137 @@
+//! Word-level helpers for multi-sample (lane-parallel) masked compares.
+//!
+//! Bolt's per-sample dictionary scan tests one input against one entry at a
+//! time: `(input & mask) == key` over the entry's stride words. The batched
+//! engine inverts that loop — for each entry it tests *B* encoded samples at
+//! once. When the batch's mask words are stored lane-contiguously (word `w`
+//! of sample `b` at `lanes[w * B + b]`), the per-word compare becomes a
+//! dense loop over `B` adjacent words with a single broadcast mask/key pair,
+//! which the compiler auto-vectorizes into wide SIMD ops. These helpers are
+//! that inner loop.
+
+/// Folds one entry word's masked compare into per-sample diff accumulators:
+/// `diffs[b] |= (lanes[b] & mask) ^ key` for every lane.
+///
+/// A sample matches the entry iff its accumulated diff over all stride
+/// words is zero — exactly the per-sample `masked_eq`, vectorized across
+/// the batch.
+///
+/// # Panics
+///
+/// Panics if `lanes` and `diffs` differ in length.
+#[inline]
+pub fn fold_masked_compare(lanes: &[u64], mask: u64, key: u64, diffs: &mut [u64]) {
+    assert_eq!(
+        lanes.len(),
+        diffs.len(),
+        "lane count {} != diff count {}",
+        lanes.len(),
+        diffs.len()
+    );
+    for (d, &w) in diffs.iter_mut().zip(lanes) {
+        *d |= (w & mask) ^ key;
+    }
+}
+
+/// Overwrites each diff with one entry word's masked compare:
+/// `diffs[b] = (lanes[b] & mask) ^ key` for every lane.
+///
+/// The non-accumulating variant of [`fold_masked_compare`], used for the
+/// first stride word so the kernel skips a separate zero-fill pass.
+///
+/// # Panics
+///
+/// Panics if `lanes` and `diffs` differ in length.
+#[inline]
+pub fn masked_compare_into(lanes: &[u64], mask: u64, key: u64, diffs: &mut [u64]) {
+    assert_eq!(
+        lanes.len(),
+        diffs.len(),
+        "lane count {} != diff count {}",
+        lanes.len(),
+        diffs.len()
+    );
+    for (d, &w) in diffs.iter_mut().zip(lanes) {
+        *d = (w & mask) ^ key;
+    }
+}
+
+/// Appends the indices of zero diff accumulators (the samples that matched
+/// every word of the entry) to `out`.
+#[inline]
+pub fn zero_lanes_into(diffs: &[u64], out: &mut Vec<u32>) {
+    for (i, &d) in diffs.iter().enumerate() {
+        if d == 0 {
+            out.push(i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mask;
+
+    #[test]
+    fn fold_agrees_with_single_sample_masked_eq() {
+        // 8 samples over one word, random-ish bit patterns.
+        let inputs: Vec<u64> = (0..8).map(|i| 0x9E37_79B9u64.wrapping_mul(i + 1)).collect();
+        let mask = 0x0F0F_0F0F_0F0Fu64;
+        let key = inputs[3] & mask; // sample 3 matches by construction
+        let mut diffs = vec![0u64; 8];
+        fold_masked_compare(&inputs, mask, key, &mut diffs);
+        for (b, (&input, &diff)) in inputs.iter().zip(&diffs).enumerate() {
+            let mut im = Mask::zeros(64);
+            let mut mm = Mask::zeros(64);
+            let mut km = Mask::zeros(64);
+            im.as_mut_words()[0] = input;
+            mm.as_mut_words()[0] = mask;
+            km.as_mut_words()[0] = key;
+            assert_eq!(diff == 0, im.masked_eq(&mm, &km), "sample {b}");
+        }
+    }
+
+    #[test]
+    fn fold_accumulates_across_words() {
+        // Two stride words: a sample must match both to stay zero.
+        let word0 = [0b1010u64, 0b1010];
+        let word1 = [0b0001u64, 0b0000];
+        let mut diffs = vec![0u64; 2];
+        fold_masked_compare(&word0, 0b1111, 0b1010, &mut diffs);
+        assert_eq!(diffs, [0, 0]);
+        fold_masked_compare(&word1, 0b0001, 0b0001, &mut diffs);
+        assert_eq!(diffs[0], 0, "sample 0 matches both words");
+        assert_ne!(diffs[1], 0, "sample 1 fails the second word");
+    }
+
+    #[test]
+    fn zero_lanes_reports_matching_indices() {
+        let mut out = Vec::new();
+        zero_lanes_into(&[0, 3, 0, 0, 9], &mut out);
+        assert_eq!(out, [0, 2, 3]);
+        // Appends without clearing.
+        zero_lanes_into(&[1, 0], &mut out);
+        assert_eq!(out, [0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn compare_into_overwrites_stale_diffs() {
+        let mut diffs = vec![u64::MAX; 3];
+        masked_compare_into(&[0b1010, 0b1000, 0b0010], 0b1010, 0b1010, &mut diffs);
+        assert_eq!(diffs[0], 0, "exact match overwrites a stale nonzero diff");
+        assert_ne!(diffs[1], 0);
+        assert_ne!(diffs[2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn mismatched_lengths_panic() {
+        fold_masked_compare(&[0u64; 3], 0, 0, &mut [0u64; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn compare_into_mismatched_lengths_panic() {
+        masked_compare_into(&[0u64; 2], 0, 0, &mut [0u64; 3]);
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`KneeCodec`] — the "knee-point" variable-width codec from §5 of the
 //!   paper: most values are stored with just enough bits to cover the 99th
 //!   percentile, and rare outliers spill into a side table.
+//! * [`lanes`] — word-level helpers for the batched engine's entry-major,
+//!   multi-sample masked compare.
 //!
 //! # Examples
 //!
@@ -39,6 +41,7 @@
 
 mod bitvec;
 mod knee;
+pub mod lanes;
 mod mask;
 mod packed;
 

@@ -1,0 +1,410 @@
+//! Entry-major batched inference with thread-parallel batch sharding.
+//!
+//! The per-sample engine re-walks the entire dictionary's mask/key columns
+//! for every input, even though those columns are sample-independent (§4
+//! fn. 2: the dictionary is *scanned*, not probed). When many samples
+//! arrive together, the scan can be inverted: iterate **entry-major**, load
+//! each entry's stride-packed mask/key words once, and test all `B` encoded
+//! sample masks against them with dense lane loops
+//! ([`bolt_bitpack::lanes`]) that the compiler auto-vectorizes. Matching
+//! samples then gather their table addresses through the dictionary's
+//! contiguous `uncommon_flat` mirror and accumulate votes into one flat
+//! `B × n_classes` arena — zero per-sample allocation.
+//!
+//! The accumulation order per sample (constant votes first, then entries in
+//! dictionary order) is exactly the per-sample path's order, so vote
+//! vectors are **bit-identical** to [`BoltForest::classify_with`] — the
+//! differential harness pins this.
+//!
+//! On top of the kernel, [`BoltForest::classify_batch_sharded`] shards a
+//! batch across OS threads (crossbeam scoped threads), each shard running
+//! the entry-major kernel with its own [`BatchScratch`]; outputs land in
+//! disjoint slices so aggregation is a single pass with no locking.
+
+use crate::engine::{argmax, BoltForest};
+use bolt_bitpack::Mask;
+
+/// Reusable buffers for allocation-free batched inference, mirroring
+/// [`BoltScratch`](crate::BoltScratch) for the single-sample hot path.
+/// Create one per serving thread with [`BoltForest::batch_scratch`]; the
+/// buffers grow to the largest batch seen and are reused thereafter.
+#[derive(Clone, Debug)]
+pub struct BatchScratch {
+    /// Per-sample staging buffer for predicate encoding.
+    encode: Mask,
+    /// Lane-contiguous batch masks: word `w` of sample `b` at
+    /// `lanes[w * n_samples + b]`.
+    lanes: Vec<u64>,
+    /// Per-sample diff accumulators for the entry-major compare.
+    diffs: Vec<u64>,
+    /// Indices of samples matching the current entry.
+    matched: Vec<u32>,
+    /// Flat `n_samples × n_classes` vote arena.
+    votes: Vec<f64>,
+    /// Samples laid out by the most recent run.
+    n_samples: usize,
+    n_classes: usize,
+}
+
+impl BatchScratch {
+    fn new(width: usize, n_classes: usize) -> Self {
+        Self {
+            encode: Mask::zeros(width),
+            lanes: Vec::new(),
+            diffs: Vec::new(),
+            matched: Vec::new(),
+            votes: Vec::new(),
+            n_samples: 0,
+            n_classes,
+        }
+    }
+
+    fn reset(&mut self, n_samples: usize, stride: usize) {
+        self.n_samples = n_samples;
+        self.lanes.clear();
+        self.lanes.resize(stride * n_samples, 0);
+        self.diffs.clear();
+        self.diffs.resize(n_samples, 0);
+        self.votes.clear();
+        self.votes.resize(n_samples * self.n_classes, 0.0);
+    }
+
+    /// Per-class vote weights of sample `b` from the most recent batch run
+    /// — bit-identical to [`BoltForest::votes_for_bits`] on the same
+    /// sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is outside the most recent batch.
+    #[must_use]
+    pub fn votes(&self, b: usize) -> &[f64] {
+        assert!(
+            b < self.n_samples,
+            "sample {b} outside the last batch of {}",
+            self.n_samples
+        );
+        &self.votes[b * self.n_classes..(b + 1) * self.n_classes]
+    }
+
+    /// Number of samples laid out by the most recent run.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Whether the most recent run was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_samples == 0
+    }
+}
+
+impl BoltForest {
+    /// Creates a reusable scratch buffer for batched inference via
+    /// [`Self::classify_batch_with`].
+    #[must_use]
+    pub fn batch_scratch(&self) -> BatchScratch {
+        BatchScratch::new(self.universe().len(), self.n_classes())
+    }
+
+    /// Runs the entry-major kernel over `samples`, leaving each sample's
+    /// vote vector in the scratch arena ([`BatchScratch::votes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is shorter than the universe's feature count or
+    /// the scratch came from a differently-shaped forest.
+    pub fn batch_votes_with(&self, samples: &[&[f32]], scratch: &mut BatchScratch) {
+        let n = samples.len();
+        assert_eq!(
+            scratch.n_classes,
+            self.n_classes(),
+            "scratch from another forest"
+        );
+        let dictionary = self.dictionary();
+        scratch.reset(n, dictionary.stride());
+        if n == 0 {
+            return;
+        }
+        let BatchScratch {
+            ref mut encode,
+            ref mut lanes,
+            ref mut diffs,
+            ref mut matched,
+            ref mut votes,
+            n_classes,
+            ..
+        } = *scratch;
+        // Encode each sample once, scattering its words lane-contiguously
+        // so the entry-major compare reads dense memory.
+        for (b, sample) in samples.iter().enumerate() {
+            self.universe().evaluate_into(sample, encode);
+            for (w, &word) in encode
+                .as_words()
+                .iter()
+                .enumerate()
+                .take(dictionary.stride())
+            {
+                lanes[w * n + b] = word;
+            }
+        }
+        for votes in votes.chunks_exact_mut(n_classes) {
+            for &(class, weight) in self.constant_votes() {
+                votes[class as usize] += weight;
+            }
+        }
+        // Entry-major: each entry's mask/key words are loaded once and
+        // compared against all B samples; only matching samples gather an
+        // address and touch the bloom filter / table. Samples matching one
+        // entry usually share its table address (always, when the entry has
+        // no uncommon predicates), so the bloom probe + table lookup is
+        // memoized on the address — a second amortization the sample-major
+        // path cannot express.
+        dictionary.scan_lanes(lanes, n, diffs, matched, |entry, matched| {
+            let mut last: Option<(u64, &[(u32, f64)])> = None;
+            for &b in matched {
+                let b = b as usize;
+                let address = dictionary.address_of_lane(entry.id, lanes, n, b);
+                let cell = match last {
+                    Some((a, cell)) if a == address => cell,
+                    _ => {
+                        let cell = self.lookup_entry_votes(entry.id, address);
+                        last = Some((address, cell));
+                        cell
+                    }
+                };
+                let votes = &mut votes[b * n_classes..(b + 1) * n_classes];
+                for &(class, weight) in cell {
+                    votes[class as usize] += weight;
+                }
+            }
+        });
+    }
+
+    /// Allocation-free batched classification through a caller-owned
+    /// scratch: classes are written into `out` (cleared first), index-for-
+    /// index with `samples`. Identical results to calling
+    /// [`Self::classify_with`] per sample.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::batch_votes_with`].
+    pub fn classify_batch_with(
+        &self,
+        samples: &[&[f32]],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<u32>,
+    ) {
+        self.batch_votes_with(samples, scratch);
+        out.clear();
+        out.extend((0..samples.len()).map(|b| argmax(scratch.votes(b))));
+    }
+
+    /// Convenience wrapper: batched classification with a fresh scratch.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::batch_votes_with`].
+    #[must_use]
+    pub fn classify_batch(&self, samples: &[&[f32]]) -> Vec<u32> {
+        let mut scratch = self.batch_scratch();
+        let mut out = Vec::with_capacity(samples.len());
+        self.classify_batch_with(samples, &mut scratch, &mut out);
+        out
+    }
+
+    /// Per-sample vote vectors for a batch (test/evaluation convenience
+    /// over [`Self::batch_votes_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::batch_votes_with`].
+    #[must_use]
+    pub fn votes_batch(&self, samples: &[&[f32]]) -> Vec<Vec<f64>> {
+        let mut scratch = self.batch_scratch();
+        self.batch_votes_with(samples, &mut scratch);
+        (0..samples.len())
+            .map(|b| scratch.votes(b).to_vec())
+            .collect()
+    }
+
+    /// Thread-parallel batched classification: the batch is split into
+    /// `shards` contiguous chunks, each run through the entry-major kernel
+    /// on its own scoped thread with a private [`BatchScratch`]; results
+    /// land in disjoint output slices (one aggregation pass, no locking).
+    /// Classes are identical to [`Self::classify_batch`] regardless of
+    /// shard count.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::batch_votes_with`].
+    #[must_use]
+    pub fn classify_batch_sharded(&self, samples: &[&[f32]], shards: usize) -> Vec<u32> {
+        let shards = shards.clamp(1, samples.len().max(1));
+        if shards <= 1 {
+            return self.classify_batch(samples);
+        }
+        let chunk = samples.len().div_ceil(shards);
+        let mut out = vec![0u32; samples.len()];
+        crossbeam::scope(|scope| {
+            for (shard_samples, shard_out) in samples.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    let mut scratch = self.batch_scratch();
+                    let mut classes = Vec::with_capacity(shard_samples.len());
+                    self.classify_batch_with(shard_samples, &mut scratch, &mut classes);
+                    shard_out.copy_from_slice(&classes);
+                });
+            }
+        })
+        .expect("crossbeam scope");
+        out
+    }
+
+    /// Sharded counterpart of [`Self::votes_batch`]: per-sample vote
+    /// vectors computed shard-parallel. Used by the differential harness to
+    /// pin the sharded path's votes bit-identically to the per-sample
+    /// engine.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::batch_votes_with`].
+    #[must_use]
+    pub fn votes_batch_sharded(&self, samples: &[&[f32]], shards: usize) -> Vec<Vec<f64>> {
+        let shards = shards.clamp(1, samples.len().max(1));
+        if shards <= 1 {
+            return self.votes_batch(samples);
+        }
+        let chunk = samples.len().div_ceil(shards);
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); samples.len()];
+        crossbeam::scope(|scope| {
+            for (shard_samples, shard_out) in samples.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    let votes = self.votes_batch(shard_samples);
+                    for (slot, votes) in shard_out.iter_mut().zip(votes) {
+                        *slot = votes;
+                    }
+                });
+            }
+        })
+        .expect("crossbeam scope");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoltConfig;
+    use bolt_forest::{Dataset, ForestConfig, RandomForest};
+
+    fn fixture() -> (Dataset, RandomForest, BoltForest) {
+        let rows: Vec<Vec<f32>> = (0..140)
+            .map(|i| vec![(i % 8) as f32, (i % 5) as f32, (i % 3) as f32])
+            .collect();
+        let labels: Vec<u32> = rows
+            .iter()
+            .map(|r| u32::from(r[0] + r[1] > 6.0) + u32::from(r[0] > 5.0))
+            .collect();
+        let data = Dataset::from_rows(rows, labels, 3).expect("valid");
+        let forest = RandomForest::train(
+            &data,
+            &ForestConfig::new(10).with_max_height(4).with_seed(17),
+        );
+        let bolt = BoltForest::compile(&forest, &BoltConfig::default()).expect("compiles");
+        (data, forest, bolt)
+    }
+
+    #[test]
+    fn batch_classes_match_per_sample_engine() {
+        let (data, forest, bolt) = fixture();
+        let samples: Vec<&[f32]> = (0..data.len()).map(|i| data.sample(i)).collect();
+        let batched = bolt.classify_batch(&samples);
+        assert_eq!(batched.len(), samples.len());
+        for (i, &class) in batched.iter().enumerate() {
+            assert_eq!(class, forest.predict(samples[i]), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn batch_votes_are_bit_identical_to_per_sample_votes() {
+        let (data, _, bolt) = fixture();
+        let samples: Vec<&[f32]> = (0..60).map(|i| data.sample(i)).collect();
+        let mut scratch = bolt.batch_scratch();
+        bolt.batch_votes_with(&samples, &mut scratch);
+        for (b, sample) in samples.iter().enumerate() {
+            let expected = bolt.votes_for_bits(&bolt.encode(sample));
+            assert_eq!(scratch.votes(b), expected.as_slice(), "sample {b}");
+        }
+    }
+
+    #[test]
+    fn sharding_is_invisible_in_the_results() {
+        let (data, _, bolt) = fixture();
+        let samples: Vec<&[f32]> = (0..data.len()).map(|i| data.sample(i)).collect();
+        let reference = bolt.classify_batch(&samples);
+        for shards in [1, 2, 3, 7, samples.len(), samples.len() + 5] {
+            assert_eq!(
+                bolt.classify_batch_sharded(&samples, shards),
+                reference,
+                "{shards} shards"
+            );
+        }
+        assert_eq!(
+            bolt.votes_batch_sharded(&samples, 4),
+            bolt.votes_batch(&samples)
+        );
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_batch_sizes() {
+        let (data, forest, bolt) = fixture();
+        let mut scratch = bolt.batch_scratch();
+        let mut out = Vec::new();
+        for len in [1usize, 5, 3, 64, 2] {
+            let samples: Vec<&[f32]> = (0..len).map(|i| data.sample(i)).collect();
+            bolt.classify_batch_with(&samples, &mut scratch, &mut out);
+            assert_eq!(out.len(), len);
+            for (i, &class) in out.iter().enumerate() {
+                assert_eq!(class, forest.predict(samples[i]), "len {len} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (_, _, bolt) = fixture();
+        assert!(bolt.classify_batch(&[]).is_empty());
+        assert!(bolt.classify_batch_sharded(&[], 4).is_empty());
+        let mut scratch = bolt.batch_scratch();
+        bolt.batch_votes_with(&[], &mut scratch);
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn constant_vote_forests_batch_correctly() {
+        use bolt_forest::{DecisionTree, NodeKind};
+        let trees = vec![
+            DecisionTree::from_nodes(vec![NodeKind::Leaf { class: 0 }], 1, 2),
+            DecisionTree::from_nodes(vec![NodeKind::Leaf { class: 1 }], 1, 2),
+            DecisionTree::from_nodes(vec![NodeKind::Leaf { class: 1 }], 1, 2),
+        ];
+        let forest = RandomForest::from_trees(trees).expect("forest");
+        let bolt = BoltForest::compile(&forest, &BoltConfig::default()).expect("compiles");
+        let samples: Vec<&[f32]> = vec![&[0.0], &[5.0]];
+        assert_eq!(bolt.classify_batch(&samples), vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch from another forest")]
+    fn foreign_scratch_panics() {
+        let (data, _, bolt) = fixture();
+        let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 4) as f32]).collect();
+        let labels: Vec<u32> = (0..40).map(|i| u32::from(i % 4 > 1)).collect();
+        let other_data = Dataset::from_rows(rows, labels, 2).expect("valid");
+        let other_forest = RandomForest::train(&other_data, &ForestConfig::new(3).with_seed(5));
+        let other = BoltForest::compile(&other_forest, &BoltConfig::default()).expect("compiles");
+        let mut scratch = other.batch_scratch();
+        let samples: Vec<&[f32]> = vec![data.sample(0)];
+        bolt.batch_votes_with(&samples, &mut scratch);
+    }
+}

@@ -224,6 +224,110 @@ impl Dictionary {
         }
     }
 
+    /// Entry-major batched scan: tests `n_samples` encoded inputs against
+    /// every entry, invoking `on_entry` with each entry and the indices of
+    /// the samples that matched it.
+    ///
+    /// `lane_words` holds the batch's predicate masks lane-contiguously:
+    /// word `w` of sample `b` lives at `lane_words[w * n_samples + b]`, so
+    /// each entry's stride words are loaded **once** and compared against
+    /// all samples with dense, auto-vectorizable word loops (the inverse of
+    /// [`Self::scan`]'s sample-major loop). `diffs` (≥ `n_samples` long) and
+    /// `matched` are caller-owned scratch so repeated scans allocate
+    /// nothing.
+    ///
+    /// Zero-mask words are skipped outright: key bits only exist under mask
+    /// bits (key ⊆ mask by construction), so a word with no mask can never
+    /// reject a sample. Cluster masks are sparse — a cluster's common pairs
+    /// touch a handful of the stride's words — so the entry-major cost is
+    /// `nnz × B` fused compare ops instead of the sample-major scan's
+    /// `stride × B` loads, on top of the amortized mask/key traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_words` is not `stride × n_samples` long or `diffs`
+    /// is shorter than `n_samples`.
+    pub fn scan_lanes<F: FnMut(&DictEntry, &[u32])>(
+        &self,
+        lane_words: &[u64],
+        n_samples: usize,
+        diffs: &mut [u64],
+        matched: &mut Vec<u32>,
+        mut on_entry: F,
+    ) {
+        if self.entries.is_empty() || n_samples == 0 {
+            return;
+        }
+        assert_eq!(
+            lane_words.len(),
+            self.stride * n_samples,
+            "lane words must be stride ({}) x n_samples ({})",
+            self.stride,
+            n_samples
+        );
+        let diffs = &mut diffs[..n_samples];
+        for (idx, (mask, key)) in self
+            .mask_words
+            .chunks_exact(self.stride)
+            .zip(self.key_words.chunks_exact(self.stride))
+            .enumerate()
+        {
+            // Dense vectorizable pass per *nonzero* mask word; zero-mask
+            // words carry no key bits (key ⊆ mask by construction) so they
+            // can never reject and are skipped without touching the batch.
+            let mut first = true;
+            for w in 0..self.stride {
+                if mask[w] == 0 {
+                    continue;
+                }
+                let lane = &lane_words[w * n_samples..(w + 1) * n_samples];
+                if first {
+                    bolt_bitpack::lanes::masked_compare_into(lane, mask[w], key[w], diffs);
+                    first = false;
+                } else {
+                    bolt_bitpack::lanes::fold_masked_compare(lane, mask[w], key[w], diffs);
+                }
+            }
+            matched.clear();
+            if first {
+                // Entry with an all-zero mask matches every sample.
+                matched.extend(0..n_samples as u32);
+            } else {
+                bolt_bitpack::lanes::zero_lanes_into(diffs, matched);
+            }
+            if !matched.is_empty() {
+                on_entry(&self.entries[idx], matched);
+            }
+        }
+    }
+
+    /// Address gather for sample `sample` of a lane-contiguous batch (the
+    /// batched counterpart of [`Self::address_of`]): bit `p` of sample `b`
+    /// is read from `lane_words[(p / 64) * n_samples + b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `sample` is out of range.
+    #[must_use]
+    pub fn address_of_lane(
+        &self,
+        id: u32,
+        lane_words: &[u64],
+        n_samples: usize,
+        sample: usize,
+    ) -> u64 {
+        let (lo, hi) = (
+            self.uncommon_offsets[id as usize] as usize,
+            self.uncommon_offsets[id as usize + 1] as usize,
+        );
+        let mut address = 0u64;
+        for (bit, &pred) in self.uncommon_flat[lo..hi].iter().enumerate() {
+            let p = pred as usize;
+            address |= (lane_words[(p / 64) * n_samples + sample] >> (p % 64) & 1) << bit;
+        }
+        address
+    }
+
     /// Bytes consumed by the packed scan arrays.
     #[must_use]
     pub fn scan_bytes(&self) -> usize {
@@ -363,6 +467,102 @@ mod tests {
             }
             for entry in dict.entries() {
                 assert_eq!(dict.address_of(entry.id, &input), entry.address_of(&input));
+            }
+        }
+    }
+
+    /// Packs sample masks lane-contiguously (word `w` of sample `b` at
+    /// `out[w * n + b]`), as the batched engine does.
+    fn to_lanes(inputs: &[Mask], stride: usize) -> Vec<u64> {
+        let n = inputs.len();
+        let mut lanes = vec![0u64; stride * n];
+        for (b, input) in inputs.iter().enumerate() {
+            for (w, &word) in input.as_words().iter().enumerate().take(stride) {
+                lanes[w * n + b] = word;
+            }
+        }
+        lanes
+    }
+
+    #[test]
+    fn lane_scan_agrees_with_per_sample_scan() {
+        let dict = small_dictionary();
+        let inputs: Vec<Mask> = (0u8..8)
+            .map(|input_bits| {
+                let mut input = Mask::zeros(3);
+                for b in 0..3 {
+                    input.set(b, input_bits >> b & 1 == 1);
+                }
+                input
+            })
+            .collect();
+        let lanes = to_lanes(&inputs, dict.stride());
+        let mut per_entry: Vec<(u32, Vec<u32>)> = Vec::new();
+        let (mut diffs, mut matched) = (vec![0u64; inputs.len()], Vec::new());
+        dict.scan_lanes(&lanes, inputs.len(), &mut diffs, &mut matched, |e, m| {
+            per_entry.push((e.id, m.to_vec()));
+        });
+        // Reference: per-sample scan, regrouped entry-major.
+        let mut expected: Vec<(u32, Vec<u32>)> = Vec::new();
+        for entry in dict.entries() {
+            let samples: Vec<u32> = inputs
+                .iter()
+                .enumerate()
+                .filter(|(_, input)| dict.matches(entry.id, input))
+                .map(|(b, _)| b as u32)
+                .collect();
+            if !samples.is_empty() {
+                expected.push((entry.id, samples));
+            }
+        }
+        assert_eq!(per_entry, expected);
+    }
+
+    #[test]
+    fn lane_scan_handles_multiword_stride() {
+        let sorted = SortedPaths::from_paths(
+            vec![
+                path(&[(70, true), (100, false)], 0, 0),
+                path(&[(70, true), (100, true)], 1, 0),
+            ],
+            1,
+        );
+        let clustering = Clustering::greedy(&sorted, 2).expect("clusters");
+        let dict = Dictionary::from_clustering(&clustering, 128);
+        let mut yes = Mask::zeros(128);
+        yes.set(70, true);
+        let no = Mask::zeros(128);
+        let inputs = [yes, no];
+        let lanes = to_lanes(&inputs, dict.stride());
+        let (mut diffs, mut matched) = (vec![0u64; 2], Vec::new());
+        let mut seen = Vec::new();
+        dict.scan_lanes(&lanes, 2, &mut diffs, &mut matched, |e, m| {
+            seen.push((e.id, m.to_vec()));
+        });
+        assert_eq!(seen, vec![(0, vec![0])], "only sample 0 sets predicate 70");
+    }
+
+    #[test]
+    fn lane_address_matches_flat_address() {
+        let dict = small_dictionary();
+        let inputs: Vec<Mask> = (0u8..8)
+            .map(|input_bits| {
+                let mut input = Mask::zeros(3);
+                for b in 0..3 {
+                    input.set(b, input_bits >> b & 1 == 1);
+                }
+                input
+            })
+            .collect();
+        let lanes = to_lanes(&inputs, dict.stride());
+        for entry in dict.entries() {
+            for (b, input) in inputs.iter().enumerate() {
+                assert_eq!(
+                    dict.address_of_lane(entry.id, &lanes, inputs.len(), b),
+                    dict.address_of(entry.id, input),
+                    "entry {} sample {b}",
+                    entry.id
+                );
             }
         }
     }

@@ -234,33 +234,88 @@ impl BoltForest {
     #[must_use]
     pub fn votes_with_stats(&self, bits: &Mask) -> (Vec<f64>, InferenceStats) {
         let mut votes = vec![0.0f64; self.n_classes];
-        for &(class, weight) in &self.constant_votes {
-            votes[class as usize] += weight;
-        }
         let mut stats = InferenceStats {
             entries_scanned: self.dictionary.len(),
             ..InferenceStats::default()
         };
-        self.dictionary.scan(bits, |entry| {
-            stats.entries_matched += 1;
-            let address = entry.address_of(bits);
-            if let Some(bloom) = &self.bloom {
-                if !bloom.contains(table_key(entry.id, address)) {
-                    stats.bloom_rejects += 1;
-                    return;
-                }
-            }
-            match self.table.lookup(entry.id, address) {
-                Some(cell) => {
-                    stats.table_hits += 1;
-                    for &(class, weight) in &cell.votes {
-                        votes[class as usize] += weight;
-                    }
-                }
-                None => stats.table_misses += 1,
-            }
-        });
+        self.scan_votes_into(bits, &mut votes, Some(&mut stats));
         (votes, stats)
+    }
+
+    /// The single shared scan body behind every inference path: constant
+    /// votes, dictionary scan, bloom filtering, verified table lookups, and
+    /// vote accumulation — counted into `stats` when provided. Both the
+    /// stats path and the allocation-free hot path call this, so the two
+    /// can never drift. Votes must be zeroed by the caller.
+    pub(crate) fn scan_votes_into(
+        &self,
+        bits: &Mask,
+        votes: &mut [f64],
+        mut stats: Option<&mut InferenceStats>,
+    ) {
+        for &(class, weight) in &self.constant_votes {
+            votes[class as usize] += weight;
+        }
+        self.dictionary.scan(bits, |entry| {
+            if let Some(stats) = stats.as_deref_mut() {
+                stats.entries_matched += 1;
+            }
+            // Address gather through the contiguous `uncommon_flat` mirror
+            // (no per-entry heap hop).
+            let address = self.dictionary.address_of(entry.id, bits);
+            self.accumulate_entry_votes(entry.id, address, votes, stats.as_deref_mut());
+        });
+    }
+
+    /// Back half of the shared scan body, from a matched entry's gathered
+    /// address onward: bloom filtering, the verified table lookup, and vote
+    /// accumulation. The batched kernel calls this per matched
+    /// (entry, sample) pair, so additions happen in the exact order of the
+    /// per-sample path and votes stay bit-identical.
+    #[inline]
+    pub(crate) fn accumulate_entry_votes(
+        &self,
+        entry_id: u32,
+        address: u64,
+        votes: &mut [f64],
+        stats: Option<&mut InferenceStats>,
+    ) {
+        if let Some(bloom) = &self.bloom {
+            if !bloom.contains(table_key(entry_id, address)) {
+                if let Some(stats) = stats {
+                    stats.bloom_rejects += 1;
+                }
+                return;
+            }
+        }
+        let cell_votes = self.table.lookup_votes(entry_id, address);
+        if let Some(stats) = stats {
+            // Every stored cell carries at least one vote, so an empty
+            // slice is exactly a table miss (a surviving false positive).
+            if cell_votes.is_empty() {
+                stats.table_misses += 1;
+            } else {
+                stats.table_hits += 1;
+            }
+        }
+        for &(class, weight) in cell_votes {
+            votes[class as usize] += weight;
+        }
+    }
+
+    /// Verified table cell for `(entry, address)` with the bloom filter
+    /// consulted first — empty when filtered out, missed, or unstored. The
+    /// batched kernel memoizes this per entry across samples sharing an
+    /// address; the returned slice is exactly what
+    /// [`Self::accumulate_entry_votes`] would have added.
+    #[inline]
+    pub(crate) fn lookup_entry_votes(&self, entry_id: u32, address: u64) -> &[(u32, f64)] {
+        if let Some(bloom) = &self.bloom {
+            if !bloom.contains(table_key(entry_id, address)) {
+                return &[];
+            }
+        }
+        self.table.lookup_votes(entry_id, address)
     }
 
     /// Classifies an encoded input.
@@ -303,21 +358,7 @@ impl BoltForest {
         let votes = &mut scratch.votes;
         assert_eq!(votes.len(), self.n_classes, "scratch from another forest");
         votes.iter_mut().for_each(|v| *v = 0.0);
-        for &(class, weight) in &self.constant_votes {
-            votes[class as usize] += weight;
-        }
-        let dictionary = &self.dictionary;
-        dictionary.scan(&scratch.bits, |entry| {
-            let address = dictionary.address_of(entry.id, &scratch.bits);
-            if let Some(bloom) = &self.bloom {
-                if !bloom.contains(table_key(entry.id, address)) {
-                    return;
-                }
-            }
-            for &(class, weight) in self.table.lookup_votes(entry.id, address) {
-                votes[class as usize] += weight;
-            }
-        });
+        self.scan_votes_into(&scratch.bits, votes, None);
         argmax(votes)
     }
 
@@ -449,7 +490,7 @@ impl BoltForest {
 
 /// Index of the largest vote; ties go to the lower class, matching
 /// [`RandomForest::predict`].
-fn argmax(votes: &[f64]) -> u32 {
+pub(crate) fn argmax(votes: &[f64]) -> u32 {
     let mut best = 0usize;
     for (i, &v) in votes.iter().enumerate().skip(1) {
         if v > votes[best] {

@@ -26,7 +26,11 @@
 //! [`PredicateUniverse`](bolt_forest::PredicateUniverse). Inference is a
 //! linear scan of the dictionary using word-wide masked compares followed by
 //! at most one verified table access per matching entry — no pointer chasing
-//! and no per-node branching.
+//! and no per-node branching. When many samples arrive together, the
+//! batched engine ([`BoltForest::classify_batch_with`]) inverts the
+//! scan loop entry-major, amortizing each entry's mask/key loads across the
+//! whole batch, and [`BoltForest::classify_batch_sharded`] splits a batch
+//! across threads with per-shard scratch.
 //!
 //! # Quick start
 //!
@@ -51,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod cluster;
 pub mod deep;
 mod dictionary;
@@ -66,6 +71,7 @@ pub mod regress;
 pub mod table;
 pub mod tuning;
 
+pub use batch::BatchScratch;
 pub use cluster::{Cluster, Clustering};
 pub use deep::DeepBolt;
 pub use dictionary::{DictEntry, Dictionary};

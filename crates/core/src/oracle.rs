@@ -418,6 +418,60 @@ pub fn check_boosted(
     Ok(samples.len())
 }
 
+/// Pins the batched entry-major engine to the per-sample engine on the
+/// given samples: vote vectors must be **bit-identical** (not merely
+/// argmax-equal) for batch slices of sizes 1, 3, and the full set, both
+/// unsharded and sharded. Returns the number of (sample, batch-shape)
+/// checks performed.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence.
+pub fn check_batch(bolt: &BoltForest, samples: &[Vec<f32>]) -> Result<usize, String> {
+    let refs: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
+    let expected: Vec<Vec<f64>> = refs
+        .iter()
+        .map(|s| bolt.votes_for_bits(&bolt.encode(s)))
+        .collect();
+    let mut checked = 0usize;
+    let mut scratch = bolt.batch_scratch();
+    for batch_size in [1usize, 3, refs.len().max(1)] {
+        for (start, chunk) in refs
+            .chunks(batch_size)
+            .enumerate()
+            .map(|(i, c)| (i * batch_size, c))
+        {
+            bolt.batch_votes_with(chunk, &mut scratch);
+            for (offset, sample) in chunk.iter().enumerate() {
+                let got = scratch.votes(offset);
+                let want = &expected[start + offset];
+                if got != want.as_slice() {
+                    return Err(format!(
+                        "batch size {batch_size}: votes diverged on sample {:?}: batch {got:?} vs per-sample {want:?}",
+                        sample
+                    ));
+                }
+                checked += 1;
+            }
+        }
+    }
+    // Sharded: votes must still be bit-identical, across several shard
+    // counts including more shards than samples.
+    for shards in [1usize, 2, 4, refs.len() + 1] {
+        let sharded = bolt.votes_batch_sharded(&refs, shards);
+        for (i, (got, want)) in sharded.iter().zip(&expected).enumerate() {
+            if got != want {
+                return Err(format!(
+                    "{shards} shards: votes diverged on sample {:?}: sharded {got:?} vs per-sample {want:?}",
+                    samples[i]
+                ));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
 /// The full compile-time configuration matrix the differential suite
 /// sweeps: every `cluster_threshold` in 1..=8 crossed with bloom filtering
 /// on/off and explanation payloads on/off (32 configurations).

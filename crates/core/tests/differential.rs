@@ -50,6 +50,13 @@ fn random_forests_match_reference_across_config_matrix() {
                 .unwrap_or_else(|m| panic!("seed {seed}, config {config:?}: {m}"));
             combinations += checked;
 
+            // The batched entry-major engine rides every sweep: vote
+            // vectors must be bit-identical to the per-sample engine for
+            // batch sizes 1, 3, and the full input set, sharded and not.
+            let batch_checked = oracle::check_batch(&bolt, &inputs)
+                .unwrap_or_else(|m| panic!("seed {seed}, config {config:?}, batched: {m}"));
+            combinations += batch_checked;
+
             // Every 4th configuration also goes through serialize →
             // deserialize → rebuild, so the persisted artifact is held to
             // the same standard as the freshly compiled one.
@@ -97,6 +104,8 @@ fn trained_forests_match_reference_on_adversarial_inputs() {
             let bolt = compile(&forest, &config, seed);
             oracle::check_forest(&bolt, &forest, &inputs)
                 .unwrap_or_else(|m| panic!("trained seed {seed}, config {config:?}: {m}"));
+            oracle::check_batch(&bolt, &inputs)
+                .unwrap_or_else(|m| panic!("trained seed {seed}, config {config:?}, batched: {m}"));
         }
     }
 }
@@ -119,6 +128,9 @@ fn boosted_forests_match_reference() {
                     .unwrap_or_else(|e| panic!("boosted compile failed for seed {seed}: {e}"));
                 oracle::check_boosted(&bolt, &boosted, &inputs)
                     .unwrap_or_else(|m| panic!("boosted seed {seed}, config {config:?}: {m}"));
+                oracle::check_batch(&bolt, &inputs).unwrap_or_else(|m| {
+                    panic!("boosted seed {seed}, config {config:?}, batched: {m}")
+                });
             }
         }
     }
@@ -145,6 +157,8 @@ fn degenerate_forests_match_reference() {
         let bolt = compile(&forest, &config, 99);
         oracle::check_forest(&bolt, &forest, &inputs)
             .unwrap_or_else(|m| panic!("all-leaf forest, config {config:?}: {m}"));
+        oracle::check_batch(&bolt, &inputs)
+            .unwrap_or_else(|m| panic!("all-leaf forest, config {config:?}, batched: {m}"));
     }
 
     // Single stump: one tree, one split.
@@ -170,6 +184,8 @@ fn degenerate_forests_match_reference() {
         let bolt = compile(&forest, &config, 100);
         oracle::check_forest(&bolt, &forest, &inputs)
             .unwrap_or_else(|m| panic!("stump, config {config:?}: {m}"));
+        oracle::check_batch(&bolt, &inputs)
+            .unwrap_or_else(|m| panic!("stump, config {config:?}, batched: {m}"));
     }
 }
 

@@ -1,6 +1,9 @@
 //! Blocking client for the classification service.
 
-use crate::proto::{read_frame, write_frame, ClassifyRequest, ClassifyResponse, ProtoError};
+use crate::proto::{
+    read_frame, write_frame, ClassifyBatchRequest, ClassifyBatchResponse, ClassifyRequest,
+    ClassifyResponse, ProtoError,
+};
 use std::io::{Read, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
@@ -59,5 +62,31 @@ impl ClassificationClient {
         write_frame(&mut self.stream, &request.encode())?;
         let payload = read_frame(&mut self.stream)?.ok_or(ProtoError::UnexpectedEof)?;
         ClassifyResponse::decode(&payload)
+    }
+
+    /// Sends a whole batch in one frame and waits for its classifications
+    /// (one class per sample, in order).
+    ///
+    /// The server runs the batch through the engine's batched kernel, so
+    /// this amortizes both the round trip and the per-sample scan cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] on socket failure, a malformed response, or
+    /// the server closing mid-request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the samples do not all share one feature count.
+    pub fn classify_batch(
+        &mut self,
+        samples: &[&[f32]],
+    ) -> Result<ClassifyBatchResponse, ProtoError> {
+        let request = ClassifyBatchRequest {
+            samples: samples.iter().map(|s| s.to_vec()).collect(),
+        };
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or(ProtoError::UnexpectedEof)?;
+        ClassifyBatchResponse::decode(&payload)
     }
 }

@@ -34,6 +34,11 @@ impl InferenceEngine for BoltEngine {
     fn classify(&self, sample: &[f32]) -> u32 {
         self.bolt.classify(sample)
     }
+
+    fn classify_batch(&self, samples: &[&[f32]]) -> Vec<u32> {
+        let shards = std::thread::available_parallelism().map_or(1, usize::from);
+        self.bolt.classify_batch_sharded(samples, shards)
+    }
 }
 
 #[cfg(test)]
@@ -41,6 +46,22 @@ mod tests {
     use super::*;
     use bolt_core::BoltConfig;
     use bolt_forest::{Dataset, ForestConfig, RandomForest};
+
+    #[test]
+    fn adapter_batches_match_forest() {
+        let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 4) as f32]).collect();
+        let labels: Vec<u32> = (0..40).map(|i| u32::from(i % 4 > 1)).collect();
+        let data = Dataset::from_rows(rows, labels, 2).expect("valid");
+        let forest = RandomForest::train(&data, &ForestConfig::new(3).with_seed(5));
+        let bolt =
+            Arc::new(BoltForest::compile(&forest, &BoltConfig::default()).expect("compiles"));
+        let engine = BoltEngine::new(bolt);
+        let samples: Vec<&[f32]> = (0..data.len()).map(|i| data.sample(i)).collect();
+        let classes = engine.classify_batch(&samples);
+        for (i, &class) in classes.iter().enumerate() {
+            assert_eq!(class, forest.predict(samples[i]));
+        }
+    }
 
     #[test]
     fn adapter_matches_forest() {

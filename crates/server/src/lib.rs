@@ -9,6 +9,12 @@
 //! input samples are received to the moment inference finishes, not
 //! including network delays".
 //!
+//! Beyond the paper's sequential methodology, the protocol also accepts
+//! batch frames ([`ClassifyBatchRequest`]): many samples in one round trip,
+//! served by the engine's batched kernel
+//! ([`InferenceEngine::classify_batch`](bolt_baselines::InferenceEngine::classify_batch),
+//! Bolt's entry-major sharded scan for [`BoltEngine`]).
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -44,6 +50,8 @@ mod tcp;
 
 pub use client::ClassificationClient;
 pub use engine::BoltEngine;
-pub use proto::{ClassifyRequest, ClassifyResponse, ProtoError};
+pub use proto::{
+    ClassifyBatchRequest, ClassifyBatchResponse, ClassifyRequest, ClassifyResponse, ProtoError,
+};
 pub use server::{ClassificationServer, ServerStats};
 pub use tcp::TcpClassificationServer;

@@ -4,6 +4,14 @@
 //! payload is a feature vector (`u32` count + IEEE-754 `f32` values); a
 //! response payload is the class plus the service-side latency in
 //! nanoseconds.
+//!
+//! Batch frames ([`ClassifyBatchRequest`]/[`ClassifyBatchResponse`]) carry
+//! many samples in one round trip and start with [`BATCH_MAGIC`]. The magic
+//! doubles as a version gate: a single-sample request would need a
+//! `BATCH_MAGIC`-sized feature count (~2.9 billion features, an ~11 GiB
+//! payload) to collide, which [`MAX_FRAME_BYTES`] rejects long before
+//! decoding, so old decoders fail batch frames as malformed instead of
+//! misparsing them.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -11,6 +19,10 @@ use std::io::{Read, Write};
 
 /// Largest accepted frame (1 MiB), bounding memory per connection.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// First payload word of every batch frame. Chosen far above any feature
+/// count a [`MAX_FRAME_BYTES`]-sized single request could declare.
+pub const BATCH_MAGIC: u32 = 0xB017_BA7C;
 
 /// Protocol-level failures.
 #[derive(Debug)]
@@ -107,6 +119,111 @@ impl ClassifyRequest {
     }
 }
 
+/// A batched classification request: many feature vectors, one frame.
+///
+/// Payload layout: [`BATCH_MAGIC`], sample count, per-sample feature count,
+/// then the samples' features back to back (all `u32`/`f32` little-endian).
+/// The [`MAX_FRAME_BYTES`] cap bounds `samples × features` to roughly 262k
+/// floats per frame; larger batches are split by the caller.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassifyBatchRequest {
+    /// The samples' features; every sample has the same length.
+    pub samples: Vec<Vec<f32>>,
+}
+
+impl ClassifyBatchRequest {
+    /// Serializes into a framed byte buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the samples do not all share one feature count — the wire
+    /// layout is a dense matrix.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let n_features = self.samples.first().map_or(0, Vec::len);
+        for (i, s) in self.samples.iter().enumerate() {
+            assert_eq!(
+                s.len(),
+                n_features,
+                "sample {i} has {} features, batch expects {n_features}",
+                s.len()
+            );
+        }
+        let payload_len = 12 + self.samples.len() * n_features * 4;
+        let mut buf = BytesMut::with_capacity(4 + payload_len);
+        buf.put_u32_le(payload_len as u32);
+        buf.put_u32_le(BATCH_MAGIC);
+        buf.put_u32_le(self.samples.len() as u32);
+        buf.put_u32_le(n_features as u32);
+        for sample in &self.samples {
+            for &f in sample {
+                buf.put_f32_le(f);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a batch request payload (frame length already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] if the magic is absent or the
+    /// declared shape disagrees with the byte length.
+    pub fn decode(mut payload: &[u8]) -> Result<Self, ProtoError> {
+        if payload.len() < 12 {
+            return Err(ProtoError::Malformed {
+                detail: "batch payload shorter than its header".into(),
+            });
+        }
+        let magic = payload.get_u32_le();
+        if magic != BATCH_MAGIC {
+            return Err(ProtoError::Malformed {
+                detail: format!("batch magic expected, got {magic:#010x}"),
+            });
+        }
+        let n_samples = payload.get_u32_le() as usize;
+        let n_features = payload.get_u32_le() as usize;
+        let need = (n_samples as u64) * (n_features as u64) * 4;
+        if payload.len() as u64 != need {
+            return Err(ProtoError::Malformed {
+                detail: format!(
+                    "{n_samples}×{n_features} batch declared but {} bytes remain",
+                    payload.len()
+                ),
+            });
+        }
+        let samples = (0..n_samples)
+            .map(|_| (0..n_features).map(|_| payload.get_f32_le()).collect())
+            .collect();
+        Ok(Self { samples })
+    }
+}
+
+/// Either kind of request a server connection accepts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// One sample ([`ClassifyRequest`]).
+    Single(ClassifyRequest),
+    /// Many samples in one frame ([`ClassifyBatchRequest`]).
+    Batch(ClassifyBatchRequest),
+}
+
+impl Request {
+    /// Decodes a request payload, dispatching on [`BATCH_MAGIC`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] if the payload decodes as neither
+    /// message.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        if payload.len() >= 4 && payload[..4] == BATCH_MAGIC.to_le_bytes() {
+            Ok(Self::Batch(ClassifyBatchRequest::decode(payload)?))
+        } else {
+            Ok(Self::Single(ClassifyRequest::decode(payload)?))
+        }
+    }
+}
+
 /// A classification response: class plus service-side latency.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ClassifyResponse {
@@ -140,6 +257,64 @@ impl ClassifyResponse {
         }
         Ok(Self {
             class: payload.get_u32_le(),
+            latency_ns: payload.get_u64_le(),
+        })
+    }
+}
+
+/// A batched classification response: one class per sample plus the
+/// service-side latency for the whole batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassifyBatchResponse {
+    /// Predicted class per sample, in request order.
+    pub classes: Vec<u32>,
+    /// Nanoseconds spent classifying the whole batch.
+    pub latency_ns: u64,
+}
+
+impl ClassifyBatchResponse {
+    /// Serializes into a framed byte buffer.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let payload_len = 8 + self.classes.len() * 4 + 8;
+        let mut buf = BytesMut::with_capacity(4 + payload_len);
+        buf.put_u32_le(payload_len as u32);
+        buf.put_u32_le(BATCH_MAGIC);
+        buf.put_u32_le(self.classes.len() as u32);
+        for &c in &self.classes {
+            buf.put_u32_le(c);
+        }
+        buf.put_u64_le(self.latency_ns);
+        buf.freeze()
+    }
+
+    /// Decodes a batch response payload (frame length already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] if the magic is absent or the
+    /// count and byte length disagree.
+    pub fn decode(mut payload: &[u8]) -> Result<Self, ProtoError> {
+        if payload.len() < 16 {
+            return Err(ProtoError::Malformed {
+                detail: "batch response shorter than its header".into(),
+            });
+        }
+        let magic = payload.get_u32_le();
+        if magic != BATCH_MAGIC {
+            return Err(ProtoError::Malformed {
+                detail: format!("batch magic expected, got {magic:#010x}"),
+            });
+        }
+        let n = payload.get_u32_le() as usize;
+        if payload.len() as u64 != (n as u64) * 4 + 8 {
+            return Err(ProtoError::Malformed {
+                detail: format!("{n} classes declared but {} bytes remain", payload.len()),
+            });
+        }
+        let classes = (0..n).map(|_| payload.get_u32_le()).collect();
+        Ok(Self {
+            classes,
             latency_ns: payload.get_u64_le(),
         })
     }
@@ -210,6 +385,106 @@ mod tests {
         let mut cursor = std::io::Cursor::new(framed.to_vec());
         let payload = read_frame(&mut cursor).expect("read").expect("frame");
         assert_eq!(ClassifyResponse::decode(&payload).expect("decode"), resp);
+    }
+
+    #[test]
+    fn batch_request_roundtrip() {
+        let req = ClassifyBatchRequest {
+            samples: vec![vec![1.0, 2.0], vec![-3.5, 0.0], vec![7.25, f32::MIN]],
+        };
+        let framed = req.encode();
+        let mut cursor = std::io::Cursor::new(framed.to_vec());
+        let payload = read_frame(&mut cursor).expect("read").expect("frame");
+        assert_eq!(ClassifyBatchRequest::decode(&payload).expect("decode"), req);
+        // The dispatching decoder routes it to the batch arm.
+        assert_eq!(
+            Request::decode(&payload).expect("decode"),
+            Request::Batch(req)
+        );
+    }
+
+    #[test]
+    fn batch_response_roundtrip() {
+        let resp = ClassifyBatchResponse {
+            classes: vec![0, 3, 1, 1],
+            latency_ns: 987_654,
+        };
+        let framed = resp.encode();
+        let mut cursor = std::io::Cursor::new(framed.to_vec());
+        let payload = read_frame(&mut cursor).expect("read").expect("frame");
+        assert_eq!(
+            ClassifyBatchResponse::decode(&payload).expect("decode"),
+            resp
+        );
+    }
+
+    #[test]
+    fn single_requests_still_dispatch_as_single() {
+        let req = ClassifyRequest {
+            features: vec![1.5, -2.0],
+        };
+        let framed = req.encode();
+        assert_eq!(
+            Request::decode(&framed[4..]).expect("decode"),
+            Request::Single(req)
+        );
+    }
+
+    #[test]
+    fn empty_batch_allowed() {
+        let req = ClassifyBatchRequest { samples: vec![] };
+        let framed = req.encode();
+        assert_eq!(
+            ClassifyBatchRequest::decode(&framed[4..]).expect("decode"),
+            req
+        );
+        let resp = ClassifyBatchResponse {
+            classes: vec![],
+            latency_ns: 1,
+        };
+        let framed = resp.encode();
+        assert_eq!(
+            ClassifyBatchResponse::decode(&framed[4..]).expect("decode"),
+            resp
+        );
+    }
+
+    #[test]
+    fn batch_shape_mismatch_rejected() {
+        // Header says 3×2 but only one sample's bytes follow.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&BATCH_MAGIC.to_le_bytes());
+        bad.extend_from_slice(&3u32.to_le_bytes());
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            ClassifyBatchRequest::decode(&bad),
+            Err(ProtoError::Malformed { .. })
+        ));
+        // Legacy decoder also rejects rather than misparsing.
+        assert!(matches!(
+            ClassifyRequest::decode(&bad),
+            Err(ProtoError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch expects")]
+    fn ragged_batch_panics_on_encode() {
+        let req = ClassifyBatchRequest {
+            samples: vec![vec![1.0, 2.0], vec![3.0]],
+        };
+        let _ = req.encode();
+    }
+
+    #[test]
+    fn batch_decoders_are_total() {
+        use proptest::prelude::*;
+        proptest!(|(bytes in proptest::collection::vec(any::<u8>(), 0..600))| {
+            let _ = ClassifyBatchRequest::decode(&bytes);
+            let _ = ClassifyBatchResponse::decode(&bytes);
+            let _ = Request::decode(&bytes);
+        });
     }
 
     #[test]

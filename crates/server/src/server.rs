@@ -1,6 +1,8 @@
 //! The classification front-end (Fig. 7).
 
-use crate::proto::{read_frame, write_frame, ClassifyRequest, ClassifyResponse, ProtoError};
+use crate::proto::{
+    read_frame, write_frame, ClassifyBatchResponse, ClassifyResponse, ProtoError, Request,
+};
 use bolt_baselines::InferenceEngine;
 use parking_lot::Mutex;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -171,20 +173,45 @@ pub(crate) fn handle_stream<S: std::io::Read + std::io::Write>(
             }
             Err(e) => return Err(e),
         };
-        let request = ClassifyRequest::decode(&payload)?;
-        // Latency measured from receipt to aggregation output (§6).
-        let start = Instant::now();
-        let class = shared.engine.classify(&request.features);
-        let latency_ns = start.elapsed().as_nanos() as u64;
-        {
-            let mut stats = shared.stats.lock();
-            stats.requests += 1;
-            stats.total_latency_ns += latency_ns;
+        match Request::decode(&payload)? {
+            Request::Single(request) => {
+                // Latency measured from receipt to aggregation output (§6).
+                let start = Instant::now();
+                let class = shared.engine.classify(&request.features);
+                let latency_ns = start.elapsed().as_nanos() as u64;
+                {
+                    let mut stats = shared.stats.lock();
+                    stats.requests += 1;
+                    stats.total_latency_ns += latency_ns;
+                }
+                write_frame(
+                    &mut stream,
+                    &ClassifyResponse { class, latency_ns }.encode(),
+                )?;
+            }
+            Request::Batch(request) => {
+                let samples: Vec<&[f32]> = request.samples.iter().map(Vec::as_slice).collect();
+                let start = Instant::now();
+                let classes = shared.engine.classify_batch(&samples);
+                let latency_ns = start.elapsed().as_nanos() as u64;
+                {
+                    // Each sample counts as a request; the batch's wall
+                    // clock is booked once, so mean latency reflects the
+                    // amortized per-sample cost.
+                    let mut stats = shared.stats.lock();
+                    stats.requests += samples.len() as u64;
+                    stats.total_latency_ns += latency_ns;
+                }
+                write_frame(
+                    &mut stream,
+                    &ClassifyBatchResponse {
+                        classes,
+                        latency_ns,
+                    }
+                    .encode(),
+                )?;
+            }
         }
-        write_frame(
-            &mut stream,
-            &ClassifyResponse { class, latency_ns }.encode(),
-        )?;
     }
 }
 
@@ -230,6 +257,40 @@ mod tests {
         assert!(stats.mean_latency_ns() > 0.0);
         server.shutdown();
         assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn batched_roundtrip_matches_singles() {
+        let (data, forest, bolt) = fixture();
+        let path = unique_socket("batch");
+        let server =
+            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        let mut client = ClassificationClient::connect(&path).expect("connects");
+        let samples: Vec<&[f32]> = (0..40).map(|i| data.sample(i)).collect();
+        let response = client.classify_batch(&samples).expect("classifies");
+        assert_eq!(response.classes.len(), samples.len());
+        for (i, &class) in response.classes.iter().enumerate() {
+            assert_eq!(class, forest.predict(samples[i]));
+        }
+        // Singles still work on the same connection, before and after.
+        let single = client.classify(samples[0]).expect("classifies");
+        assert_eq!(single.class, forest.predict(samples[0]));
+        // Every batched sample counts as a request.
+        assert_eq!(server.stats().requests, 41);
+        server.shutdown();
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let (_, _, bolt) = fixture();
+        let path = unique_socket("batch-empty");
+        let server =
+            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        let mut client = ClassificationClient::connect(&path).expect("connects");
+        let response = client.classify_batch(&[]).expect("classifies");
+        assert!(response.classes.is_empty());
+        assert_eq!(server.stats().requests, 0);
+        server.shutdown();
     }
 
     #[test]

@@ -168,6 +168,21 @@ mod tests {
     }
 
     #[test]
+    fn tcp_batched_round_trip() {
+        let (data, forest, bolt) = fixture();
+        let server = TcpClassificationServer::bind("127.0.0.1:0", Box::new(BoltEngine::new(bolt)))
+            .expect("binds");
+        let mut client = ClassificationClient::connect_tcp(server.local_addr()).expect("connects");
+        let samples: Vec<&[f32]> = (0..30).map(|i| data.sample(i)).collect();
+        let response = client.classify_batch(&samples).expect("classifies");
+        for (i, &class) in response.classes.iter().enumerate() {
+            assert_eq!(class, forest.predict(samples[i]));
+        }
+        assert_eq!(server.stats().requests, 30);
+        server.shutdown();
+    }
+
+    #[test]
     fn concurrent_tcp_clients() {
         let (data, forest, bolt) = fixture();
         let server = TcpClassificationServer::bind("127.0.0.1:0", Box::new(BoltEngine::new(bolt)))
