@@ -236,12 +236,18 @@ impl Dictionary {
     /// `matched` are caller-owned scratch so repeated scans allocate
     /// nothing.
     ///
-    /// Zero-mask words are skipped outright: key bits only exist under mask
-    /// bits (key ⊆ mask by construction), so a word with no mask can never
-    /// reject a sample. Cluster masks are sparse — a cluster's common pairs
-    /// touch a handful of the stride's words — so the entry-major cost is
-    /// `nnz × B` fused compare ops instead of the sample-major scan's
-    /// `stride × B` loads, on top of the amortized mask/key traffic.
+    /// Words with no mask *and* no key bits are skipped outright: such a
+    /// word can never reject a sample. Cluster masks are sparse — a
+    /// cluster's common pairs touch a handful of the stride's words — so
+    /// the entry-major cost is `nnz × B` fused compare ops instead of the
+    /// sample-major scan's `stride × B` loads, on top of the amortized
+    /// mask/key traffic. A key bit *outside* its mask ([`from_clustering`]
+    /// never emits one, but a corrupted deserialized artifact can) is still
+    /// folded into the compare, so the entry rejects every sample exactly
+    /// as [`Self::scan`] and [`Self::matches`] do — a shared failure mode
+    /// rather than a silent divergence.
+    ///
+    /// [`from_clustering`]: Self::from_clustering
     ///
     /// # Panics
     ///
@@ -272,12 +278,13 @@ impl Dictionary {
             .zip(self.key_words.chunks_exact(self.stride))
             .enumerate()
         {
-            // Dense vectorizable pass per *nonzero* mask word; zero-mask
-            // words carry no key bits (key ⊆ mask by construction) so they
-            // can never reject and are skipped without touching the batch.
+            // Dense vectorizable pass per nonzero word. Skipping is only
+            // sound when both mask and key are zero: a stray key bit under
+            // a zero mask (possible in a corrupted deserialized artifact)
+            // must keep rejecting every sample, as the per-sample scan does.
             let mut first = true;
             for w in 0..self.stride {
-                if mask[w] == 0 {
+                if mask[w] == 0 && key[w] == 0 {
                     continue;
                 }
                 let lane = &lane_words[w * n_samples..(w + 1) * n_samples];
@@ -540,6 +547,62 @@ mod tests {
             seen.push((e.id, m.to_vec()));
         });
         assert_eq!(seen, vec![(0, vec![0])], "only sample 0 sets predicate 70");
+    }
+
+    #[test]
+    fn corrupted_key_outside_mask_fails_identically_in_both_scans() {
+        // from_clustering guarantees key ⊆ mask, but a deserialized
+        // artifact carries no such guarantee. A stray key bit in a
+        // zero-mask word makes the per-sample compare reject everything;
+        // the batched scan must reject identically, not skip the word and
+        // silently diverge.
+        let sorted = SortedPaths::from_paths(
+            vec![
+                path(&[(70, true), (100, false)], 0, 0),
+                path(&[(70, true), (100, true)], 1, 0),
+            ],
+            1,
+        );
+        let clustering = Clustering::greedy(&sorted, 2).expect("clusters");
+        let mut dict = Dictionary::from_clustering(&clustering, 128);
+        assert_eq!(dict.stride(), 2);
+        assert_eq!(dict.mask_words[0], 0, "entry 0 word 0 starts unmasked");
+        dict.key_words[0] = 1; // corrupt: key bit with no mask bit
+        let mut inputs: Vec<Mask> = Vec::new();
+        for bits in 0u8..4 {
+            let mut input = Mask::zeros(128);
+            input.set(0, bits & 1 == 1); // under the corrupted key bit
+            input.set(70, bits >> 1 & 1 == 1);
+            inputs.push(input);
+        }
+        for input in &inputs {
+            assert!(!dict.matches(0, input), "per-sample scan rejects");
+        }
+        let lanes = to_lanes(&inputs, dict.stride());
+        let (mut diffs, mut matched) = (vec![0u64; inputs.len()], Vec::new());
+        let mut lane_hits: Vec<(u32, Vec<u32>)> = Vec::new();
+        dict.scan_lanes(&lanes, inputs.len(), &mut diffs, &mut matched, |e, m| {
+            lane_hits.push((e.id, m.to_vec()));
+        });
+        assert!(
+            !lane_hits.iter().any(|(id, _)| *id == 0),
+            "batched scan must reject the corrupted entry for every sample"
+        );
+        // And the two scans agree entry-by-entry on the whole dictionary.
+        for entry in dict.entries() {
+            let per_sample: Vec<u32> = inputs
+                .iter()
+                .enumerate()
+                .filter(|(_, input)| dict.matches(entry.id, input))
+                .map(|(b, _)| b as u32)
+                .collect();
+            let batched = lane_hits
+                .iter()
+                .find(|(id, _)| *id == entry.id)
+                .map(|(_, m)| m.clone())
+                .unwrap_or_default();
+            assert_eq!(batched, per_sample, "entry {}", entry.id);
+        }
     }
 
     #[test]

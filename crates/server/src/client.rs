@@ -70,14 +70,23 @@ impl ClassificationClient {
     /// The server runs the batch through the engine's batched kernel, so
     /// this amortizes both the round trip and the per-sample scan cost.
     ///
+    /// One frame carries at most [`MAX_BATCH_SAMPLES`] samples and
+    /// [`MAX_FRAME_BYTES`] bytes (~262k floats); split larger batches
+    /// across multiple calls.
+    ///
     /// # Errors
     ///
-    /// Returns a [`ProtoError`] on socket failure, a malformed response, or
-    /// the server closing mid-request.
+    /// Returns a [`ProtoError`] on socket failure, a malformed response,
+    /// the server closing mid-request, or
+    /// [`ProtoError::FrameTooLarge`] when the batch exceeds the per-frame
+    /// limits (nothing is sent in that case).
     ///
     /// # Panics
     ///
     /// Panics if the samples do not all share one feature count.
+    ///
+    /// [`MAX_BATCH_SAMPLES`]: crate::proto::MAX_BATCH_SAMPLES
+    /// [`MAX_FRAME_BYTES`]: crate::proto::MAX_FRAME_BYTES
     pub fn classify_batch(
         &mut self,
         samples: &[&[f32]],
@@ -85,7 +94,7 @@ impl ClassificationClient {
         let request = ClassifyBatchRequest {
             samples: samples.iter().map(|s| s.to_vec()).collect(),
         };
-        write_frame(&mut self.stream, &request.encode())?;
+        write_frame(&mut self.stream, &request.encode()?)?;
         let payload = read_frame(&mut self.stream)?.ok_or(ProtoError::UnexpectedEof)?;
         ClassifyBatchResponse::decode(&payload)
     }

@@ -52,6 +52,7 @@ pub use client::ClassificationClient;
 pub use engine::BoltEngine;
 pub use proto::{
     ClassifyBatchRequest, ClassifyBatchResponse, ClassifyRequest, ClassifyResponse, ProtoError,
+    MAX_BATCH_SAMPLES, MAX_FRAME_BYTES,
 };
 pub use server::{ClassificationServer, ServerStats};
 pub use tcp::TcpClassificationServer;

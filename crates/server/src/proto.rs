@@ -24,6 +24,14 @@ pub const MAX_FRAME_BYTES: usize = 1 << 20;
 /// count a [`MAX_FRAME_BYTES`]-sized single request could declare.
 pub const BATCH_MAGIC: u32 = 0xB017_BA7C;
 
+/// Most samples accepted in one batch frame. Sized so both the densest
+/// request (one `f32` per sample) and its response (one `u32` class per
+/// sample after the 16-byte header) fit in [`MAX_FRAME_BYTES`]. The decoder
+/// enforces it *before* allocating: the byte-length shape check alone would
+/// let a zero-feature header declare billions of samples in a 12-byte frame
+/// and stampede the allocator.
+pub const MAX_BATCH_SAMPLES: usize = (MAX_FRAME_BYTES - 16) / 4;
+
 /// Protocol-level failures.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -124,7 +132,8 @@ impl ClassifyRequest {
 /// Payload layout: [`BATCH_MAGIC`], sample count, per-sample feature count,
 /// then the samples' features back to back (all `u32`/`f32` little-endian).
 /// The [`MAX_FRAME_BYTES`] cap bounds `samples × features` to roughly 262k
-/// floats per frame; larger batches are split by the caller.
+/// floats per frame and [`MAX_BATCH_SAMPLES`] bounds the sample count;
+/// larger batches are split by the caller.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ClassifyBatchRequest {
     /// The samples' features; every sample has the same length.
@@ -134,12 +143,18 @@ pub struct ClassifyBatchRequest {
 impl ClassifyBatchRequest {
     /// Serializes into a framed byte buffer.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::FrameTooLarge`] when the batch exceeds
+    /// [`MAX_FRAME_BYTES`] or [`MAX_BATCH_SAMPLES`] — the server would
+    /// reject (or, past `u32::MAX` bytes, misframe) such a payload, so the
+    /// caller must split the batch instead of sending it.
+    ///
     /// # Panics
     ///
     /// Panics if the samples do not all share one feature count — the wire
     /// layout is a dense matrix.
-    #[must_use]
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Result<Bytes, ProtoError> {
         let n_features = self.samples.first().map_or(0, Vec::len);
         for (i, s) in self.samples.iter().enumerate() {
             assert_eq!(
@@ -150,6 +165,11 @@ impl ClassifyBatchRequest {
             );
         }
         let payload_len = 12 + self.samples.len() * n_features * 4;
+        if payload_len > MAX_FRAME_BYTES || self.samples.len() > MAX_BATCH_SAMPLES {
+            return Err(ProtoError::FrameTooLarge {
+                declared: payload_len,
+            });
+        }
         let mut buf = BytesMut::with_capacity(4 + payload_len);
         buf.put_u32_le(payload_len as u32);
         buf.put_u32_le(BATCH_MAGIC);
@@ -160,7 +180,7 @@ impl ClassifyBatchRequest {
                 buf.put_f32_le(f);
             }
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Decodes a batch request payload (frame length already stripped).
@@ -183,6 +203,15 @@ impl ClassifyBatchRequest {
         }
         let n_samples = payload.get_u32_le() as usize;
         let n_features = payload.get_u32_le() as usize;
+        // Bound the sample count before anything is allocated: with
+        // n_features == 0 the byte-length check below is vacuous (need == 0
+        // for any count), so a 12-byte frame could otherwise declare
+        // u32::MAX samples and abort the process on the Vec allocations.
+        if n_samples > MAX_BATCH_SAMPLES {
+            return Err(ProtoError::Malformed {
+                detail: format!("{n_samples} samples declared, limit {MAX_BATCH_SAMPLES}"),
+            });
+        }
         let need = (n_samples as u64) * (n_features as u64) * 4;
         if payload.len() as u64 != need {
             return Err(ProtoError::Malformed {
@@ -392,7 +421,7 @@ mod tests {
         let req = ClassifyBatchRequest {
             samples: vec![vec![1.0, 2.0], vec![-3.5, 0.0], vec![7.25, f32::MIN]],
         };
-        let framed = req.encode();
+        let framed = req.encode().expect("encodes");
         let mut cursor = std::io::Cursor::new(framed.to_vec());
         let payload = read_frame(&mut cursor).expect("read").expect("frame");
         assert_eq!(ClassifyBatchRequest::decode(&payload).expect("decode"), req);
@@ -433,7 +462,7 @@ mod tests {
     #[test]
     fn empty_batch_allowed() {
         let req = ClassifyBatchRequest { samples: vec![] };
-        let framed = req.encode();
+        let framed = req.encode().expect("encodes");
         assert_eq!(
             ClassifyBatchRequest::decode(&framed[4..]).expect("decode"),
             req
@@ -446,6 +475,65 @@ mod tests {
         assert_eq!(
             ClassifyBatchResponse::decode(&framed[4..]).expect("decode"),
             resp
+        );
+    }
+
+    #[test]
+    fn hostile_sample_count_rejected_before_allocating() {
+        // A 12-byte frame declaring u32::MAX × 0 passes the byte-length
+        // shape check (need == 0 == remaining); the sample-count cap must
+        // reject it before ~4.3 billion Vecs are allocated.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&BATCH_MAGIC.to_le_bytes());
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        let err = ClassifyBatchRequest::decode(&bad).expect_err("rejected");
+        assert!(err.to_string().contains("limit"));
+        // The largest permitted zero-feature batch still decodes.
+        let mut ok = Vec::new();
+        ok.extend_from_slice(&BATCH_MAGIC.to_le_bytes());
+        ok.extend_from_slice(&(MAX_BATCH_SAMPLES as u32).to_le_bytes());
+        ok.extend_from_slice(&0u32.to_le_bytes());
+        let decoded = ClassifyBatchRequest::decode(&ok).expect("decodes");
+        assert_eq!(decoded.samples.len(), MAX_BATCH_SAMPLES);
+    }
+
+    #[test]
+    fn oversized_batch_fails_encode() {
+        // Over the sample-count cap, and over the byte cap in one sample.
+        let req = ClassifyBatchRequest {
+            samples: vec![vec![0.0]; MAX_BATCH_SAMPLES + 1],
+        };
+        assert!(matches!(
+            req.encode(),
+            Err(ProtoError::FrameTooLarge { .. })
+        ));
+        let req = ClassifyBatchRequest {
+            samples: vec![vec![0.0; (MAX_FRAME_BYTES - 12) / 4 + 1]],
+        };
+        assert!(matches!(
+            req.encode(),
+            Err(ProtoError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn max_batch_response_fits_in_a_frame() {
+        // Any batch the decoder accepts must yield an encodable response.
+        let resp = ClassifyBatchResponse {
+            classes: vec![0; MAX_BATCH_SAMPLES],
+            latency_ns: 1,
+        };
+        let framed = resp.encode();
+        assert!(framed.len() - 4 <= MAX_FRAME_BYTES);
+        let mut cursor = std::io::Cursor::new(framed.to_vec());
+        let payload = read_frame(&mut cursor).expect("read").expect("frame");
+        assert_eq!(
+            ClassifyBatchResponse::decode(&payload)
+                .expect("decode")
+                .classes
+                .len(),
+            MAX_BATCH_SAMPLES
         );
     }
 

@@ -190,6 +190,21 @@ pub(crate) fn handle_stream<S: std::io::Read + std::io::Write>(
                 )?;
             }
             Request::Batch(request) => {
+                if request.samples.is_empty() {
+                    // Answer without touching the engine or the stats: an
+                    // empty batch adds no requests, so booking its wall
+                    // clock would inflate the mean latency unbacked by any
+                    // request count.
+                    write_frame(
+                        &mut stream,
+                        &ClassifyBatchResponse {
+                            classes: Vec::new(),
+                            latency_ns: 0,
+                        }
+                        .encode(),
+                    )?;
+                    continue;
+                }
                 let samples: Vec<&[f32]> = request.samples.iter().map(Vec::as_slice).collect();
                 let start = Instant::now();
                 let classes = shared.engine.classify_batch(&samples);
@@ -289,7 +304,9 @@ mod tests {
         let mut client = ClassificationClient::connect(&path).expect("connects");
         let response = client.classify_batch(&[]).expect("classifies");
         assert!(response.classes.is_empty());
-        assert_eq!(server.stats().requests, 0);
+        // Empty batches must not move the stats at all: latency booked
+        // without a request count would skew the mean.
+        assert_eq!(server.stats(), ServerStats::default());
         server.shutdown();
     }
 
