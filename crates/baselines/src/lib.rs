@@ -98,6 +98,36 @@ impl<T: InferenceEngine + ?Sized> InferenceEngine for &T {
     }
 }
 
+/// Shared-ownership forwarding: one engine (one compiled forest) can back
+/// several registered model names or several servers at once.
+impl<T: InferenceEngine + ?Sized> InferenceEngine for std::sync::Arc<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn classify(&self, sample: &[f32]) -> u32 {
+        (**self).classify(sample)
+    }
+
+    fn classify_batch(&self, samples: &[&[f32]]) -> Vec<u32> {
+        (**self).classify_batch(samples)
+    }
+}
+
+impl<T: InferenceEngine + ?Sized> InferenceEngine for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn classify(&self, sample: &[f32]) -> u32 {
+        (**self).classify(sample)
+    }
+
+    fn classify_batch(&self, samples: &[&[f32]]) -> Vec<u32> {
+        (**self).classify_batch(samples)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +135,26 @@ mod tests {
     #[test]
     fn engines_are_object_safe() {
         fn _takes_dyn(_e: &dyn InferenceEngine) {}
+    }
+
+    #[test]
+    fn smart_pointer_forwarding_preserves_batched_override() {
+        struct Probe;
+        impl InferenceEngine for Probe {
+            fn name(&self) -> &'static str {
+                "Probe"
+            }
+            fn classify(&self, _sample: &[f32]) -> u32 {
+                1
+            }
+            fn classify_batch(&self, samples: &[&[f32]]) -> Vec<u32> {
+                vec![7; samples.len()] // distinguishable from the default
+            }
+        }
+        let arc: std::sync::Arc<dyn InferenceEngine> = std::sync::Arc::new(Probe);
+        assert_eq!(arc.name(), "Probe");
+        assert_eq!(arc.classify_batch(&[&[0.0], &[0.0]]), vec![7, 7]);
+        let boxed: Box<dyn InferenceEngine> = Box::new(Probe);
+        assert_eq!(boxed.classify_batch(&[&[0.0]]), vec![7]);
     }
 }

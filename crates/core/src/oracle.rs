@@ -18,7 +18,7 @@
 //! failing case is reproducible from its single `u64` seed.
 
 use crate::engine::{BoltConfig, BoltForest};
-use bolt_forest::{BoostedForest, DecisionTree, NodeKind, RandomForest};
+use bolt_forest::{BoostedForest, Dataset, DecisionTree, NodeKind, RandomForest};
 
 /// Deterministic splitmix64 generator; one seed fully determines every
 /// forest and input the oracle produces.
@@ -343,6 +343,50 @@ pub fn adversarial_inputs(
         inputs.push(sample);
     }
     inputs
+}
+
+/// A self-contained served-equivalence scenario: one random forest, the
+/// adversarial inputs to sweep over a serving front-end, and a finite
+/// calibration set for engines that estimate hot paths from traffic
+/// (forest packing). One seed reproduces the whole case.
+#[derive(Clone, Debug)]
+pub struct ServedCase {
+    /// The reference forest every served engine must match bit-exactly.
+    pub forest: RandomForest,
+    /// Adversarial inputs (threshold boundaries, NaN, infinities) that
+    /// must survive the wire encoding and classify identically.
+    pub inputs: Vec<Vec<f32>>,
+    /// Finite calibration rows labeled by the reference traversal.
+    pub calibration: Dataset,
+}
+
+/// Draws a [`ServedCase`] from one seed: a sampled forest spec, the
+/// forest, `count` randomized adversarial inputs (plus the deterministic
+/// extreme prelude), and a 64-row calibration set.
+#[must_use]
+pub fn served_case(seed: u64, count: usize) -> ServedCase {
+    let mut rng = OracleRng::new(seed);
+    let spec = ForestSpec::sampled(&mut rng);
+    let forest = random_forest(&spec, &mut rng);
+    let thresholds = forest_thresholds(&forest);
+    let inputs = adversarial_inputs(spec.n_features, &thresholds, &mut rng, count);
+    // Finite rows labeled by the reference forest, so hot-path
+    // estimation sees traffic the forest actually produces.
+    let rows: Vec<Vec<f32>> = (0..64)
+        .map(|_| {
+            (0..spec.n_features)
+                .map(|_| rng.uniform(-6.0, 6.0))
+                .collect()
+        })
+        .collect();
+    let labels: Vec<u32> = rows.iter().map(|r| forest.predict(r)).collect();
+    let calibration =
+        Dataset::from_rows(rows, labels, spec.n_classes).expect("finite calibration rows");
+    ServedCase {
+        forest,
+        inputs,
+        calibration,
+    }
 }
 
 /// A single observed divergence between Bolt and its source forest.

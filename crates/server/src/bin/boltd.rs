@@ -1,20 +1,31 @@
-//! `boltd` — serve a compiled Bolt artifact (or a baseline engine over a
-//! forest artifact) on a Unix domain socket.
+//! `boltd` — serve compiled forests on a Unix domain socket (and
+//! optionally TCP), one process hosting any mix of engines.
 //!
 //! ```text
+//! # one engine, legacy style (registered under its platform name):
 //! boltd --artifact bolt.json --socket /tmp/bolt.sock
 //! boltd --forest forest.json --engine ranger --socket /tmp/rf.sock
-//! boltd --forest forest.json --engine fp --calibration-csv cal.csv --socket /tmp/fp.sock
+//!
+//! # many named models behind one socket, with a default for legacy
+//! # (unrouted) clients and a TCP front-end sharing the same registry:
+//! boltd --artifact bolt.json --forest forest.json \
+//!       --model fast=bolt --model fast2=bolt --model ref=scikit \
+//!       --default fast --socket /tmp/bolt.sock --tcp 127.0.0.1:9000
 //! ```
 //!
-//! Pair with `boltc` (the compiler CLI in the workspace root) to train and
-//! compile artifacts. The front-end hosts any engine, mirroring §4.5:
-//! "the front-end can connect to other forest implementations".
+//! `--model NAME=KIND` may repeat; KIND is `bolt` (needs `--artifact`),
+//! or `scikit`/`ranger`/`fp` (need `--forest`; `fp` also needs
+//! `--calibration-csv`). Each kind is built once and shared, so two
+//! names of the same kind serve one compiled forest. Pair with `boltc`
+//! (the compiler CLI in the workspace root) to train and compile
+//! artifacts. The front-end hosts any engine, mirroring §4.5: "the
+//! front-end can connect to other forest implementations".
 
 use bolt_baselines::{ForestPackingForest, InferenceEngine, RangerLikeForest, ScikitLikeForest};
 use bolt_core::BoltForest;
 use bolt_forest::{csv, RandomForest};
-use bolt_server::{BoltEngine, ClassificationServer};
+use bolt_server::{BoltEngine, ServerBuilder};
+use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -25,74 +36,180 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: boltd (--artifact BOLT.json | --forest FOREST.json \
-                 [--engine scikit|ranger|fp] [--calibration-csv FILE]) --socket PATH"
+                "usage: boltd [--artifact BOLT.json] [--forest FOREST.json] \
+                 [--engine scikit|ranger|fp] [--calibration-csv FILE] \
+                 [--model NAME=KIND]... [--default NAME] \
+                 --socket PATH [--tcp ADDR]"
             );
             ExitCode::FAILURE
         }
     }
 }
 
+/// Lazily builds engines from the artifact/forest files, constructing
+/// each kind at most once so repeated `--model` kinds share one engine.
+struct EngineLoader {
+    artifact: Option<String>,
+    forest_path: Option<String>,
+    calibration: Option<String>,
+    forest: Option<RandomForest>,
+    built: BTreeMap<String, Arc<dyn InferenceEngine>>,
+}
+
+impl EngineLoader {
+    fn forest(&mut self) -> Result<&RandomForest, String> {
+        if self.forest.is_none() {
+            let path = self
+                .forest_path
+                .as_ref()
+                .ok_or("this engine kind needs --forest FOREST.json")?;
+            let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let forest: RandomForest = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+            println!(
+                "loaded forest: {} trees, {} features, {} classes",
+                forest.n_trees(),
+                forest.n_features(),
+                forest.n_classes()
+            );
+            self.forest = Some(forest);
+        }
+        Ok(self.forest.as_ref().expect("just loaded"))
+    }
+
+    fn engine(&mut self, kind: &str) -> Result<Arc<dyn InferenceEngine>, String> {
+        if let Some(engine) = self.built.get(kind) {
+            return Ok(Arc::clone(engine));
+        }
+        let engine: Arc<dyn InferenceEngine> = match kind {
+            "bolt" => {
+                let path = self
+                    .artifact
+                    .as_ref()
+                    .ok_or("--model NAME=bolt needs --artifact BOLT.json")?;
+                let json =
+                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                let mut bolt: BoltForest =
+                    serde_json::from_str(&json).map_err(|e| e.to_string())?;
+                bolt.rebuild();
+                println!(
+                    "loaded Bolt artifact: {} dictionary entries, {} table cells, {} classes",
+                    bolt.dictionary().len(),
+                    bolt.table().n_cells(),
+                    bolt.n_classes()
+                );
+                Arc::new(BoltEngine::new(Arc::new(bolt)))
+            }
+            "scikit" => Arc::new(ScikitLikeForest::from_forest(self.forest()?)),
+            "ranger" => Arc::new(RangerLikeForest::from_forest(self.forest()?)),
+            "fp" => {
+                let cal_path = self
+                    .calibration
+                    .clone()
+                    .ok_or("engine kind fp needs --calibration-csv for hot-path estimation")?;
+                let file =
+                    std::fs::File::open(&cal_path).map_err(|e| format!("open {cal_path}: {e}"))?;
+                let cal = csv::from_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
+                Arc::new(ForestPackingForest::from_forest(self.forest()?, &cal))
+            }
+            other => {
+                return Err(format!(
+                    "unknown engine kind {other:?} (bolt|scikit|ranger|fp)"
+                ))
+            }
+        };
+        self.built.insert(kind.to_owned(), Arc::clone(&engine));
+        Ok(engine)
+    }
+}
+
 fn run() -> Result<(), String> {
     let mut artifact = None;
     let mut forest_path = None;
-    let mut engine_name = "scikit".to_owned();
+    let mut engine_name = None;
     let mut calibration = None;
     let mut socket = None;
+    let mut tcp = None;
+    let mut models: Vec<(String, String)> = Vec::new();
+    let mut default_model = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
         match arg.as_str() {
             "--artifact" => artifact = Some(value),
             "--forest" => forest_path = Some(value),
-            "--engine" => engine_name = value,
+            "--engine" => engine_name = Some(value),
             "--calibration-csv" => calibration = Some(value),
             "--socket" => socket = Some(value),
+            "--tcp" => tcp = Some(value),
+            "--model" => {
+                let (name, kind) = value
+                    .split_once('=')
+                    .ok_or_else(|| format!("--model wants NAME=KIND, got {value:?}"))?;
+                if name.is_empty() {
+                    return Err("--model needs a non-empty NAME".to_owned());
+                }
+                models.push((name.to_owned(), kind.to_owned()));
+            }
+            "--default" => default_model = Some(value),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let socket = socket.ok_or("need --socket")?;
+    if models.is_empty() {
+        // Legacy single-engine invocation: --artifact serves Bolt,
+        // --forest [--engine KIND] serves a baseline; the model name is
+        // the engine's platform name and it becomes the default.
+        let kind = if artifact.is_some() && forest_path.is_none() {
+            "bolt".to_owned()
+        } else if forest_path.is_some() {
+            engine_name.clone().unwrap_or_else(|| "scikit".to_owned())
+        } else {
+            return Err("need --model NAME=KIND flags, --artifact, or --forest".to_owned());
+        };
+        models.push((String::new(), kind)); // name filled from the engine below
+    } else if engine_name.is_some() {
+        return Err("--engine mixes with the legacy single-model flags only; \
+                    with --model, spell the kind as NAME=KIND"
+            .to_owned());
+    }
 
-    let engine: Box<dyn InferenceEngine> = if let Some(path) = artifact {
-        let json = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
-        let mut bolt: BoltForest = serde_json::from_str(&json).map_err(|e| e.to_string())?;
-        bolt.rebuild();
-        println!(
-            "loaded Bolt artifact: {} dictionary entries, {} table cells, {} classes",
-            bolt.dictionary().len(),
-            bolt.table().n_cells(),
-            bolt.n_classes()
-        );
-        Box::new(BoltEngine::new(Arc::new(bolt)))
-    } else {
-        let path = forest_path.ok_or("need --artifact or --forest")?;
-        let json = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
-        let forest: RandomForest = serde_json::from_str(&json).map_err(|e| e.to_string())?;
-        println!(
-            "loaded forest: {} trees, {} features, {} classes",
-            forest.n_trees(),
-            forest.n_features(),
-            forest.n_classes()
-        );
-        match engine_name.as_str() {
-            "scikit" => Box::new(ScikitLikeForest::from_forest(&forest)),
-            "ranger" => Box::new(RangerLikeForest::from_forest(&forest)),
-            "fp" => {
-                let cal_path = calibration
-                    .ok_or("--engine fp needs --calibration-csv for hot-path estimation")?;
-                let file =
-                    std::fs::File::open(&cal_path).map_err(|e| format!("open {cal_path}: {e}"))?;
-                let cal = csv::from_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
-                Box::new(ForestPackingForest::from_forest(&forest, &cal))
-            }
-            other => return Err(format!("unknown engine {other:?} (scikit|ranger|fp)")),
-        }
+    let mut loader = EngineLoader {
+        artifact,
+        forest_path,
+        calibration,
+        forest: None,
+        built: BTreeMap::new(),
     };
-    println!("engine: {}", engine.name());
+    let mut builder = ServerBuilder::new();
+    for (name, kind) in &models {
+        let engine = loader.engine(kind)?;
+        let name = if name.is_empty() {
+            engine.name().to_owned()
+        } else {
+            name.clone()
+        };
+        println!("model {name}: {} ({kind})", engine.name());
+        builder = builder.register(name, engine);
+    }
+    if let Some(name) = default_model {
+        builder = builder.default_model(name);
+    }
 
-    let server =
-        ClassificationServer::bind(&socket, engine).map_err(|e| format!("bind {socket}: {e}"))?;
+    let registry_builder = builder;
+    let server = registry_builder
+        .bind_uds(&socket)
+        .map_err(|e| format!("bind {socket}: {e}"))?;
     println!("boltd listening on {socket} (Ctrl-C to stop)");
+    let _tcp_server = match tcp {
+        Some(addr) => {
+            let tcp_server = ServerBuilder::with_registry(server.registry())
+                .bind_tcp(&addr)
+                .map_err(|e| format!("bind tcp {addr}: {e}"))?;
+            println!("boltd also listening on tcp {}", tcp_server.local_addr());
+            Some(tcp_server)
+        }
+        None => None,
+    };
 
     // Serve until interrupted; report stats whenever they change.
     let mut last = server.stats();
@@ -105,6 +222,13 @@ fn run() -> Result<(), String> {
                 stats.requests,
                 stats.mean_latency_ns() / 1000.0
             );
+            for model in server.registry().list() {
+                let default = if model.is_default { " (default)" } else { "" };
+                println!(
+                    "  {}: {} requests via {}{default}",
+                    model.name, model.requests, model.engine
+                );
+            }
             last = stats;
         }
     }

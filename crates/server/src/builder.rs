@@ -1,0 +1,194 @@
+//! One builder for every transport: assemble a [`ModelRegistry`], pick a
+//! default model, then bind a Unix-domain-socket or TCP front-end (or
+//! both, sharing one registry).
+
+use crate::registry::ModelRegistry;
+use crate::server::ClassificationServer;
+use crate::tcp::TcpClassificationServer;
+use bolt_baselines::InferenceEngine;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Builds classification servers over a shared model registry.
+///
+/// Engines are registered as `Arc<dyn InferenceEngine>`, so one compiled
+/// forest can back multiple registered names — and multiple servers —
+/// without re-compilation. The first registered model becomes the default
+/// unless [`default_model`](Self::default_model) picks another; the
+/// default is what legacy (unrouted) `Classify`/`ClassifyBatch` frames
+/// fall back to.
+///
+/// # Examples
+///
+/// ```no_run
+/// use bolt_server::{BoltEngine, ServerBuilder};
+/// use bolt_baselines::ScikitLikeForest;
+/// # use bolt_core::{BoltConfig, BoltForest};
+/// # use bolt_forest::{Dataset, ForestConfig, RandomForest};
+/// # use std::sync::Arc;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let data = Dataset::from_rows(vec![vec![0.0]], vec![0], 1)?;
+/// # let forest = RandomForest::train(&data, &ForestConfig::new(1));
+/// # let bolt = Arc::new(BoltForest::compile(&forest, &BoltConfig::default())?);
+/// let server = ServerBuilder::new()
+///     .register("bolt", Arc::new(BoltEngine::new(bolt)))
+///     .register("scikit", Arc::new(ScikitLikeForest::from_forest(&forest)))
+///     .default_model("bolt")
+///     .bind_tcp("127.0.0.1:0")?;
+/// println!("serving {} models on {}", server.registry().list().len(), server.local_addr());
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ServerBuilder {
+    registry: ModelRegistry,
+    default_model: Option<String>,
+}
+
+impl ServerBuilder {
+    /// A builder over a fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_registry(ModelRegistry::new())
+    }
+
+    /// A builder over an existing registry — use this to share one live
+    /// registry between a UDS and a TCP front-end, or to pre-assemble the
+    /// registry elsewhere.
+    #[must_use]
+    pub fn with_registry(registry: ModelRegistry) -> Self {
+        Self {
+            registry,
+            default_model: None,
+        }
+    }
+
+    /// Registers `engine` under `name` (see
+    /// [`ModelRegistry::register`]; re-registering a name hot-swaps it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or longer than
+    /// [`MAX_MODEL_NAME_BYTES`](crate::proto::MAX_MODEL_NAME_BYTES).
+    #[must_use]
+    pub fn register(self, name: impl Into<String>, engine: Arc<dyn InferenceEngine>) -> Self {
+        self.registry.register(name, engine);
+        self
+    }
+
+    /// Picks the model legacy (unrouted) frames fall back to. Without
+    /// this, the first registered model is the default.
+    #[must_use]
+    pub fn default_model(mut self, name: impl Into<String>) -> Self {
+        self.default_model = Some(name.into());
+        self
+    }
+
+    /// Applies the chosen default and hands the registry out.
+    fn finish(self) -> std::io::Result<ModelRegistry> {
+        if let Some(name) = &self.default_model {
+            self.registry.set_default(name).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+            })?;
+        }
+        Ok(self.registry)
+    }
+
+    /// Binds a Unix-domain-socket server (removing any stale socket file)
+    /// serving the assembled registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` if the chosen default model is not
+    /// registered, or the I/O error if the socket cannot be bound.
+    pub fn bind_uds(self, path: impl AsRef<Path>) -> std::io::Result<ClassificationServer> {
+        let registry = self.finish()?;
+        ClassificationServer::bind_registry(path, registry)
+    }
+
+    /// Binds a TCP server (use port 0 for an ephemeral port) serving the
+    /// assembled registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` if the chosen default model is not
+    /// registered, or the I/O error if the address cannot be bound.
+    pub fn bind_tcp(
+        self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<TcpClassificationServer> {
+        let registry = self.finish()?;
+        TcpClassificationServer::bind_registry(addr, registry)
+    }
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClassificationClient;
+    use bolt_baselines::{RangerLikeForest, ScikitLikeForest};
+    use bolt_forest::{Dataset, ForestConfig, RandomForest};
+
+    fn forest() -> RandomForest {
+        let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 4) as f32]).collect();
+        let labels: Vec<u32> = (0..40).map(|i| u32::from(i % 4 > 1)).collect();
+        let data = Dataset::from_rows(rows, labels, 2).expect("valid");
+        RandomForest::train(&data, &ForestConfig::new(3).with_seed(5))
+    }
+
+    #[test]
+    fn unknown_default_is_rejected_at_bind() {
+        let f = forest();
+        let err = ServerBuilder::new()
+            .register("a", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .default_model("nope")
+            .bind_tcp("127.0.0.1:0")
+            .expect_err("unknown default");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn one_registry_backs_both_transports() {
+        let f = forest();
+        let registry = ModelRegistry::new();
+        registry.register("m", Arc::new(ScikitLikeForest::from_forest(&f)));
+        let uds_path = std::env::temp_dir().join(format!(
+            "bolt-test-builder-shared-{}.sock",
+            std::process::id()
+        ));
+        let uds = ServerBuilder::with_registry(registry.clone())
+            .bind_uds(&uds_path)
+            .expect("binds uds");
+        let tcp = ServerBuilder::with_registry(registry.clone())
+            .bind_tcp("127.0.0.1:0")
+            .expect("binds tcp");
+        let mut uds_client = ClassificationClient::connect(&uds_path).expect("connects");
+        let mut tcp_client = ClassificationClient::connect_tcp(tcp.local_addr()).expect("connects");
+        let want = f.predict(&[3.0]);
+        assert_eq!(uds_client.classify(&[3.0]).expect("uds").class, want);
+        assert_eq!(tcp_client.classify(&[3.0]).expect("tcp").class, want);
+        // Both transports booked into the same per-model stats.
+        assert_eq!(registry.stats("m").expect("stats").requests, 2);
+        // Hot-swapping through either server's handle affects both.
+        tcp.registry()
+            .register("m", Arc::new(RangerLikeForest::from_forest(&f)));
+        assert_eq!(uds_client.classify(&[3.0]).expect("uds").class, want);
+        assert_eq!(
+            uds.registry()
+                .resolve(Some("m"))
+                .expect("m")
+                .engine()
+                .name(),
+            "Ranger"
+        );
+        uds.shutdown();
+        tcp.shutdown();
+    }
+}

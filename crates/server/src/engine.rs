@@ -7,6 +7,12 @@ use std::sync::Arc;
 /// Adapts a compiled [`BoltForest`] to the [`InferenceEngine`] interface so
 /// the front-end can host Bolt and the baselines interchangeably (§4.5:
 /// "the front-end can connect to other forest implementations").
+///
+/// Register it in a [`ModelRegistry`](crate::ModelRegistry) as
+/// `Arc<BoltEngine>` (via [`ServerBuilder`](crate::ServerBuilder)); the
+/// adapter itself holds the forest behind an `Arc`, so cloning the engine
+/// — or registering one `Arc<BoltEngine>` under several model names —
+/// shares a single compiled forest rather than duplicating it.
 #[derive(Clone, Debug)]
 pub struct BoltEngine {
     bolt: Arc<BoltForest>,

@@ -1,13 +1,12 @@
-//! Networked classification service over Unix domain sockets.
+//! Networked classification service over Unix domain sockets and TCP.
 //!
 //! Reproduces the paper's evaluation harness (§5–6, Fig. 7): "Input data is
 //! sent via network to a front-end. The front-end calls the inference
 //! processing engine ... input samples are executed sequentially without
 //! batching." Requests and responses travel as length-prefixed binary
-//! frames over a Unix domain socket; the response carries the engine's
-//! classification and the service-side latency measured "from the time
-//! input samples are received to the moment inference finishes, not
-//! including network delays".
+//! frames; the response carries the engine's classification and the
+//! service-side latency measured "from the time input samples are received
+//! to the moment inference finishes, not including network delays".
 //!
 //! Beyond the paper's sequential methodology, the protocol also accepts
 //! batch frames ([`ClassifyBatchRequest`]): many samples in one round trip,
@@ -15,10 +14,23 @@
 //! ([`InferenceEngine::classify_batch`](bolt_baselines::InferenceEngine::classify_batch),
 //! Bolt's entry-major sharded scan for [`BoltEngine`]).
 //!
+//! # Model registry
+//!
+//! One server process hosts *many* engines behind one socket: a
+//! [`ModelRegistry`] maps model names to shared
+//! `Arc<dyn InferenceEngine>`s with per-model statistics, supports atomic
+//! hot-swap and retirement under live traffic, and designates a *default*
+//! model that legacy (unrouted) frames fall back to — §4.5's "the
+//! front-end can connect to other forest implementations", made
+//! first-class. Model-routed requests travel in versioned protocol-v2
+//! frames (see [`proto`]); [`ServerBuilder`] assembles a registry and
+//! binds either transport over it.
+//!
 //! # Examples
 //!
 //! ```no_run
-//! use bolt_server::{BoltEngine, ClassificationClient, ClassificationServer};
+//! use bolt_server::{BoltEngine, ClassificationClient, ServerBuilder};
+//! use bolt_baselines::ScikitLikeForest;
 //! use bolt_core::{BoltConfig, BoltForest};
 //! use bolt_forest::{Dataset, ForestConfig, RandomForest};
 //! use std::sync::Arc;
@@ -30,10 +42,20 @@
 //! let forest = RandomForest::train(&data, &ForestConfig::new(3).with_seed(1));
 //! let bolt = Arc::new(BoltForest::compile(&forest, &BoltConfig::default())?);
 //!
-//! let server = ClassificationServer::bind("/tmp/bolt.sock", Box::new(BoltEngine::new(bolt)))?;
+//! let server = ServerBuilder::new()
+//!     .register("bolt", Arc::new(BoltEngine::new(bolt)))
+//!     .register("scikit", Arc::new(ScikitLikeForest::from_forest(&forest)))
+//!     .default_model("bolt")
+//!     .bind_uds("/tmp/bolt.sock")?;
 //! let mut client = ClassificationClient::connect("/tmp/bolt.sock")?;
-//! let response = client.classify(&[3.0])?;
-//! assert!(response.class < 2);
+//! let fast = client.classify_with("bolt", &[3.0])?;       // routed
+//! let slow = client.classify_with("scikit", &[3.0])?;     // same socket
+//! assert_eq!(fast.class, slow.class);
+//! let default = client.classify(&[3.0])?;                 // legacy frame
+//! assert_eq!(default.class, fast.class);
+//! for model in client.list_models()?.models {
+//!     println!("{} ({}) served {}", model.name, model.engine, model.requests);
+//! }
 //! server.shutdown();
 //! # Ok(())
 //! # }
@@ -42,17 +64,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod client;
 mod engine;
 pub mod proto;
+mod registry;
 mod server;
 mod tcp;
 
+pub use builder::ServerBuilder;
 pub use client::ClassificationClient;
 pub use engine::BoltEngine;
 pub use proto::{
-    ClassifyBatchRequest, ClassifyBatchResponse, ClassifyRequest, ClassifyResponse, ProtoError,
-    MAX_BATCH_SAMPLES, MAX_FRAME_BYTES,
+    ClassifyBatchRequest, ClassifyBatchResponse, ClassifyBatchWithRequest, ClassifyRequest,
+    ClassifyResponse, ClassifyWithRequest, ErrorFrame, ListModelsResponse, ModelInfo, ProtoError,
+    MAX_BATCH_SAMPLES, MAX_BATCH_SAMPLES_V2, MAX_FRAME_BYTES, MAX_MODEL_NAME_BYTES,
+    PROTOCOL_VERSION,
 };
+pub use registry::{ModelHandle, ModelRegistry, RouteError};
 pub use server::{ClassificationServer, ServerStats};
 pub use tcp::TcpClassificationServer;

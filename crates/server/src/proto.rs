@@ -12,6 +12,33 @@
 //! payload) to collide, which [`MAX_FRAME_BYTES`] rejects long before
 //! decoding, so old decoders fail batch frames as malformed instead of
 //! misparsing them.
+//!
+//! # Protocol v2 — model-routed operations
+//!
+//! Registry-aware operations travel in *versioned* frames. A v2 payload
+//! starts with [`V2_MAGIC`] (collision-proof against legacy frames by the
+//! same argument as [`BATCH_MAGIC`]), then a protocol-version byte
+//! ([`PROTOCOL_VERSION`]), then an opcode byte:
+//!
+//! ```text
+//! ┌─────────────┬──────────────┬────────────┬───────────┬──────────────┐
+//! │ u32 len     │ u32 V2_MAGIC │ u8 version │ u8 opcode │ body …       │
+//! └─────────────┴──────────────┴────────────┴───────────┴──────────────┘
+//! ```
+//!
+//! Requests: [`ClassifyWithRequest`] (`OP_CLASSIFY_WITH`, routes one sample
+//! to a named model), [`ClassifyBatchWithRequest`] (`OP_CLASSIFY_BATCH_WITH`),
+//! and `OP_LIST_MODELS`. Responses reuse the classify/batch payloads under
+//! v2 framing, plus [`ListModelsResponse`] and structured [`ErrorFrame`]s
+//! (`OP_ERROR`) carrying an error code ([`ERR_UNKNOWN_MODEL`],
+//! [`ERR_RETIRED_MODEL`], …) and a human-readable detail string.
+//!
+//! Version negotiation is one-sided and per-frame: a server answers any
+//! frame whose version byte exceeds [`PROTOCOL_VERSION`] with an
+//! [`ERR_UNSUPPORTED_VERSION`] error frame naming its own maximum, and the
+//! connection stays up, so a newer client can downgrade and continue.
+//! Legacy (magic-less) `Classify`/`ClassifyBatch` frames remain valid
+//! forever and route to the server's *default* model.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -32,6 +59,54 @@ pub const BATCH_MAGIC: u32 = 0xB017_BA7C;
 /// and stampede the allocator.
 pub const MAX_BATCH_SAMPLES: usize = (MAX_FRAME_BYTES - 16) / 4;
 
+/// First payload word of every protocol-v2 (model-routed) frame. Like
+/// [`BATCH_MAGIC`], it sits far above any feature count a
+/// [`MAX_FRAME_BYTES`]-sized legacy request could declare, so legacy
+/// decoders reject v2 frames as malformed instead of misparsing them.
+pub const V2_MAGIC: u32 = 0xB017_C0DE;
+
+/// Highest protocol version this build speaks. Frames carrying a higher
+/// version byte are answered with [`ERR_UNSUPPORTED_VERSION`].
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Longest model name accepted on the wire, in bytes.
+pub const MAX_MODEL_NAME_BYTES: usize = 64;
+
+/// Most samples accepted in one *v2* batch frame. Tighter than
+/// [`MAX_BATCH_SAMPLES`] because the v2 response spends 6 more header bytes
+/// (magic is shared, version/opcode are new) and must still fit in
+/// [`MAX_FRAME_BYTES`].
+pub const MAX_BATCH_SAMPLES_V2: usize = (MAX_FRAME_BYTES - 32) / 4;
+
+/// Opcode: classify one sample with a named model.
+pub const OP_CLASSIFY_WITH: u8 = 0x01;
+/// Opcode: classify a batch with a named model.
+pub const OP_CLASSIFY_BATCH_WITH: u8 = 0x02;
+/// Opcode: list registered models.
+pub const OP_LIST_MODELS: u8 = 0x03;
+/// Opcode: single-classification response.
+pub const OP_CLASSIFY_RESP: u8 = 0x81;
+/// Opcode: batch-classification response.
+pub const OP_CLASSIFY_BATCH_RESP: u8 = 0x82;
+/// Opcode: model-list response.
+pub const OP_LIST_MODELS_RESP: u8 = 0x83;
+/// Opcode: structured error response.
+pub const OP_ERROR: u8 = 0xEE;
+
+/// Error code: the named model has never been registered.
+pub const ERR_UNKNOWN_MODEL: u8 = 1;
+/// Error code: the named model was registered once but has been retired.
+pub const ERR_RETIRED_MODEL: u8 = 2;
+/// Error code: a legacy (unrouted) request arrived but the server has no
+/// default model configured.
+pub const ERR_NO_DEFAULT_MODEL: u8 = 3;
+/// Error code: the frame's version byte exceeds the server's
+/// [`PROTOCOL_VERSION`].
+pub const ERR_UNSUPPORTED_VERSION: u8 = 4;
+/// Error code: the server could not build a well-formed response (e.g. a
+/// model list too large for one frame).
+pub const ERR_INTERNAL: u8 = 255;
+
 /// Protocol-level failures.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -50,6 +125,14 @@ pub enum ProtoError {
     },
     /// The peer closed the connection mid-frame.
     UnexpectedEof,
+    /// The server answered with a structured [`ErrorFrame`] instead of a
+    /// result (unknown model, retired model, unsupported version, …).
+    Rejected {
+        /// Machine-readable code ([`ERR_UNKNOWN_MODEL`] and friends).
+        code: u8,
+        /// Human-readable description from the server.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -64,6 +147,9 @@ impl fmt::Display for ProtoError {
             }
             Self::Malformed { detail } => write!(f, "malformed payload: {detail}"),
             Self::UnexpectedEof => write!(f, "connection closed mid-frame"),
+            Self::Rejected { code, detail } => {
+                write!(f, "server rejected request (code {code}): {detail}")
+            }
         }
     }
 }
@@ -228,27 +314,500 @@ impl ClassifyBatchRequest {
     }
 }
 
-/// Either kind of request a server connection accepts.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Request {
-    /// One sample ([`ClassifyRequest`]).
-    Single(ClassifyRequest),
-    /// Many samples in one frame ([`ClassifyBatchRequest`]).
-    Batch(ClassifyBatchRequest),
+/// Appends a length-prefixed model name (u8 length + UTF-8 bytes).
+fn put_name(buf: &mut BytesMut, name: &str) {
+    buf.put_u8(name.len() as u8);
+    buf.put_slice(name.as_bytes());
 }
 
-impl Request {
-    /// Decodes a request payload, dispatching on [`BATCH_MAGIC`].
+/// Validates a model name for the wire: non-empty, at most
+/// [`MAX_MODEL_NAME_BYTES`] UTF-8 bytes.
+fn check_name(name: &str) -> Result<(), ProtoError> {
+    if name.is_empty() || name.len() > MAX_MODEL_NAME_BYTES {
+        return Err(ProtoError::Malformed {
+            detail: format!(
+                "model name must be 1..={MAX_MODEL_NAME_BYTES} bytes, got {}",
+                name.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Reads a length-prefixed model name written by [`put_name`].
+fn get_name(payload: &mut &[u8]) -> Result<String, ProtoError> {
+    if payload.remaining() < 1 {
+        return Err(ProtoError::Malformed {
+            detail: "payload ends before model-name length".into(),
+        });
+    }
+    let len = payload.get_u8() as usize;
+    if len == 0 || len > MAX_MODEL_NAME_BYTES {
+        return Err(ProtoError::Malformed {
+            detail: format!("model name of {len} bytes outside 1..={MAX_MODEL_NAME_BYTES}"),
+        });
+    }
+    if payload.remaining() < len {
+        return Err(ProtoError::Malformed {
+            detail: "payload ends inside model name".into(),
+        });
+    }
+    let mut bytes = vec![0u8; len];
+    payload.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| ProtoError::Malformed {
+        detail: "model name is not UTF-8".into(),
+    })
+}
+
+/// Starts a framed v2 payload: length placeholder is handled by the caller
+/// computing `payload_len`; this writes magic, version, and opcode.
+fn v2_header(buf: &mut BytesMut, payload_len: usize, opcode: u8) {
+    buf.put_u32_le(payload_len as u32);
+    buf.put_u32_le(V2_MAGIC);
+    buf.put_u8(PROTOCOL_VERSION);
+    buf.put_u8(opcode);
+}
+
+/// True when a payload is a protocol-v2 frame (leads with [`V2_MAGIC`]).
+#[must_use]
+pub fn is_v2(payload: &[u8]) -> bool {
+    payload.len() >= 4 && payload[..4] == V2_MAGIC.to_le_bytes()
+}
+
+/// Serializes a framed `ListModels` request (bare v2 opcode, no body).
+#[must_use]
+pub fn encode_list_models() -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 6);
+    v2_header(&mut buf, 6, OP_LIST_MODELS);
+    buf.freeze()
+}
+
+/// A model-routed classification request: one sample for a named model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassifyWithRequest {
+    /// Registered model to classify with.
+    pub model: String,
+    /// The sample's features.
+    pub features: Vec<f32>,
+}
+
+impl ClassifyWithRequest {
+    /// Serializes into a framed v2 byte buffer.
     ///
     /// # Errors
     ///
-    /// Returns [`ProtoError::Malformed`] if the payload decodes as neither
+    /// Returns [`ProtoError::Malformed`] for an empty or over-long model
+    /// name and [`ProtoError::FrameTooLarge`] when the features overflow
+    /// [`MAX_FRAME_BYTES`].
+    pub fn encode(&self) -> Result<Bytes, ProtoError> {
+        check_name(&self.model)?;
+        let payload_len = 6 + 1 + self.model.len() + 4 + self.features.len() * 4;
+        if payload_len > MAX_FRAME_BYTES {
+            return Err(ProtoError::FrameTooLarge {
+                declared: payload_len,
+            });
+        }
+        let mut buf = BytesMut::with_capacity(4 + payload_len);
+        v2_header(&mut buf, payload_len, OP_CLASSIFY_WITH);
+        put_name(&mut buf, &self.model);
+        buf.put_u32_le(self.features.len() as u32);
+        for &f in &self.features {
+            buf.put_f32_le(f);
+        }
+        Ok(buf.freeze())
+    }
+
+    /// Decodes the body (everything after the opcode byte).
+    fn decode_body(mut payload: &[u8]) -> Result<Self, ProtoError> {
+        let model = get_name(&mut payload)?;
+        if payload.remaining() < 4 {
+            return Err(ProtoError::Malformed {
+                detail: "payload ends before feature count".into(),
+            });
+        }
+        let n = payload.get_u32_le() as usize;
+        if payload.len() != n * 4 {
+            return Err(ProtoError::Malformed {
+                detail: format!("{n} features declared but {} bytes remain", payload.len()),
+            });
+        }
+        let features = (0..n).map(|_| payload.get_f32_le()).collect();
+        Ok(Self { model, features })
+    }
+}
+
+/// A model-routed batch request: many samples for a named model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassifyBatchWithRequest {
+    /// Registered model to classify with.
+    pub model: String,
+    /// The samples' features; every sample has the same length.
+    pub samples: Vec<Vec<f32>>,
+}
+
+impl ClassifyBatchWithRequest {
+    /// Serializes into a framed v2 byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] for a bad model name and
+    /// [`ProtoError::FrameTooLarge`] when the batch exceeds
+    /// [`MAX_FRAME_BYTES`] or [`MAX_BATCH_SAMPLES_V2`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the samples do not all share one feature count — the wire
+    /// layout is a dense matrix.
+    pub fn encode(&self) -> Result<Bytes, ProtoError> {
+        check_name(&self.model)?;
+        let n_features = self.samples.first().map_or(0, Vec::len);
+        for (i, s) in self.samples.iter().enumerate() {
+            assert_eq!(
+                s.len(),
+                n_features,
+                "sample {i} has {} features, batch expects {n_features}",
+                s.len()
+            );
+        }
+        let payload_len = 6 + 1 + self.model.len() + 8 + self.samples.len() * n_features * 4;
+        if payload_len > MAX_FRAME_BYTES || self.samples.len() > MAX_BATCH_SAMPLES_V2 {
+            return Err(ProtoError::FrameTooLarge {
+                declared: payload_len,
+            });
+        }
+        let mut buf = BytesMut::with_capacity(4 + payload_len);
+        v2_header(&mut buf, payload_len, OP_CLASSIFY_BATCH_WITH);
+        put_name(&mut buf, &self.model);
+        buf.put_u32_le(self.samples.len() as u32);
+        buf.put_u32_le(n_features as u32);
+        for sample in &self.samples {
+            for &f in sample {
+                buf.put_f32_le(f);
+            }
+        }
+        Ok(buf.freeze())
+    }
+
+    /// Decodes the body (everything after the opcode byte).
+    fn decode_body(mut payload: &[u8]) -> Result<Self, ProtoError> {
+        let model = get_name(&mut payload)?;
+        if payload.remaining() < 8 {
+            return Err(ProtoError::Malformed {
+                detail: "batch payload shorter than its shape header".into(),
+            });
+        }
+        let n_samples = payload.get_u32_le() as usize;
+        let n_features = payload.get_u32_le() as usize;
+        // Same allocation-stampede guard as the legacy batch decoder: cap
+        // the count before any Vec is sized from it.
+        if n_samples > MAX_BATCH_SAMPLES_V2 {
+            return Err(ProtoError::Malformed {
+                detail: format!("{n_samples} samples declared, limit {MAX_BATCH_SAMPLES_V2}"),
+            });
+        }
+        let need = (n_samples as u64) * (n_features as u64) * 4;
+        if payload.len() as u64 != need {
+            return Err(ProtoError::Malformed {
+                detail: format!(
+                    "{n_samples}×{n_features} batch declared but {} bytes remain",
+                    payload.len()
+                ),
+            });
+        }
+        let samples = (0..n_samples)
+            .map(|_| (0..n_features).map(|_| payload.get_f32_le()).collect())
+            .collect();
+        Ok(Self { model, samples })
+    }
+}
+
+/// One registered model, as reported by `ListModels`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Name the model is registered under.
+    pub name: String,
+    /// The engine's platform name (`InferenceEngine::name`).
+    pub engine: String,
+    /// Requests this model has answered so far.
+    pub requests: u64,
+    /// Whether legacy (unrouted) frames fall back to this model.
+    pub is_default: bool,
+}
+
+/// Response to `ListModels`: every registered model, sorted by name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ListModelsResponse {
+    /// The registered models.
+    pub models: Vec<ModelInfo>,
+}
+
+impl ListModelsResponse {
+    /// Serializes into a framed v2 byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::FrameTooLarge`] if the model list overflows
+    /// [`MAX_FRAME_BYTES`] and [`ProtoError::Malformed`] if a name is
+    /// wire-invalid.
+    pub fn encode(&self) -> Result<Bytes, ProtoError> {
+        let mut payload_len = 6 + 2;
+        for m in &self.models {
+            check_name(&m.name)?;
+            if m.engine.len() > MAX_MODEL_NAME_BYTES {
+                return Err(ProtoError::Malformed {
+                    detail: format!("engine name {} too long for the wire", m.engine),
+                });
+            }
+            payload_len += 1 + m.name.len() + 1 + m.engine.len() + 8 + 1;
+        }
+        if payload_len > MAX_FRAME_BYTES || self.models.len() > usize::from(u16::MAX) {
+            return Err(ProtoError::FrameTooLarge {
+                declared: payload_len,
+            });
+        }
+        let mut buf = BytesMut::with_capacity(4 + payload_len);
+        v2_header(&mut buf, payload_len, OP_LIST_MODELS_RESP);
+        buf.put_u16_le(self.models.len() as u16);
+        for m in &self.models {
+            put_name(&mut buf, &m.name);
+            buf.put_u8(m.engine.len() as u8);
+            buf.put_slice(m.engine.as_bytes());
+            buf.put_u64_le(m.requests);
+            buf.put_u8(u8::from(m.is_default));
+        }
+        Ok(buf.freeze())
+    }
+
+    /// Decodes the body (everything after the opcode byte).
+    fn decode_body(mut payload: &[u8]) -> Result<Self, ProtoError> {
+        if payload.remaining() < 2 {
+            return Err(ProtoError::Malformed {
+                detail: "model list shorter than its count".into(),
+            });
+        }
+        let n = payload.get_u16_le() as usize;
+        let mut models = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let name = get_name(&mut payload)?;
+            if payload.remaining() < 1 {
+                return Err(ProtoError::Malformed {
+                    detail: "model list ends before engine name".into(),
+                });
+            }
+            let engine_len = payload.get_u8() as usize;
+            if payload.remaining() < engine_len + 9 {
+                return Err(ProtoError::Malformed {
+                    detail: "model list ends inside a model record".into(),
+                });
+            }
+            let mut engine_bytes = vec![0u8; engine_len];
+            payload.copy_to_slice(&mut engine_bytes);
+            let engine = String::from_utf8(engine_bytes).map_err(|_| ProtoError::Malformed {
+                detail: "engine name is not UTF-8".into(),
+            })?;
+            let requests = payload.get_u64_le();
+            let is_default = payload.get_u8() != 0;
+            models.push(ModelInfo {
+                name,
+                engine,
+                requests,
+                is_default,
+            });
+        }
+        if payload.remaining() != 0 {
+            return Err(ProtoError::Malformed {
+                detail: format!("{} trailing bytes after model list", payload.remaining()),
+            });
+        }
+        Ok(Self { models })
+    }
+}
+
+/// A structured server-side error (unknown model, retired model, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// Machine-readable code ([`ERR_UNKNOWN_MODEL`] and friends).
+    pub code: u8,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl ErrorFrame {
+    /// Serializes into a framed v2 byte buffer. The detail string is
+    /// truncated (on a char boundary) so the frame always encodes.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut detail = self.detail.as_str();
+        while detail.len() > 1024 {
+            let mut cut = 1024;
+            while !detail.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            detail = &detail[..cut];
+        }
+        let payload_len = 6 + 1 + 2 + detail.len();
+        let mut buf = BytesMut::with_capacity(4 + payload_len);
+        v2_header(&mut buf, payload_len, OP_ERROR);
+        buf.put_u8(self.code);
+        buf.put_u16_le(detail.len() as u16);
+        buf.put_slice(detail.as_bytes());
+        buf.freeze()
+    }
+
+    /// Decodes the body (everything after the opcode byte).
+    fn decode_body(mut payload: &[u8]) -> Result<Self, ProtoError> {
+        if payload.remaining() < 3 {
+            return Err(ProtoError::Malformed {
+                detail: "error frame shorter than its header".into(),
+            });
+        }
+        let code = payload.get_u8();
+        let len = payload.get_u16_le() as usize;
+        if payload.remaining() != len {
+            return Err(ProtoError::Malformed {
+                detail: format!(
+                    "error detail of {len} bytes declared but {} remain",
+                    payload.remaining()
+                ),
+            });
+        }
+        let mut bytes = vec![0u8; len];
+        payload.copy_to_slice(&mut bytes);
+        let detail = String::from_utf8(bytes).map_err(|_| ProtoError::Malformed {
+            detail: "error detail is not UTF-8".into(),
+        })?;
+        Ok(Self { code, detail })
+    }
+
+    /// Converts into the client-facing [`ProtoError::Rejected`].
+    #[must_use]
+    pub fn into_error(self) -> ProtoError {
+        ProtoError::Rejected {
+            code: self.code,
+            detail: self.detail,
+        }
+    }
+}
+
+/// Either kind of request a server connection accepts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// One sample ([`ClassifyRequest`]), legacy framing → default model.
+    Single(ClassifyRequest),
+    /// Many samples ([`ClassifyBatchRequest`]), legacy framing → default
+    /// model.
+    Batch(ClassifyBatchRequest),
+    /// One sample routed to a named model (v2).
+    SingleWith(ClassifyWithRequest),
+    /// Many samples routed to a named model (v2).
+    BatchWith(ClassifyBatchWithRequest),
+    /// Enumerate registered models (v2).
+    ListModels,
+    /// A v2 frame whose version byte this build does not speak; the server
+    /// answers with [`ERR_UNSUPPORTED_VERSION`] and keeps the connection.
+    UnsupportedVersion {
+        /// The version the peer asked for.
+        requested: u8,
+    },
+}
+
+impl Request {
+    /// Decodes a request payload, dispatching on [`V2_MAGIC`] then
+    /// [`BATCH_MAGIC`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] if the payload decodes as no known
     /// message.
     pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        if is_v2(payload) {
+            if payload.len() < 6 {
+                return Err(ProtoError::Malformed {
+                    detail: "v2 frame shorter than its header".into(),
+                });
+            }
+            let version = payload[4];
+            if version > PROTOCOL_VERSION {
+                return Ok(Self::UnsupportedVersion { requested: version });
+            }
+            if version < PROTOCOL_VERSION {
+                // No v2-framed message was ever issued under a lower
+                // version; this is a corrupt frame, not an old peer.
+                return Err(ProtoError::Malformed {
+                    detail: format!("v2 frame carries impossible version {version}"),
+                });
+            }
+            let opcode = payload[5];
+            let body = &payload[6..];
+            return match opcode {
+                OP_CLASSIFY_WITH => Ok(Self::SingleWith(ClassifyWithRequest::decode_body(body)?)),
+                OP_CLASSIFY_BATCH_WITH => Ok(Self::BatchWith(
+                    ClassifyBatchWithRequest::decode_body(body)?,
+                )),
+                OP_LIST_MODELS => {
+                    if body.is_empty() {
+                        Ok(Self::ListModels)
+                    } else {
+                        Err(ProtoError::Malformed {
+                            detail: format!("{} unexpected bytes in ListModels", body.len()),
+                        })
+                    }
+                }
+                other => Err(ProtoError::Malformed {
+                    detail: format!("unknown v2 request opcode {other:#04x}"),
+                }),
+            };
+        }
         if payload.len() >= 4 && payload[..4] == BATCH_MAGIC.to_le_bytes() {
             Ok(Self::Batch(ClassifyBatchRequest::decode(payload)?))
         } else {
             Ok(Self::Single(ClassifyRequest::decode(payload)?))
+        }
+    }
+}
+
+/// Any message a v2-aware client can receive.
+#[derive(Clone, Debug, PartialEq)]
+pub enum V2Response {
+    /// Single-classification result.
+    Classify(ClassifyResponse),
+    /// Batch-classification result.
+    Batch(ClassifyBatchResponse),
+    /// Model list.
+    Models(ListModelsResponse),
+    /// Structured error.
+    Error(ErrorFrame),
+}
+
+impl V2Response {
+    /// Decodes a v2 response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] if the payload is not a v2 frame
+    /// or its body does not decode.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        if !is_v2(payload) || payload.len() < 6 {
+            return Err(ProtoError::Malformed {
+                detail: "expected a v2 response frame".into(),
+            });
+        }
+        let version = payload[4];
+        if version != PROTOCOL_VERSION {
+            return Err(ProtoError::Malformed {
+                detail: format!("v2 response carries unsupported version {version}"),
+            });
+        }
+        let opcode = payload[5];
+        let body = &payload[6..];
+        match opcode {
+            OP_CLASSIFY_RESP => Ok(Self::Classify(ClassifyResponse::decode_body(body)?)),
+            OP_CLASSIFY_BATCH_RESP => Ok(Self::Batch(ClassifyBatchResponse::decode_body(body)?)),
+            OP_LIST_MODELS_RESP => Ok(Self::Models(ListModelsResponse::decode_body(body)?)),
+            OP_ERROR => Ok(Self::Error(ErrorFrame::decode_body(body)?)),
+            other => Err(ProtoError::Malformed {
+                detail: format!("unknown v2 response opcode {other:#04x}"),
+            }),
         }
     }
 }
@@ -288,6 +847,24 @@ impl ClassifyResponse {
             class: payload.get_u32_le(),
             latency_ns: payload.get_u64_le(),
         })
+    }
+
+    /// Serializes into a framed *v2* byte buffer (answering a
+    /// [`ClassifyWithRequest`]).
+    #[must_use]
+    pub fn encode_v2(&self) -> Bytes {
+        let payload_len = 6 + 12;
+        let mut buf = BytesMut::with_capacity(4 + payload_len);
+        v2_header(&mut buf, payload_len, OP_CLASSIFY_RESP);
+        buf.put_u32_le(self.class);
+        buf.put_u64_le(self.latency_ns);
+        buf.freeze()
+    }
+
+    /// Decodes a v2 body (everything after the opcode byte).
+    fn decode_body(payload: &[u8]) -> Result<Self, ProtoError> {
+        // The v2 body is laid out exactly like the legacy payload.
+        Self::decode(payload)
     }
 }
 
@@ -333,6 +910,41 @@ impl ClassifyBatchResponse {
         if magic != BATCH_MAGIC {
             return Err(ProtoError::Malformed {
                 detail: format!("batch magic expected, got {magic:#010x}"),
+            });
+        }
+        let n = payload.get_u32_le() as usize;
+        if payload.len() as u64 != (n as u64) * 4 + 8 {
+            return Err(ProtoError::Malformed {
+                detail: format!("{n} classes declared but {} bytes remain", payload.len()),
+            });
+        }
+        let classes = (0..n).map(|_| payload.get_u32_le()).collect();
+        Ok(Self {
+            classes,
+            latency_ns: payload.get_u64_le(),
+        })
+    }
+
+    /// Serializes into a framed *v2* byte buffer (answering a
+    /// [`ClassifyBatchWithRequest`]).
+    #[must_use]
+    pub fn encode_v2(&self) -> Bytes {
+        let payload_len = 6 + 4 + self.classes.len() * 4 + 8;
+        let mut buf = BytesMut::with_capacity(4 + payload_len);
+        v2_header(&mut buf, payload_len, OP_CLASSIFY_BATCH_RESP);
+        buf.put_u32_le(self.classes.len() as u32);
+        for &c in &self.classes {
+            buf.put_u32_le(c);
+        }
+        buf.put_u64_le(self.latency_ns);
+        buf.freeze()
+    }
+
+    /// Decodes a v2 body (everything after the opcode byte).
+    fn decode_body(mut payload: &[u8]) -> Result<Self, ProtoError> {
+        if payload.remaining() < 4 {
+            return Err(ProtoError::Malformed {
+                detail: "v2 batch response shorter than its count".into(),
             });
         }
         let n = payload.get_u32_le() as usize;
@@ -642,6 +1254,222 @@ mod tests {
             for (a, b) in decoded.features.iter().zip(&features) {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
             }
+        });
+    }
+
+    #[test]
+    fn classify_with_roundtrip() {
+        let req = ClassifyWithRequest {
+            model: "bolt".into(),
+            features: vec![1.5, -2.0, f32::NAN, f32::INFINITY],
+        };
+        let framed = req.encode().expect("encodes");
+        let mut cursor = std::io::Cursor::new(framed.to_vec());
+        let payload = read_frame(&mut cursor).expect("read").expect("frame");
+        match Request::decode(&payload).expect("decode") {
+            Request::SingleWith(decoded) => {
+                assert_eq!(decoded.model, "bolt");
+                assert_eq!(decoded.features.len(), 4);
+                for (a, b) in decoded.features.iter().zip(&req.features) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong dispatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_batch_with_roundtrip() {
+        let req = ClassifyBatchWithRequest {
+            model: "ranger".into(),
+            samples: vec![vec![1.0, 2.0], vec![-3.5, 0.0]],
+        };
+        let framed = req.encode().expect("encodes");
+        let mut cursor = std::io::Cursor::new(framed.to_vec());
+        let payload = read_frame(&mut cursor).expect("read").expect("frame");
+        assert_eq!(
+            Request::decode(&payload).expect("decode"),
+            Request::BatchWith(req)
+        );
+    }
+
+    #[test]
+    fn list_models_roundtrip() {
+        // Request: bare opcode.
+        let mut buf = BytesMut::new();
+        v2_header(&mut buf, 6, OP_LIST_MODELS);
+        let framed = buf.freeze();
+        assert_eq!(
+            Request::decode(&framed[4..]).expect("decode"),
+            Request::ListModels
+        );
+        // Response.
+        let resp = ListModelsResponse {
+            models: vec![
+                ModelInfo {
+                    name: "bolt".into(),
+                    engine: "BOLT".into(),
+                    requests: 41,
+                    is_default: true,
+                },
+                ModelInfo {
+                    name: "rf".into(),
+                    engine: "Ranger".into(),
+                    requests: 0,
+                    is_default: false,
+                },
+            ],
+        };
+        let framed = resp.encode().expect("encodes");
+        match V2Response::decode(&framed[4..]).expect("decode") {
+            V2Response::Models(decoded) => assert_eq!(decoded, resp),
+            other => panic!("wrong dispatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_responses_roundtrip() {
+        let single = ClassifyResponse {
+            class: 3,
+            latency_ns: 42,
+        };
+        let framed = single.encode_v2();
+        assert_eq!(
+            V2Response::decode(&framed[4..]).expect("decode"),
+            V2Response::Classify(single)
+        );
+        let batch = ClassifyBatchResponse {
+            classes: vec![1, 0, 2],
+            latency_ns: 7,
+        };
+        let framed = batch.encode_v2();
+        assert_eq!(
+            V2Response::decode(&framed[4..]).expect("decode"),
+            V2Response::Batch(batch)
+        );
+    }
+
+    #[test]
+    fn error_frame_roundtrip() {
+        let err = ErrorFrame {
+            code: ERR_UNKNOWN_MODEL,
+            detail: "no model named \"x\"".into(),
+        };
+        let framed = err.encode();
+        match V2Response::decode(&framed[4..]).expect("decode") {
+            V2Response::Error(decoded) => {
+                assert_eq!(decoded, err);
+                let as_err = decoded.into_error();
+                assert!(matches!(
+                    as_err,
+                    ProtoError::Rejected {
+                        code: ERR_UNKNOWN_MODEL,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("wrong dispatch: {other:?}"),
+        }
+        // Oversized details truncate rather than overflow the frame.
+        let huge = ErrorFrame {
+            code: ERR_RETIRED_MODEL,
+            detail: "x".repeat(100_000),
+        };
+        let framed = huge.encode();
+        assert!(framed.len() <= 4 + 6 + 3 + 1024);
+        assert!(V2Response::decode(&framed[4..]).is_ok());
+    }
+
+    #[test]
+    fn future_version_is_negotiable_not_fatal() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(V2_MAGIC);
+        buf.put_u8(PROTOCOL_VERSION + 1);
+        buf.put_u8(OP_CLASSIFY_WITH);
+        let payload = buf.freeze();
+        assert_eq!(
+            Request::decode(&payload).expect("decode"),
+            Request::UnsupportedVersion {
+                requested: PROTOCOL_VERSION + 1
+            }
+        );
+        // A version below 2 under the v2 magic never existed: corrupt.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(V2_MAGIC);
+        buf.put_u8(1);
+        buf.put_u8(OP_CLASSIFY_WITH);
+        assert!(matches!(
+            Request::decode(&buf.freeze()),
+            Err(ProtoError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_invalid_model_names_rejected() {
+        let empty = ClassifyWithRequest {
+            model: String::new(),
+            features: vec![1.0],
+        };
+        assert!(matches!(empty.encode(), Err(ProtoError::Malformed { .. })));
+        let long = ClassifyWithRequest {
+            model: "m".repeat(MAX_MODEL_NAME_BYTES + 1),
+            features: vec![1.0],
+        };
+        assert!(matches!(long.encode(), Err(ProtoError::Malformed { .. })));
+        // Zero-length name on the wire is rejected by the decoder too.
+        let mut buf = BytesMut::new();
+        v2_header(&mut buf, 6 + 1 + 4, OP_CLASSIFY_WITH);
+        buf.put_u8(0);
+        buf.put_u32_le(0);
+        assert!(matches!(
+            Request::decode(&buf.freeze()[4..]),
+            Err(ProtoError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_v2_sample_count_rejected_before_allocating() {
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(V2_MAGIC);
+        bad.put_u8(PROTOCOL_VERSION);
+        bad.put_u8(OP_CLASSIFY_BATCH_WITH);
+        put_name(&mut bad, "m");
+        bad.put_u32_le(u32::MAX);
+        bad.put_u32_le(0);
+        let err = Request::decode(&bad.freeze()).expect_err("rejected");
+        assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn max_v2_batch_response_fits_in_a_frame() {
+        // Any v2 batch the decoder accepts must yield an encodable
+        // response under the same frame cap.
+        let resp = ClassifyBatchResponse {
+            classes: vec![0; MAX_BATCH_SAMPLES_V2],
+            latency_ns: 1,
+        };
+        let framed = resp.encode_v2();
+        assert!(framed.len() - 4 <= MAX_FRAME_BYTES);
+        match V2Response::decode(&framed[4..]).expect("decode") {
+            V2Response::Batch(decoded) => {
+                assert_eq!(decoded.classes.len(), MAX_BATCH_SAMPLES_V2);
+            }
+            other => panic!("wrong dispatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_decoders_are_total() {
+        use proptest::prelude::*;
+        proptest!(|(bytes in proptest::collection::vec(any::<u8>(), 0..600))| {
+            let _ = Request::decode(&bytes);
+            let _ = V2Response::decode(&bytes);
+            // And with a valid magic prefix grafted on, the bodies are
+            // still total.
+            let mut prefixed = V2_MAGIC.to_le_bytes().to_vec();
+            prefixed.extend_from_slice(&bytes);
+            let _ = Request::decode(&prefixed);
+            let _ = V2Response::decode(&prefixed);
         });
     }
 

@@ -1,0 +1,448 @@
+//! The model registry: one serving process, many engines.
+//!
+//! §4.5 frames the classification front-end as engine-agnostic ("the
+//! front-end can connect to other forest implementations"). The
+//! [`ModelRegistry`] makes that first-class: a concurrent map from model
+//! name to a shared [`InferenceEngine`], with per-model statistics,
+//! atomic hot-swap under live traffic, and a *default* model that legacy
+//! (unrouted) protocol frames fall back to.
+//!
+//! Concurrency model: the registry holds one `RwLock` over its whole
+//! state. Request threads take a read lock only long enough to clone the
+//! resolved model's `Arc` handle, then classify and book statistics with
+//! no registry lock held — so a [`swap`](ModelRegistry::register) or
+//! [`retire`](ModelRegistry::retire) never waits on in-flight inference,
+//! and in-flight requests hold the *old* engine alive until they finish.
+//! Statistics are keyed by model *name* and survive engine swaps, so a
+//! name's request count is the sum over every engine that ever served it.
+
+use crate::proto::{ModelInfo, MAX_MODEL_NAME_BYTES};
+use crate::server::ServerStats;
+use bolt_baselines::InferenceEngine;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Why a model lookup failed; maps 1:1 onto the protocol's structured
+/// error codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// The name has never been registered.
+    UnknownModel(String),
+    /// The name was registered once but has since been retired.
+    RetiredModel(String),
+    /// A default-model lookup was made but no default is configured.
+    NoDefaultModel,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownModel(name) => write!(f, "no model registered as {name:?}"),
+            Self::RetiredModel(name) => write!(f, "model {name:?} has been retired"),
+            Self::NoDefaultModel => write!(f, "no default model configured"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A registered model: the engine plus the name's statistics slot.
+///
+/// The stats slot is shared *across* hot-swaps of the same name, so
+/// booking into a handle resolved before a swap still lands in the name's
+/// totals.
+pub struct ModelHandle {
+    engine: Arc<dyn InferenceEngine>,
+    stats: Arc<Mutex<ServerStats>>,
+}
+
+impl ModelHandle {
+    /// The engine backing this model right now.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<dyn InferenceEngine> {
+        &self.engine
+    }
+
+    /// Snapshot of the model's statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+
+    /// Books `requests` answered in `latency_ns` total into the model's
+    /// statistics.
+    pub fn book(&self, requests: u64, latency_ns: u64) {
+        let mut stats = self.stats.lock();
+        stats.requests += requests;
+        stats.total_latency_ns += latency_ns;
+    }
+}
+
+impl std::fmt::Debug for ModelHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelHandle")
+            .field("engine", &self.engine.name())
+            .finish()
+    }
+}
+
+struct RegistryState {
+    models: BTreeMap<String, Arc<ModelHandle>>,
+    /// Names that were registered once and later retired, with their
+    /// accumulated statistics, so (a) lookups can distinguish "retired"
+    /// from "never existed" and (b) totals stay conserved across retire.
+    retired: BTreeMap<String, Arc<Mutex<ServerStats>>>,
+    default_model: Option<String>,
+}
+
+/// A concurrent map from model name to inference engine, shared by every
+/// connection of a server. Cheap to clone (all clones view one state), so
+/// it can be handed to an operator thread for live reconfiguration while
+/// the server routes traffic through it.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_server::ModelRegistry;
+/// use bolt_baselines::{InferenceEngine, ScikitLikeForest};
+/// use bolt_forest::{Dataset, ForestConfig, RandomForest};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 4) as f32]).collect();
+/// let labels: Vec<u32> = (0..40).map(|i| u32::from(i % 4 > 1)).collect();
+/// let data = Dataset::from_rows(rows, labels, 2)?;
+/// let forest = RandomForest::train(&data, &ForestConfig::new(3).with_seed(1));
+/// let engine: Arc<dyn InferenceEngine> = Arc::new(ScikitLikeForest::from_forest(&forest));
+///
+/// let registry = ModelRegistry::new();
+/// registry.register("scikit", Arc::clone(&engine));
+/// // One engine can back many names without re-compilation:
+/// registry.register("scikit-alias", engine);
+/// registry.set_default("scikit")?;
+/// let model = registry.resolve(Some("scikit-alias"))?;
+/// assert!(model.engine().classify(&[3.0]) < 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct ModelRegistry {
+    state: Arc<RwLock<RegistryState>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry with no default model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: Arc::new(RwLock::new(RegistryState {
+                models: BTreeMap::new(),
+                retired: BTreeMap::new(),
+                default_model: None,
+            })),
+        }
+    }
+
+    /// Registers `engine` under `name`, hot-swapping atomically if the
+    /// name is already taken: requests resolved after this call see the
+    /// new engine, requests already in flight finish on the old one, and
+    /// the name's statistics carry over. The first registration becomes
+    /// the default model if none is configured yet. Re-registering a
+    /// retired name revives it (with its historical statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or longer than [`MAX_MODEL_NAME_BYTES`]
+    /// bytes — such a name could never be addressed over the wire.
+    pub fn register(&self, name: impl Into<String>, engine: Arc<dyn InferenceEngine>) {
+        let name = name.into();
+        assert!(
+            !name.is_empty() && name.len() <= MAX_MODEL_NAME_BYTES,
+            "model name must be 1..={MAX_MODEL_NAME_BYTES} bytes, got {:?}",
+            name
+        );
+        let mut state = self.state.write();
+        let stats = state
+            .retired
+            .remove(&name)
+            .or_else(|| {
+                state
+                    .models
+                    .get(&name)
+                    .map(|handle| Arc::clone(&handle.stats))
+            })
+            .unwrap_or_else(|| Arc::new(Mutex::new(ServerStats::default())));
+        state
+            .models
+            .insert(name.clone(), Arc::new(ModelHandle { engine, stats }));
+        if state.default_model.is_none() {
+            state.default_model = Some(name);
+        }
+    }
+
+    /// Retires `name`: the model disappears from routing and listing, but
+    /// requests that already resolved it finish unharmed, its statistics
+    /// keep counting toward [`total_stats`](Self::total_stats), and later
+    /// lookups get the *retired* (not *unknown*) error. Retiring the
+    /// default model leaves the server with no default until
+    /// [`set_default`](Self::set_default) is called again.
+    ///
+    /// Returns `false` if no such model is registered.
+    pub fn retire(&self, name: &str) -> bool {
+        let mut state = self.state.write();
+        let Some(handle) = state.models.remove(name) else {
+            return false;
+        };
+        state
+            .retired
+            .insert(name.to_owned(), Arc::clone(&handle.stats));
+        if state.default_model.as_deref() == Some(name) {
+            state.default_model = None;
+        }
+        true
+    }
+
+    /// Makes `name` the model legacy (unrouted) frames fall back to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::UnknownModel`] / [`RouteError::RetiredModel`]
+    /// if the name is not currently registered.
+    pub fn set_default(&self, name: &str) -> Result<(), RouteError> {
+        let mut state = self.state.write();
+        if !state.models.contains_key(name) {
+            return Err(if state.retired.contains_key(name) {
+                RouteError::RetiredModel(name.to_owned())
+            } else {
+                RouteError::UnknownModel(name.to_owned())
+            });
+        }
+        state.default_model = Some(name.to_owned());
+        Ok(())
+    }
+
+    /// The current default model's name, if one is configured.
+    #[must_use]
+    pub fn default_model(&self) -> Option<String> {
+        self.state.read().default_model.clone()
+    }
+
+    /// Resolves a model by name (`None` → the default model) to a handle
+    /// that stays valid — engine alive, statistics attached — even if the
+    /// model is swapped or retired while the request is in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RouteError`] matching the protocol's structured
+    /// error codes.
+    pub fn resolve(&self, name: Option<&str>) -> Result<Arc<ModelHandle>, RouteError> {
+        let state = self.state.read();
+        let name = match name {
+            Some(name) => name,
+            None => state
+                .default_model
+                .as_deref()
+                .ok_or(RouteError::NoDefaultModel)?,
+        };
+        state.models.get(name).map(Arc::clone).ok_or_else(|| {
+            if state.retired.contains_key(name) {
+                RouteError::RetiredModel(name.to_owned())
+            } else {
+                RouteError::UnknownModel(name.to_owned())
+            }
+        })
+    }
+
+    /// Every registered model, sorted by name, with live request counts —
+    /// the payload of the protocol's `ListModels` op.
+    #[must_use]
+    pub fn list(&self) -> Vec<ModelInfo> {
+        let state = self.state.read();
+        state
+            .models
+            .iter()
+            .map(|(name, handle)| ModelInfo {
+                name: name.clone(),
+                engine: handle.engine.name().to_owned(),
+                requests: handle.stats.lock().requests,
+                is_default: state.default_model.as_deref() == Some(name),
+            })
+            .collect()
+    }
+
+    /// Snapshot of one model's statistics (active or retired).
+    #[must_use]
+    pub fn stats(&self, name: &str) -> Option<ServerStats> {
+        let state = self.state.read();
+        state
+            .models
+            .get(name)
+            .map(|handle| *handle.stats.lock())
+            .or_else(|| state.retired.get(name).map(|stats| *stats.lock()))
+    }
+
+    /// Aggregate statistics across every model, including retired ones —
+    /// total requests here always equals the sum of every request the
+    /// server ever booked.
+    #[must_use]
+    pub fn total_stats(&self) -> ServerStats {
+        let state = self.state.read();
+        let mut total = ServerStats::default();
+        for stats in state
+            .models
+            .values()
+            .map(|handle| &handle.stats)
+            .chain(state.retired.values())
+        {
+            let stats = stats.lock();
+            total.requests += stats.requests;
+            total.total_latency_ns += stats.total_latency_ns;
+        }
+        total
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.read();
+        f.debug_struct("ModelRegistry")
+            .field("models", &state.models.keys().collect::<Vec<_>>())
+            .field("default_model", &state.default_model)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_baselines::{RangerLikeForest, ScikitLikeForest};
+    use bolt_forest::{Dataset, ForestConfig, RandomForest};
+
+    fn forest() -> RandomForest {
+        let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 4) as f32]).collect();
+        let labels: Vec<u32> = (0..40).map(|i| u32::from(i % 4 > 1)).collect();
+        let data = Dataset::from_rows(rows, labels, 2).expect("valid");
+        RandomForest::train(&data, &ForestConfig::new(3).with_seed(5))
+    }
+
+    #[test]
+    fn first_registration_becomes_default() {
+        let registry = ModelRegistry::new();
+        assert_eq!(
+            registry.resolve(None).expect_err("empty"),
+            RouteError::NoDefaultModel
+        );
+        let f = forest();
+        registry.register("a", Arc::new(ScikitLikeForest::from_forest(&f)));
+        registry.register("b", Arc::new(RangerLikeForest::from_forest(&f)));
+        assert_eq!(registry.default_model().as_deref(), Some("a"));
+        assert_eq!(
+            registry.resolve(None).expect("default").engine().name(),
+            "Scikit"
+        );
+        registry.set_default("b").expect("exists");
+        assert_eq!(
+            registry.resolve(None).expect("default").engine().name(),
+            "Ranger"
+        );
+    }
+
+    #[test]
+    fn unknown_vs_retired_are_distinct_errors() {
+        let registry = ModelRegistry::new();
+        let f = forest();
+        registry.register("m", Arc::new(ScikitLikeForest::from_forest(&f)));
+        assert_eq!(
+            registry.resolve(Some("ghost")).expect_err("unknown"),
+            RouteError::UnknownModel("ghost".into())
+        );
+        assert!(registry.retire("m"));
+        assert!(!registry.retire("m"), "double retire is a no-op");
+        assert_eq!(
+            registry.resolve(Some("m")).expect_err("retired"),
+            RouteError::RetiredModel("m".into())
+        );
+        // Retiring the default leaves no default configured.
+        assert_eq!(
+            registry.resolve(None).expect_err("no default"),
+            RouteError::NoDefaultModel
+        );
+    }
+
+    #[test]
+    fn stats_survive_swap_and_retire() {
+        let registry = ModelRegistry::new();
+        let f = forest();
+        registry.register("m", Arc::new(ScikitLikeForest::from_forest(&f)));
+        let before_swap = registry.resolve(Some("m")).expect("resolves");
+        before_swap.book(3, 300);
+        // Hot-swap the engine behind the name.
+        registry.register("m", Arc::new(RangerLikeForest::from_forest(&f)));
+        // A handle resolved before the swap still books into the name.
+        before_swap.book(2, 200);
+        assert_eq!(registry.stats("m").expect("stats").requests, 5);
+        assert_eq!(
+            registry
+                .resolve(Some("m"))
+                .expect("resolves")
+                .engine()
+                .name(),
+            "Ranger"
+        );
+        // Retire: stats stay visible and conserved in the total.
+        assert!(registry.retire("m"));
+        assert_eq!(registry.stats("m").expect("retired stats").requests, 5);
+        assert_eq!(registry.total_stats().requests, 5);
+        // Revival restores the historical counts.
+        registry.register("m", Arc::new(ScikitLikeForest::from_forest(&f)));
+        assert_eq!(registry.stats("m").expect("revived stats").requests, 5);
+        assert_eq!(registry.total_stats().requests, 5);
+    }
+
+    #[test]
+    fn list_is_sorted_and_flags_default() {
+        let registry = ModelRegistry::new();
+        let f = forest();
+        registry.register("zeta", Arc::new(ScikitLikeForest::from_forest(&f)));
+        registry.register("alpha", Arc::new(RangerLikeForest::from_forest(&f)));
+        let listed = registry.list();
+        assert_eq!(
+            listed.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+            ["alpha", "zeta"]
+        );
+        assert!(listed[1].is_default, "first registration is default");
+        assert!(!listed[0].is_default);
+        assert_eq!(listed[0].engine, "Ranger");
+    }
+
+    #[test]
+    fn one_engine_backs_many_names() {
+        let registry = ModelRegistry::new();
+        let f = forest();
+        let engine: Arc<dyn InferenceEngine> = Arc::new(ScikitLikeForest::from_forest(&f));
+        registry.register("a", Arc::clone(&engine));
+        registry.register("b", engine);
+        let a = registry.resolve(Some("a")).expect("a");
+        let b = registry.resolve(Some("b")).expect("b");
+        assert!(Arc::ptr_eq(a.engine(), b.engine()), "no re-compilation");
+        // ...but statistics are per *name*.
+        a.book(1, 10);
+        assert_eq!(registry.stats("a").expect("a").requests, 1);
+        assert_eq!(registry.stats("b").expect("b").requests, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "model name must be")]
+    fn unaddressable_name_is_rejected() {
+        let registry = ModelRegistry::new();
+        registry.register("", Arc::new(ScikitLikeForest::from_forest(&forest())));
+    }
+}

@@ -1,10 +1,11 @@
-//! The classification front-end (Fig. 7).
+//! The classification front-end (Fig. 7), serving a [`ModelRegistry`].
 
 use crate::proto::{
-    read_frame, write_frame, ClassifyBatchResponse, ClassifyResponse, ProtoError, Request,
+    read_frame, write_frame, ClassifyBatchResponse, ClassifyResponse, ErrorFrame,
+    ListModelsResponse, ProtoError, Request, ERR_INTERNAL, ERR_NO_DEFAULT_MODEL, ERR_RETIRED_MODEL,
+    ERR_UNKNOWN_MODEL, ERR_UNSUPPORTED_VERSION, PROTOCOL_VERSION,
 };
-use bolt_baselines::InferenceEngine;
-use parking_lot::Mutex;
+use crate::registry::{ModelHandle, ModelRegistry, RouteError};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,24 +35,38 @@ impl ServerStats {
 }
 
 pub(crate) struct Shared {
-    pub(crate) engine: Box<dyn InferenceEngine>,
-    pub(crate) stats: Mutex<ServerStats>,
+    pub(crate) registry: ModelRegistry,
     pub(crate) shutdown: AtomicBool,
 }
 
 impl Shared {
-    pub(crate) fn new(engine: Box<dyn InferenceEngine>) -> Self {
+    pub(crate) fn new(registry: ModelRegistry) -> Self {
         Self {
-            engine,
-            stats: Mutex::new(ServerStats::default()),
+            registry,
             shutdown: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Joins every worker whose connection has already closed, so a long-lived
+/// server does not accumulate one parked `JoinHandle` per historical
+/// connection.
+pub(crate) fn reap_finished(workers: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < workers.len() {
+        if workers[i].is_finished() {
+            let _ = workers.swap_remove(i).join();
+        } else {
+            i += 1;
         }
     }
 }
 
 /// A classification server on a Unix domain socket, one thread per
 /// connection (requests on a connection are processed sequentially, without
-/// batching, per §6's methodology).
+/// batching, per §6's methodology). Hosts every model in its
+/// [`ModelRegistry`]; construct it with
+/// [`ServerBuilder`](crate::ServerBuilder).
 pub struct ClassificationServer {
     shared: Arc<Shared>,
     path: PathBuf,
@@ -59,21 +74,17 @@ pub struct ClassificationServer {
 }
 
 impl ClassificationServer {
-    /// Binds the socket (removing any stale file) and starts accepting.
-    ///
-    /// # Errors
-    ///
-    /// Returns the I/O error if the socket cannot be bound.
-    pub fn bind(path: impl AsRef<Path>, engine: Box<dyn InferenceEngine>) -> std::io::Result<Self> {
+    /// Binds the socket (removing any stale file) and starts accepting,
+    /// serving the registry's models.
+    pub(crate) fn bind_registry(
+        path: impl AsRef<Path>,
+        registry: ModelRegistry,
+    ) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         listener.set_nonblocking(true)?;
-        let shared = Arc::new(Shared {
-            engine,
-            stats: Mutex::new(ServerStats::default()),
-            shutdown: AtomicBool::new(false),
-        });
+        let shared = Arc::new(Shared::new(registry));
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
@@ -90,6 +101,7 @@ impl ClassificationServer {
                     }
                     Err(_) => break,
                 }
+                reap_finished(&mut workers);
             }
             for worker in workers {
                 let _ = worker.join();
@@ -102,16 +114,50 @@ impl ClassificationServer {
         })
     }
 
+    /// Binds the socket with a single anonymous engine, registered under
+    /// its platform name and made the default model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the socket cannot be bound.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ServerBuilder::new().register(..).bind_uds(..)"
+    )]
+    pub fn bind(
+        path: impl AsRef<Path>,
+        engine: Box<dyn bolt_baselines::InferenceEngine>,
+    ) -> std::io::Result<Self> {
+        let registry = ModelRegistry::new();
+        let name = engine.name().to_owned();
+        registry.register(name, Arc::from(engine));
+        Self::bind_registry(path, registry)
+    }
+
     /// The socket path clients connect to.
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Snapshot of the aggregate statistics.
+    /// A handle to the live model registry, for hot-swapping, retiring,
+    /// and re-defaulting models while the server runs.
+    #[must_use]
+    pub fn registry(&self) -> ModelRegistry {
+        self.shared.registry.clone()
+    }
+
+    /// Snapshot of the aggregate statistics across every model (including
+    /// retired ones).
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        *self.shared.stats.lock()
+        self.shared.registry.total_stats()
+    }
+
+    /// Snapshot of one model's statistics.
+    #[must_use]
+    pub fn stats_for(&self, model: &str) -> Option<ServerStats> {
+        self.shared.registry.stats(model)
     }
 
     /// Stops accepting, waits for in-flight connections, and removes the
@@ -140,7 +186,7 @@ impl std::fmt::Debug for ClassificationServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClassificationServer")
             .field("path", &self.path)
-            .field("engine", &self.shared.engine.name())
+            .field("registry", &self.shared.registry)
             .finish()
     }
 }
@@ -150,8 +196,58 @@ fn handle_connection(stream: UnixStream, shared: &Shared) -> Result<(), ProtoErr
     handle_stream(stream, shared)
 }
 
+/// Translates a routing failure into its structured wire error.
+fn route_error_frame(error: &RouteError) -> ErrorFrame {
+    let code = match error {
+        RouteError::UnknownModel(_) => ERR_UNKNOWN_MODEL,
+        RouteError::RetiredModel(_) => ERR_RETIRED_MODEL,
+        RouteError::NoDefaultModel => ERR_NO_DEFAULT_MODEL,
+    };
+    ErrorFrame {
+        code,
+        detail: error.to_string(),
+    }
+}
+
+/// Classifies one sample on a resolved model, booking its latency.
+fn classify_one(model: &ModelHandle, features: &[f32]) -> ClassifyResponse {
+    // Latency measured from receipt to aggregation output (§6).
+    let start = Instant::now();
+    let class = model.engine().classify(features);
+    let latency_ns = start.elapsed().as_nanos() as u64;
+    model.book(1, latency_ns);
+    ClassifyResponse { class, latency_ns }
+}
+
+/// Classifies a batch on a resolved model. Each sample counts as a
+/// request; the batch's wall clock is booked once, so mean latency
+/// reflects the amortized per-sample cost. Empty batches touch neither
+/// the engine nor the statistics: latency booked without a request count
+/// would skew the mean.
+fn classify_many(model: &ModelHandle, samples: &[Vec<f32>]) -> ClassifyBatchResponse {
+    if samples.is_empty() {
+        return ClassifyBatchResponse {
+            classes: Vec::new(),
+            latency_ns: 0,
+        };
+    }
+    let borrowed: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
+    let start = Instant::now();
+    let classes = model.engine().classify_batch(&borrowed);
+    let latency_ns = start.elapsed().as_nanos() as u64;
+    model.book(borrowed.len() as u64, latency_ns);
+    ClassifyBatchResponse {
+        classes,
+        latency_ns,
+    }
+}
+
 /// Serves framed requests on any byte stream whose read timeout has been
 /// configured by the caller (both Unix and TCP transports funnel here).
+///
+/// Routing failures (unknown model, retired model, no default) answer
+/// with a structured [`ErrorFrame`] and keep the connection alive; only
+/// transport failures and malformed frames tear it down.
 pub(crate) fn handle_stream<S: std::io::Read + std::io::Write>(
     mut stream: S,
     shared: &Shared,
@@ -174,57 +270,60 @@ pub(crate) fn handle_stream<S: std::io::Read + std::io::Write>(
             Err(e) => return Err(e),
         };
         match Request::decode(&payload)? {
-            Request::Single(request) => {
-                // Latency measured from receipt to aggregation output (§6).
-                let start = Instant::now();
-                let class = shared.engine.classify(&request.features);
-                let latency_ns = start.elapsed().as_nanos() as u64;
-                {
-                    let mut stats = shared.stats.lock();
-                    stats.requests += 1;
-                    stats.total_latency_ns += latency_ns;
+            Request::Single(request) => match shared.registry.resolve(None) {
+                Ok(model) => {
+                    let response = classify_one(&model, &request.features);
+                    write_frame(&mut stream, &response.encode())?;
                 }
-                write_frame(
-                    &mut stream,
-                    &ClassifyResponse { class, latency_ns }.encode(),
-                )?;
-            }
-            Request::Batch(request) => {
-                if request.samples.is_empty() {
-                    // Answer without touching the engine or the stats: an
-                    // empty batch adds no requests, so booking its wall
-                    // clock would inflate the mean latency unbacked by any
-                    // request count.
-                    write_frame(
-                        &mut stream,
-                        &ClassifyBatchResponse {
-                            classes: Vec::new(),
-                            latency_ns: 0,
-                        }
-                        .encode(),
-                    )?;
-                    continue;
+                Err(e) => write_frame(&mut stream, &route_error_frame(&e).encode())?,
+            },
+            Request::Batch(request) => match shared.registry.resolve(None) {
+                Ok(model) => {
+                    let response = classify_many(&model, &request.samples);
+                    write_frame(&mut stream, &response.encode())?;
                 }
-                let samples: Vec<&[f32]> = request.samples.iter().map(Vec::as_slice).collect();
-                let start = Instant::now();
-                let classes = shared.engine.classify_batch(&samples);
-                let latency_ns = start.elapsed().as_nanos() as u64;
-                {
-                    // Each sample counts as a request; the batch's wall
-                    // clock is booked once, so mean latency reflects the
-                    // amortized per-sample cost.
-                    let mut stats = shared.stats.lock();
-                    stats.requests += samples.len() as u64;
-                    stats.total_latency_ns += latency_ns;
+                Err(e) => write_frame(&mut stream, &route_error_frame(&e).encode())?,
+            },
+            Request::SingleWith(request) => match shared.registry.resolve(Some(&request.model)) {
+                Ok(model) => {
+                    let response = classify_one(&model, &request.features);
+                    write_frame(&mut stream, &response.encode_v2())?;
                 }
-                write_frame(
-                    &mut stream,
-                    &ClassifyBatchResponse {
-                        classes,
-                        latency_ns,
+                Err(e) => write_frame(&mut stream, &route_error_frame(&e).encode())?,
+            },
+            Request::BatchWith(request) => match shared.registry.resolve(Some(&request.model)) {
+                Ok(model) => {
+                    let response = classify_many(&model, &request.samples);
+                    write_frame(&mut stream, &response.encode_v2())?;
+                }
+                Err(e) => write_frame(&mut stream, &route_error_frame(&e).encode())?,
+            },
+            Request::ListModels => {
+                let response = ListModelsResponse {
+                    models: shared.registry.list(),
+                };
+                match response.encode() {
+                    Ok(framed) => write_frame(&mut stream, &framed)?,
+                    Err(e) => {
+                        // A registry too large to enumerate in one frame;
+                        // report rather than kill the connection.
+                        let frame = ErrorFrame {
+                            code: ERR_INTERNAL,
+                            detail: format!("model list does not fit in a frame: {e}"),
+                        };
+                        write_frame(&mut stream, &frame.encode())?;
                     }
-                    .encode(),
-                )?;
+                }
+            }
+            Request::UnsupportedVersion { requested } => {
+                let frame = ErrorFrame {
+                    code: ERR_UNSUPPORTED_VERSION,
+                    detail: format!(
+                        "protocol version {requested} not supported; \
+                         this server speaks up to {PROTOCOL_VERSION}"
+                    ),
+                };
+                write_frame(&mut stream, &frame.encode())?;
             }
         }
     }
@@ -233,8 +332,10 @@ pub(crate) fn handle_stream<S: std::io::Read + std::io::Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::ServerBuilder;
     use crate::client::ClassificationClient;
     use crate::engine::BoltEngine;
+    use bolt_baselines::ScikitLikeForest;
     use bolt_core::{BoltConfig, BoltForest};
     use bolt_forest::{Dataset, ForestConfig, RandomForest};
 
@@ -255,12 +356,18 @@ mod tests {
         (data, forest, bolt)
     }
 
+    fn bolt_server(path: &Path, bolt: Arc<BoltForest>) -> ClassificationServer {
+        ServerBuilder::new()
+            .register("bolt", Arc::new(BoltEngine::new(bolt)))
+            .bind_uds(path)
+            .expect("binds")
+    }
+
     #[test]
     fn end_to_end_roundtrip() {
         let (data, forest, bolt) = fixture();
         let path = unique_socket("roundtrip");
-        let server =
-            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        let server = bolt_server(&path, bolt);
         let mut client = ClassificationClient::connect(&path).expect("connects");
         for (sample, _) in data.iter().take(30) {
             let response = client.classify(sample).expect("classifies");
@@ -270,6 +377,9 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.requests, 30);
         assert!(stats.mean_latency_ns() > 0.0);
+        // The single registered model is the default and carries the
+        // whole count.
+        assert_eq!(server.stats_for("bolt").expect("registered").requests, 30);
         server.shutdown();
         assert!(!path.exists(), "socket file removed on shutdown");
     }
@@ -278,8 +388,7 @@ mod tests {
     fn batched_roundtrip_matches_singles() {
         let (data, forest, bolt) = fixture();
         let path = unique_socket("batch");
-        let server =
-            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        let server = bolt_server(&path, bolt);
         let mut client = ClassificationClient::connect(&path).expect("connects");
         let samples: Vec<&[f32]> = (0..40).map(|i| data.sample(i)).collect();
         let response = client.classify_batch(&samples).expect("classifies");
@@ -299,8 +408,7 @@ mod tests {
     fn empty_batch_roundtrip() {
         let (_, _, bolt) = fixture();
         let path = unique_socket("batch-empty");
-        let server =
-            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        let server = bolt_server(&path, bolt);
         let mut client = ClassificationClient::connect(&path).expect("connects");
         let response = client.classify_batch(&[]).expect("classifies");
         assert!(response.classes.is_empty());
@@ -314,8 +422,7 @@ mod tests {
     fn multiple_concurrent_clients() {
         let (data, forest, bolt) = fixture();
         let path = unique_socket("concurrent");
-        let server =
-            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        let server = bolt_server(&path, bolt);
         let expected: Vec<u32> = (0..20).map(|i| forest.predict(data.sample(i))).collect();
         let handles: Vec<_> = (0..3)
             .map(|_| {
@@ -343,8 +450,7 @@ mod tests {
         use std::io::Write as _;
         let (data, forest, bolt) = fixture();
         let path = unique_socket("malformed");
-        let server =
-            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        let server = bolt_server(&path, bolt);
         // A hostile client: declares an oversized frame, then hangs up.
         {
             let mut bad = UnixStream::connect(&path).expect("connects");
@@ -371,8 +477,161 @@ mod tests {
         let (_, _, bolt) = fixture();
         let path = unique_socket("stale");
         std::fs::write(&path, b"stale").expect("write stale file");
-        let server = ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt)))
-            .expect("binds over stale file");
+        let server = bolt_server(&path, bolt);
+        server.shutdown();
+    }
+
+    #[test]
+    fn deprecated_bind_still_serves() {
+        let (data, forest, bolt) = fixture();
+        let path = unique_socket("legacy-bind");
+        #[allow(deprecated)]
+        let server =
+            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
+        let mut client = ClassificationClient::connect(&path).expect("connects");
+        let response = client.classify(data.sample(0)).expect("classifies");
+        assert_eq!(response.class, forest.predict(data.sample(0)));
+        // The engine self-registered under its platform name.
+        assert_eq!(server.stats_for("BOLT").expect("registered").requests, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn named_routing_and_model_listing() {
+        let (data, forest, bolt) = fixture();
+        let path = unique_socket("routing");
+        let server = ServerBuilder::new()
+            .register("bolt", Arc::new(BoltEngine::new(bolt)))
+            .register("scikit", Arc::new(ScikitLikeForest::from_forest(&forest)))
+            .default_model("bolt")
+            .bind_uds(&path)
+            .expect("binds");
+        let mut client = ClassificationClient::connect(&path).expect("connects");
+        for (i, (sample, _)) in data.iter().take(10).enumerate() {
+            let want = forest.predict(sample);
+            // Both engines answer identically through their names, and
+            // the legacy (unrouted) frame hits the default.
+            assert_eq!(
+                client.classify_with("bolt", sample).expect("bolt").class,
+                want
+            );
+            assert_eq!(
+                client
+                    .classify_with("scikit", sample)
+                    .expect("scikit")
+                    .class,
+                want
+            );
+            assert_eq!(client.classify(sample).expect("default").class, want);
+            let _ = i;
+        }
+        let models = client.list_models().expect("lists").models;
+        assert_eq!(
+            models.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+            ["bolt", "scikit"]
+        );
+        assert!(models[0].is_default);
+        assert_eq!(models[0].engine, "BOLT");
+        assert_eq!(models[1].engine, "Scikit");
+        // 10 named + 10 legacy (default) on bolt, 10 named on scikit.
+        assert_eq!(models[0].requests, 20);
+        assert_eq!(models[1].requests, 10);
+        assert_eq!(server.stats().requests, 30);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_and_retired_models_answer_structured_errors() {
+        let (data, _, bolt) = fixture();
+        let path = unique_socket("route-errors");
+        let server = ServerBuilder::new()
+            .register("bolt", Arc::new(BoltEngine::new(bolt)))
+            .bind_uds(&path)
+            .expect("binds");
+        let mut client = ClassificationClient::connect(&path).expect("connects");
+        let sample = data.sample(0);
+        match client.classify_with("ghost", sample) {
+            Err(ProtoError::Rejected { code, detail }) => {
+                assert_eq!(code, ERR_UNKNOWN_MODEL);
+                assert!(detail.contains("ghost"));
+            }
+            other => panic!("expected unknown-model rejection, got {other:?}"),
+        }
+        // Retire the only model: named lookups now say *retired*, and the
+        // default is gone, so even legacy frames get a structured error.
+        assert!(server.registry().retire("bolt"));
+        match client.classify_with("bolt", sample) {
+            Err(ProtoError::Rejected { code, .. }) => assert_eq!(code, ERR_RETIRED_MODEL),
+            other => panic!("expected retired-model rejection, got {other:?}"),
+        }
+        match client.classify(sample) {
+            Err(ProtoError::Rejected { code, .. }) => assert_eq!(code, ERR_NO_DEFAULT_MODEL),
+            other => panic!("expected no-default rejection, got {other:?}"),
+        }
+        // The connection survived all three rejections.
+        server.registry().register(
+            "bolt",
+            Arc::new(BoltEngine::new(fixture().2)) as Arc<dyn bolt_baselines::InferenceEngine>,
+        );
+        server.registry().set_default("bolt").expect("revived");
+        assert!(client.classify(sample).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_routes_by_name() {
+        let (data, forest, bolt) = fixture();
+        let path = unique_socket("batch-routing");
+        let server = ServerBuilder::new()
+            .register("bolt", Arc::new(BoltEngine::new(bolt)))
+            .register("scikit", Arc::new(ScikitLikeForest::from_forest(&forest)))
+            .bind_uds(&path)
+            .expect("binds");
+        let mut client = ClassificationClient::connect(&path).expect("connects");
+        let samples: Vec<&[f32]> = (0..20).map(|i| data.sample(i)).collect();
+        for model in ["bolt", "scikit"] {
+            let response = client
+                .classify_batch_with(model, &samples)
+                .expect("classifies");
+            for (i, &class) in response.classes.iter().enumerate() {
+                assert_eq!(class, forest.predict(samples[i]));
+            }
+        }
+        assert_eq!(server.stats_for("bolt").expect("bolt").requests, 20);
+        assert_eq!(server.stats_for("scikit").expect("scikit").requests, 20);
+        // Empty named batches answer without moving stats.
+        let empty = client.classify_batch_with("bolt", &[]).expect("answers");
+        assert!(empty.classes.is_empty());
+        assert_eq!(server.stats().requests, 40);
+        server.shutdown();
+    }
+
+    #[test]
+    fn future_protocol_version_is_answered_not_fatal() {
+        use std::io::Write as _;
+        let (data, _, bolt) = fixture();
+        let path = unique_socket("version");
+        let server = bolt_server(&path, bolt);
+        let mut raw = UnixStream::connect(&path).expect("connects");
+        // A frame from the future: v2 magic, version 9.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&crate::proto::V2_MAGIC.to_le_bytes());
+        payload.push(9);
+        payload.push(crate::proto::OP_LIST_MODELS);
+        let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&payload);
+        raw.write_all(&framed).expect("writes");
+        let reply = read_frame(&mut raw).expect("read").expect("frame");
+        match crate::proto::V2Response::decode(&reply).expect("decodes") {
+            crate::proto::V2Response::Error(e) => {
+                assert_eq!(e.code, ERR_UNSUPPORTED_VERSION);
+                assert!(e.detail.contains('2'), "names the supported version");
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // Same connection still serves v2 requests afterwards.
+        let mut client = ClassificationClient::connect(&path).expect("connects");
+        assert!(client.classify(data.sample(0)).is_ok());
         server.shutdown();
     }
 }

@@ -2,12 +2,12 @@
 //!
 //! The paper's evaluation uses a Unix domain socket on one host; a real
 //! deployment fronts remote clients over TCP ("input data is sent via
-//! network to a front-end", Fig. 7). Same framing, same engine interface,
+//! network to a front-end", Fig. 7). Same framing, same registry routing,
 //! same statistics — only the listener differs.
 
-use crate::server::{handle_stream, Shared};
+use crate::registry::ModelRegistry;
+use crate::server::{handle_stream, reap_finished, Shared};
 use crate::ServerStats;
-use bolt_baselines::InferenceEngine;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -15,11 +15,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// A classification server on a TCP socket, one thread per connection.
+/// Hosts every model in its [`ModelRegistry`]; construct it with
+/// [`ServerBuilder`](crate::ServerBuilder).
 ///
 /// # Examples
 ///
 /// ```no_run
-/// use bolt_server::{BoltEngine, TcpClassificationServer};
+/// use bolt_server::{BoltEngine, ServerBuilder};
 /// # use bolt_core::{BoltConfig, BoltForest};
 /// # use bolt_forest::{Dataset, ForestConfig, RandomForest};
 /// # use std::sync::Arc;
@@ -27,7 +29,9 @@ use std::time::Duration;
 /// # let data = Dataset::from_rows(vec![vec![0.0]], vec![0], 1)?;
 /// # let forest = RandomForest::train(&data, &ForestConfig::new(1));
 /// # let bolt = Arc::new(BoltForest::compile(&forest, &BoltConfig::default())?);
-/// let server = TcpClassificationServer::bind("127.0.0.1:0", Box::new(BoltEngine::new(bolt)))?;
+/// let server = ServerBuilder::new()
+///     .register("bolt", Arc::new(BoltEngine::new(bolt)))
+///     .bind_tcp("127.0.0.1:0")?;
 /// println!("serving on {}", server.local_addr());
 /// server.shutdown();
 /// # Ok(())
@@ -41,19 +45,15 @@ pub struct TcpClassificationServer {
 
 impl TcpClassificationServer {
     /// Binds the address (use port 0 for an ephemeral port) and starts
-    /// accepting.
-    ///
-    /// # Errors
-    ///
-    /// Returns the I/O error if the address cannot be bound.
-    pub fn bind(
+    /// accepting, serving the registry's models.
+    pub(crate) fn bind_registry(
         addr: impl std::net::ToSocketAddrs,
-        engine: Box<dyn InferenceEngine>,
+        registry: ModelRegistry,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let shared = Arc::new(Shared::new(engine));
+        let shared = Arc::new(Shared::new(registry));
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
@@ -70,6 +70,9 @@ impl TcpClassificationServer {
                     }
                     Err(_) => break,
                 }
+                // Reap closed connections as we go: a long-lived server
+                // must not hold one JoinHandle per historical connection.
+                reap_finished(&mut workers);
             }
             for worker in workers {
                 let _ = worker.join();
@@ -82,16 +85,50 @@ impl TcpClassificationServer {
         })
     }
 
+    /// Binds the address with a single anonymous engine, registered under
+    /// its platform name and made the default model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ServerBuilder::new().register(..).bind_tcp(..)"
+    )]
+    pub fn bind(
+        addr: impl std::net::ToSocketAddrs,
+        engine: Box<dyn bolt_baselines::InferenceEngine>,
+    ) -> std::io::Result<Self> {
+        let registry = ModelRegistry::new();
+        let name = engine.name().to_owned();
+        registry.register(name, Arc::from(engine));
+        Self::bind_registry(addr, registry)
+    }
+
     /// The bound address (useful with port 0).
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
-    /// Snapshot of the aggregate statistics.
+    /// A handle to the live model registry, for hot-swapping, retiring,
+    /// and re-defaulting models while the server runs.
+    #[must_use]
+    pub fn registry(&self) -> ModelRegistry {
+        self.shared.registry.clone()
+    }
+
+    /// Snapshot of the aggregate statistics across every model (including
+    /// retired ones).
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        *self.shared.stats.lock()
+        self.shared.registry.total_stats()
+    }
+
+    /// Snapshot of one model's statistics.
+    #[must_use]
+    pub fn stats_for(&self, model: &str) -> Option<ServerStats> {
+        self.shared.registry.stats(model)
     }
 
     /// Stops accepting and waits for in-flight connections.
@@ -118,7 +155,7 @@ impl std::fmt::Debug for TcpClassificationServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpClassificationServer")
             .field("local_addr", &self.local_addr)
-            .field("engine", &self.shared.engine.name())
+            .field("registry", &self.shared.registry)
             .finish()
     }
 }
@@ -135,8 +172,10 @@ fn serve_tcp_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::ServerBuilder;
     use crate::client::ClassificationClient;
     use crate::engine::BoltEngine;
+    use bolt_baselines::RangerLikeForest;
     use bolt_core::{BoltConfig, BoltForest};
     use bolt_forest::{Dataset, ForestConfig, RandomForest};
 
@@ -153,11 +192,17 @@ mod tests {
         (data, forest, bolt)
     }
 
+    fn bolt_server(bolt: Arc<BoltForest>) -> TcpClassificationServer {
+        ServerBuilder::new()
+            .register("bolt", Arc::new(BoltEngine::new(bolt)))
+            .bind_tcp("127.0.0.1:0")
+            .expect("binds")
+    }
+
     #[test]
     fn tcp_round_trip() {
         let (data, forest, bolt) = fixture();
-        let server = TcpClassificationServer::bind("127.0.0.1:0", Box::new(BoltEngine::new(bolt)))
-            .expect("binds");
+        let server = bolt_server(bolt);
         let mut client = ClassificationClient::connect_tcp(server.local_addr()).expect("connects");
         for (sample, _) in data.iter().take(25) {
             let response = client.classify(sample).expect("classifies");
@@ -170,8 +215,7 @@ mod tests {
     #[test]
     fn tcp_batched_round_trip() {
         let (data, forest, bolt) = fixture();
-        let server = TcpClassificationServer::bind("127.0.0.1:0", Box::new(BoltEngine::new(bolt)))
-            .expect("binds");
+        let server = bolt_server(bolt);
         let mut client = ClassificationClient::connect_tcp(server.local_addr()).expect("connects");
         let samples: Vec<&[f32]> = (0..30).map(|i| data.sample(i)).collect();
         let response = client.classify_batch(&samples).expect("classifies");
@@ -185,8 +229,7 @@ mod tests {
     #[test]
     fn concurrent_tcp_clients() {
         let (data, forest, bolt) = fixture();
-        let server = TcpClassificationServer::bind("127.0.0.1:0", Box::new(BoltEngine::new(bolt)))
-            .expect("binds");
+        let server = bolt_server(bolt);
         let addr = server.local_addr();
         let expected: Vec<u32> = (0..15).map(|i| forest.predict(data.sample(i))).collect();
         let handles: Vec<_> = (0..3)
@@ -207,5 +250,81 @@ mod tests {
         }
         assert_eq!(server.stats().requests, 45);
         server.shutdown();
+    }
+
+    #[test]
+    fn tcp_named_routing() {
+        let (data, forest, bolt) = fixture();
+        let server = ServerBuilder::new()
+            .register("bolt", Arc::new(BoltEngine::new(bolt)))
+            .register("ranger", Arc::new(RangerLikeForest::from_forest(&forest)))
+            .default_model("ranger")
+            .bind_tcp("127.0.0.1:0")
+            .expect("binds");
+        let mut client = ClassificationClient::connect_tcp(server.local_addr()).expect("connects");
+        let sample = data.sample(0);
+        let want = forest.predict(sample);
+        assert_eq!(
+            client.classify_with("bolt", sample).expect("bolt").class,
+            want
+        );
+        assert_eq!(client.classify(sample).expect("default").class, want);
+        assert_eq!(
+            server.stats_for("ranger").expect("default model").requests,
+            1
+        );
+        let models = client.list_models().expect("lists").models;
+        assert_eq!(models.len(), 2);
+        assert!(models.iter().any(|m| m.name == "ranger" && m.is_default));
+        server.shutdown();
+    }
+
+    #[test]
+    fn finished_workers_are_reaped_while_accepting() {
+        let (data, _, bolt) = fixture();
+        let server = bolt_server(bolt);
+        let addr = server.local_addr();
+        // Open and close many short-lived connections, then poke the
+        // accept loop with one more so it runs a reap pass.
+        for _ in 0..8 {
+            let mut client = ClassificationClient::connect_tcp(addr).expect("connects");
+            let _ = client.classify(data.sample(0)).expect("classifies");
+            drop(client);
+        }
+        // reap_finished is exercised deterministically at the unit level;
+        // here we just prove the server stays healthy through connection
+        // churn and still serves.
+        let mut client = ClassificationClient::connect_tcp(addr).expect("connects");
+        assert!(client.classify(data.sample(1)).is_ok());
+        assert_eq!(server.stats().requests, 9);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reap_finished_joins_only_completed_workers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let release = Arc::new(AtomicBool::new(false));
+        let slow_release = Arc::clone(&release);
+        let mut workers = vec![
+            std::thread::spawn(|| {}),
+            std::thread::spawn(move || {
+                while !slow_release.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }),
+            std::thread::spawn(|| {}),
+        ];
+        // Give the two quick workers time to finish.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while workers.len() > 1 && std::time::Instant::now() < deadline {
+            reap_finished(&mut workers);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(workers.len(), 1, "only the still-running worker remains");
+        release.store(true, Ordering::Release);
+        reap_finished(&mut workers); // may or may not catch it yet; no panic
+        for worker in workers {
+            worker.join().expect("worker");
+        }
     }
 }

@@ -1,48 +1,148 @@
 //! End-to-end differential check for the serving stack (Fig. 7 of the
-//! paper): a classification served over the Unix-socket front-end — frame
-//! codec, request dispatch, engine adapter, response framing — must equal
-//! the reference forest traversal for the same adversarial inputs the
-//! in-process harness uses, including NaN and infinite features, which
-//! must survive the wire encoding bit-exactly.
+//! paper): classifications served over the socket front-ends — frame
+//! codec, registry routing, engine adapters, response framing — must
+//! equal the reference forest traversal for the same adversarial inputs
+//! the in-process harness uses, including NaN and infinite features,
+//! which must survive the wire encoding bit-exactly.
+//!
+//! One server process hosts Bolt *and* every baseline in its model
+//! registry, so all four engines answer through the identical socket and
+//! protocol path and can be compared request-for-request.
 
 use std::sync::Arc;
 
-use bolt_core::oracle::{self, ForestSpec, OracleRng};
+use bolt_baselines::{ForestPackingForest, RangerLikeForest, ScikitLikeForest};
+use bolt_core::oracle::{self, ServedCase};
 use bolt_core::{BoltConfig, BoltForest};
-use bolt_server::{BoltEngine, ClassificationClient, ClassificationServer};
+use bolt_server::{BoltEngine, ClassificationClient, ServerBuilder};
 
-#[test]
-fn served_classifications_match_reference_forest() {
-    let mut rng = OracleRng::new(0x5E1F);
-    let spec = ForestSpec::sampled(&mut rng);
-    let forest = oracle::random_forest(&spec, &mut rng);
-    let thresholds = oracle::forest_thresholds(&forest);
-    let inputs = oracle::adversarial_inputs(spec.n_features, &thresholds, &mut rng, 40);
+const MODELS: [&str; 4] = ["bolt", "scikit", "ranger", "fp"];
 
-    let bolt = Arc::new(
+fn compile_case(case: &ServedCase) -> Arc<BoltForest> {
+    Arc::new(
         BoltForest::compile(
-            &forest,
+            &case.forest,
             &BoltConfig::default()
                 .with_cluster_threshold(4)
                 .with_bloom_bits_per_key(8),
         )
         .expect("compiles"),
-    );
-    let path =
-        std::env::temp_dir().join(format!("bolt-test-oracle-e2e-{}.sock", std::process::id()));
-    let server = ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
-    let mut client = ClassificationClient::connect(&path).expect("connects");
+    )
+}
 
-    for sample in &inputs {
+fn builder_for(case: &ServedCase, bolt: Arc<BoltForest>) -> ServerBuilder {
+    ServerBuilder::new()
+        .register("bolt", Arc::new(BoltEngine::new(bolt)))
+        .register(
+            "scikit",
+            Arc::new(ScikitLikeForest::from_forest(&case.forest)),
+        )
+        .register(
+            "ranger",
+            Arc::new(RangerLikeForest::from_forest(&case.forest)),
+        )
+        .register(
+            "fp",
+            Arc::new(ForestPackingForest::from_forest(
+                &case.forest,
+                &case.calibration,
+            )),
+        )
+        .default_model("bolt")
+}
+
+/// Sweeps every adversarial input through every named model on one
+/// connection, asserting bit-identical agreement with the reference
+/// traversal, then replays the sweep through the legacy (unrouted) path
+/// and as one named batch per model. The scikit model only sees the
+/// finite slice of the inputs — its `check_array` rejects NaN/inf by
+/// documented contract (see `baselines/tests/oracle_agreement.rs`).
+///
+/// Returns the expected per-sample request count booked against each
+/// model, in `MODELS` order.
+fn sweep(client: &mut ClassificationClient, case: &ServedCase) -> [u64; MODELS.len()] {
+    let n = case.inputs.len() as u64;
+    let finite: Vec<&[f32]> = case
+        .inputs
+        .iter()
+        .filter(|s| s.iter().all(|v| v.is_finite()))
+        .map(Vec::as_slice)
+        .collect();
+    let f = finite.len() as u64;
+    assert!(f < n, "adversarial prelude always has non-finite inputs");
+
+    for sample in &case.inputs {
+        let want = case.forest.predict(sample);
+        let all_finite = sample.iter().all(|v| v.is_finite());
+        for model in MODELS {
+            if model == "scikit" && !all_finite {
+                continue;
+            }
+            let response = client.classify_with(model, sample).expect("classifies");
+            assert_eq!(
+                response.class, want,
+                "model {model} diverged from reference on {sample:?}"
+            );
+        }
+        // Legacy frame → default model ("bolt").
         let response = client.classify(sample).expect("classifies");
         assert_eq!(
-            response.class,
-            forest.predict(sample),
-            "served classification diverged from reference on {sample:?}"
+            response.class, want,
+            "default-model fallback diverged on {sample:?}"
         );
     }
+    for model in MODELS {
+        let samples: Vec<&[f32]> = if model == "scikit" {
+            finite.clone()
+        } else {
+            case.inputs.iter().map(Vec::as_slice).collect()
+        };
+        let want: Vec<u32> = samples.iter().map(|s| case.forest.predict(s)).collect();
+        let response = client
+            .classify_batch_with(model, &samples)
+            .expect("classifies batch");
+        assert_eq!(
+            response.classes, want,
+            "model {model} batch diverged from reference"
+        );
+    }
+    // bolt: named + legacy + batch; scikit: finite named + finite batch;
+    // ranger, fp: named + batch.
+    [3 * n, 2 * f, 2 * n, 2 * n]
+}
 
-    let stats = server.stats();
-    assert_eq!(stats.requests as usize, inputs.len());
+#[test]
+fn served_classifications_match_reference_forest_uds() {
+    let case = oracle::served_case(0x5E1F, 40);
+    let bolt = compile_case(&case);
+    let path =
+        std::env::temp_dir().join(format!("bolt-test-oracle-e2e-{}.sock", std::process::id()));
+    let server = builder_for(&case, bolt).bind_uds(&path).expect("binds");
+    let mut client = ClassificationClient::connect(&path).expect("connects");
+
+    let expected = sweep(&mut client, &case);
+
+    // Per-model stats: each model answered exactly its share of the
+    // sweep, and the default model additionally absorbed legacy traffic.
+    for (model, want) in MODELS.iter().zip(expected) {
+        let stats = server.stats_for(model).expect("registered");
+        assert_eq!(stats.requests, want, "stats for {model}");
+    }
+    assert_eq!(server.stats().requests, expected.iter().sum::<u64>());
+    server.shutdown();
+}
+
+#[test]
+fn served_classifications_match_reference_forest_tcp() {
+    let case = oracle::served_case(0x7CB1, 25);
+    let bolt = compile_case(&case);
+    let server = builder_for(&case, bolt)
+        .bind_tcp("127.0.0.1:0")
+        .expect("binds");
+    let mut client = ClassificationClient::connect_tcp(server.local_addr()).expect("connects");
+
+    let expected = sweep(&mut client, &case);
+
+    assert_eq!(server.stats().requests, expected.iter().sum::<u64>());
     server.shutdown();
 }

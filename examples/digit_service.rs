@@ -5,10 +5,11 @@
 //!
 //! Run: `cargo run --release --example digit_service`
 
+use bolt_repro::baselines::ScikitLikeForest;
 use bolt_repro::core::{BoltConfig, BoltForest};
 use bolt_repro::data::Workload;
 use bolt_repro::forest::{ForestConfig, RandomForest};
-use bolt_repro::server::{BoltEngine, ClassificationClient, ClassificationServer};
+use bolt_repro::server::{BoltEngine, ClassificationClient, ServerBuilder};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,8 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_explanations(true),
     )?);
 
+    // One server, two engines: Bolt serves the traffic (and legacy,
+    // unrouted frames — it is the default model); the scikit-style
+    // reference stays registered beside it for spot checks by name.
     let socket = std::env::temp_dir().join(format!("bolt-digits-{}.sock", std::process::id()));
-    let server = ClassificationServer::bind(&socket, Box::new(BoltEngine::new(Arc::clone(&bolt))))?;
+    let server = ServerBuilder::new()
+        .register("digits", Arc::new(BoltEngine::new(Arc::clone(&bolt))))
+        .register(
+            "digits-ref",
+            Arc::new(ScikitLikeForest::from_forest(&forest)),
+        )
+        .default_model("digits")
+        .bind_uds(&socket)?;
     println!("digit service listening on {}", socket.display());
 
     // A client sends every test image sequentially (no batching, as in the
@@ -38,6 +49,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if response.class == label {
             correct += 1;
         }
+    }
+    // Spot-check a served answer against the reference engine by name.
+    let probe = test.sample(0);
+    assert_eq!(
+        client.classify_with("digits", probe)?.class,
+        client.classify_with("digits-ref", probe)?.class
+    );
+    for model in client.list_models()?.models {
+        let default = if model.is_default { ", default" } else { "" };
+        println!(
+            "  model {} ({}{default}): {} requests",
+            model.name, model.engine, model.requests
+        );
     }
     let stats = server.stats();
     println!(

@@ -8,7 +8,7 @@ use bolt_repro::baselines::{
 use bolt_repro::core::{BoltConfig, BoltForest};
 use bolt_repro::data::Workload;
 use bolt_repro::forest::{ForestConfig, RandomForest};
-use bolt_repro::server::{BoltEngine, ClassificationClient, ClassificationServer};
+use bolt_repro::server::{BoltEngine, ClassificationClient, ServerBuilder};
 use std::sync::Arc;
 
 fn pipeline(workload: Workload, n_trees: usize, height: usize) {
@@ -61,15 +61,30 @@ fn service_round_trip_matches_local_inference() {
     let bolt = Arc::new(BoltForest::compile(&forest, &BoltConfig::default()).expect("compiles"));
 
     let socket = std::env::temp_dir().join(format!("bolt-e2e-{}.sock", std::process::id()));
-    let server = ClassificationServer::bind(&socket, Box::new(BoltEngine::new(Arc::clone(&bolt))))
+    let server = ServerBuilder::new()
+        .register("bolt", Arc::new(BoltEngine::new(Arc::clone(&bolt))))
+        .register(
+            "reference",
+            Arc::new(ScikitLikeForest::from_forest(&forest)),
+        )
+        .default_model("bolt")
+        .bind_uds(&socket)
         .expect("binds");
     let mut client = ClassificationClient::connect(&socket).expect("connects");
     for (sample, _) in test.iter() {
         let response = client.classify(sample).expect("classifies");
         assert_eq!(response.class, bolt.classify(sample));
         assert_eq!(response.class, forest.predict(sample));
+        // The reference engine, served beside Bolt on the same socket,
+        // must agree request-for-request.
+        let reference = client.classify_with("reference", sample).expect("routes");
+        assert_eq!(reference.class, response.class);
     }
-    assert_eq!(server.stats().requests, test.len() as u64);
+    assert_eq!(server.stats().requests, 2 * test.len() as u64);
+    assert_eq!(
+        server.stats_for("bolt").expect("registered").requests,
+        test.len() as u64
+    );
     server.shutdown();
 }
 

@@ -131,6 +131,13 @@ pub trait Buf {
     /// Copies out the next `dst.len()` bytes and advances.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
+    /// Reads a little-endian `u16` and advances.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u32` and advances.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -188,6 +195,11 @@ impl Buf for &[u8] {
 pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
 
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
