@@ -1,0 +1,97 @@
+//! Zero-copy reinterpretation of artifact bytes as typed slices.
+//!
+//! This is the only place in the workspace (besides the mmap shim) that uses
+//! `unsafe`: turning a validated, aligned `&[u8]` region of the mapped file
+//! into `&[u64]` / `&[u32]` / `&[f64]` without copying. Safety rests on three
+//! checks done here, once, before any transmute:
+//!
+//! 1. **Endianness** — the file stores little-endian words; on a big-endian
+//!    host the bytes would reinterpret wrongly, so loading fails with a
+//!    structured error instead (no silent misclassification).
+//! 2. **Alignment** — the slice base must be aligned for the target type.
+//!    Sections are written 64-byte aligned and the mmap shim guarantees a
+//!    64-byte-aligned base, so this can only fail on a corrupt section table.
+//! 3. **Length** — the byte length must be an exact multiple of the target
+//!    size.
+
+use crate::ArtifactError;
+
+/// Fails on big-endian hosts where zero-copy reinterpretation of the
+/// little-endian file words would be incorrect.
+pub fn check_little_endian() -> Result<(), ArtifactError> {
+    if cfg!(target_endian = "little") {
+        Ok(())
+    } else {
+        Err(ArtifactError::UnsupportedHost(
+            "BLT1 zero-copy load requires a little-endian host".into(),
+        ))
+    }
+}
+
+macro_rules! cast_fn {
+    ($name:ident, $ty:ty) => {
+        /// Reinterprets `bytes` as a typed slice, validating alignment and
+        /// length. `what` names the section for error messages.
+        pub fn $name<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [$ty], ArtifactError> {
+            let size = core::mem::size_of::<$ty>();
+            if bytes.len() % size != 0 {
+                return Err(ArtifactError::Invalid(format!(
+                    "section {what}: length {} is not a multiple of {size}",
+                    bytes.len()
+                )));
+            }
+            if bytes.as_ptr() as usize % core::mem::align_of::<$ty>() != 0 {
+                return Err(ArtifactError::Invalid(format!(
+                    "section {what}: payload is not {}-byte aligned",
+                    core::mem::align_of::<$ty>()
+                )));
+            }
+            // SAFETY: alignment and length are checked above; u32/u64/f64
+            // have no invalid bit patterns; the borrow keeps the backing
+            // bytes alive and immutable for 'a. Endianness is checked once
+            // at artifact load (`check_little_endian`).
+            Ok(unsafe {
+                core::slice::from_raw_parts(bytes.as_ptr() as *const $ty, bytes.len() / size)
+            })
+        }
+    };
+}
+
+cast_fn!(cast_u64, u64);
+cast_fn!(cast_u32, u32);
+cast_fn!(cast_f64, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn casts_aligned_bytes() {
+        let words: Vec<u64> = vec![1, 2, 0xFFFF_FFFF_FFFF_FFFF];
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let buf = mmap::AlignedBuf::copy_from(&bytes);
+        assert_eq!(cast_u64(&buf, "t").unwrap(), words.as_slice());
+        let u32s = cast_u32(&buf, "t").unwrap();
+        assert_eq!(u32s.len(), 6);
+    }
+
+    #[test]
+    fn rejects_ragged_length() {
+        let buf = mmap::AlignedBuf::copy_from(&[0u8; 12]);
+        assert!(matches!(
+            cast_u64(&buf, "t"),
+            Err(ArtifactError::Invalid(_))
+        ));
+        assert!(cast_u32(&buf, "t").is_ok());
+    }
+
+    #[test]
+    fn rejects_misaligned_base() {
+        let buf = mmap::AlignedBuf::copy_from(&[0u8; 32]);
+        // Offset by one byte: still a valid &[u8], but misaligned for u64.
+        assert!(matches!(
+            cast_u64(&buf[1..9], "t"),
+            Err(ArtifactError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,73 @@
+//! Pins the zero-copy contract: the kernel views a [`MappedForest`] hands
+//! out must borrow the artifact's bytes directly — no section is copied to
+//! the heap on the mmap path.
+
+use bolt_artifact::{ArtifactWriter, MappedForest};
+use bolt_core::oracle;
+use bolt_core::{BoltConfig, BoltForest};
+
+fn in_range<T>(slice: &[T], bytes: &[u8]) -> bool {
+    if slice.is_empty() {
+        return true;
+    }
+    let start = slice.as_ptr() as usize;
+    let end = start + std::mem::size_of_val(slice);
+    let lo = bytes.as_ptr() as usize;
+    let hi = lo + bytes.len();
+    lo <= start && end <= hi
+}
+
+#[test]
+fn mapped_views_borrow_the_file_bytes() {
+    let case = oracle::served_case(31, 8);
+    let bolt = BoltForest::compile(
+        &case.forest,
+        &BoltConfig::default().with_bloom_bits_per_key(8),
+    )
+    .expect("compile");
+    let mut path = std::env::temp_dir();
+    path.push(format!("bolt-artifact-zerocopy-{}.blt", std::process::id()));
+    ArtifactWriter::write_forest(&bolt, &path).expect("write");
+
+    let mapped = MappedForest::open(&path).expect("open");
+    #[cfg(unix)]
+    assert!(
+        mapped.artifact().is_mapped(),
+        "unix load must use a real mmap, not a heap copy"
+    );
+
+    let bytes = mapped.artifact().bytes();
+    let view = mapped.view();
+    let dict = view.dict();
+    assert!(
+        in_range(dict.mask_words(), bytes),
+        "dict masks copied to heap"
+    );
+    assert!(
+        in_range(dict.key_words(), bytes),
+        "dict keys copied to heap"
+    );
+    assert!(
+        in_range(dict.uncommon_flat(), bytes),
+        "uncommon gather copied"
+    );
+    assert!(
+        in_range(dict.uncommon_offsets(), bytes),
+        "uncommon offsets copied"
+    );
+    let table = view.table();
+    assert!(in_range(table.slot_entries(), bytes), "table slots copied");
+    assert!(in_range(table.slot_addrs(), bytes), "table addrs copied");
+    assert!(in_range(table.vote_offsets(), bytes), "vote offsets copied");
+    assert!(in_range(table.vote_classes(), bytes), "vote classes copied");
+    assert!(in_range(table.vote_weights(), bytes), "vote weights copied");
+    let bloom = view.bloom().expect("config has a bloom filter");
+    assert!(in_range(bloom.words(), bytes), "bloom words copied");
+
+    // And the borrowed views actually classify.
+    for sample in &case.inputs {
+        assert_eq!(mapped.classify(sample), bolt.classify(sample));
+    }
+    drop(mapped);
+    std::fs::remove_file(&path).ok();
+}

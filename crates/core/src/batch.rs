@@ -21,8 +21,10 @@
 //! the entry-major kernel with its own [`BatchScratch`]; outputs land in
 //! disjoint slices so aggregation is a single pass with no locking.
 
-use crate::engine::{argmax, BoltForest};
+use crate::engine::{argmax, BoltForest, ForestView};
+use crate::table::Votes;
 use bolt_bitpack::Mask;
+use bolt_forest::PredicateUniverse;
 
 /// Reusable buffers for allocation-free batched inference, mirroring
 /// [`BoltScratch`](crate::BoltScratch) for the single-sample hot path.
@@ -47,7 +49,11 @@ pub struct BatchScratch {
 }
 
 impl BatchScratch {
-    fn new(width: usize, n_classes: usize) -> Self {
+    /// Creates a scratch for a model with `width` predicates and
+    /// `n_classes` classes (what [`BoltForest::batch_scratch`] passes;
+    /// public so mapped artifacts can build one for the same kernel).
+    #[must_use]
+    pub fn for_shape(width: usize, n_classes: usize) -> Self {
         Self {
             encode: Mask::zeros(width),
             lanes: Vec::new(),
@@ -86,6 +92,17 @@ impl BatchScratch {
         &self.votes[b * self.n_classes..(b + 1) * self.n_classes]
     }
 
+    /// Argmax class of sample `b` from the most recent batch run (ties go
+    /// to the lower class, matching the per-sample engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is outside the most recent batch.
+    #[must_use]
+    pub fn class(&self, b: usize) -> u32 {
+        argmax(self.votes(b))
+    }
+
     /// Number of samples laid out by the most recent run.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -99,30 +116,30 @@ impl BatchScratch {
     }
 }
 
-impl BoltForest {
-    /// Creates a reusable scratch buffer for batched inference via
-    /// [`Self::classify_batch_with`].
-    #[must_use]
-    pub fn batch_scratch(&self) -> BatchScratch {
-        BatchScratch::new(self.universe().len(), self.n_classes())
-    }
-
-    /// Runs the entry-major kernel over `samples`, leaving each sample's
-    /// vote vector in the scratch arena ([`BatchScratch::votes`]).
+impl ForestView<'_> {
+    /// Runs the entry-major kernel over `samples` (encoded through
+    /// `universe`), leaving each sample's vote vector in the scratch arena
+    /// ([`BatchScratch::votes`]). This is the one batched kernel body,
+    /// shared by owned forests and memory-mapped artifacts.
     ///
     /// # Panics
     ///
     /// Panics if any sample is shorter than the universe's feature count or
-    /// the scratch came from a differently-shaped forest.
-    pub fn batch_votes_with(&self, samples: &[&[f32]], scratch: &mut BatchScratch) {
+    /// the scratch came from a differently-shaped model.
+    pub fn batch_votes_into(
+        &self,
+        universe: &PredicateUniverse,
+        samples: &[&[f32]],
+        scratch: &mut BatchScratch,
+    ) {
         let n = samples.len();
         assert_eq!(
             scratch.n_classes,
             self.n_classes(),
             "scratch from another forest"
         );
-        let dictionary = self.dictionary();
-        scratch.reset(n, dictionary.stride());
+        let dict = self.dict();
+        scratch.reset(n, dict.stride());
         if n == 0 {
             return;
         }
@@ -138,13 +155,8 @@ impl BoltForest {
         // Encode each sample once, scattering its words lane-contiguously
         // so the entry-major compare reads dense memory.
         for (b, sample) in samples.iter().enumerate() {
-            self.universe().evaluate_into(sample, encode);
-            for (w, &word) in encode
-                .as_words()
-                .iter()
-                .enumerate()
-                .take(dictionary.stride())
-            {
+            universe.evaluate_into(sample, encode);
+            for (w, &word) in encode.as_words().iter().enumerate().take(dict.stride()) {
                 lanes[w * n + b] = word;
             }
         }
@@ -160,25 +172,46 @@ impl BoltForest {
         // no uncommon predicates), so the bloom probe + table lookup is
         // memoized on the address — a second amortization the sample-major
         // path cannot express.
-        dictionary.scan_lanes(lanes, n, diffs, matched, |entry, matched| {
-            let mut last: Option<(u64, &[(u32, f64)])> = None;
+        dict.scan_lanes(lanes, n, diffs, matched, |entry_id, matched| {
+            let mut last: Option<(u64, Votes<'_>)> = None;
             for &b in matched {
                 let b = b as usize;
-                let address = dictionary.address_of_lane(entry.id, lanes, n, b);
+                let address = dict.address_of_lane(entry_id, lanes, n, b);
                 let cell = match last {
                     Some((a, cell)) if a == address => cell,
                     _ => {
-                        let cell = self.lookup_entry_votes(entry.id, address);
+                        let cell = self.lookup_entry_votes(entry_id, address);
                         last = Some((address, cell));
                         cell
                     }
                 };
                 let votes = &mut votes[b * n_classes..(b + 1) * n_classes];
-                for &(class, weight) in cell {
+                for (class, weight) in cell.iter() {
                     votes[class as usize] += weight;
                 }
             }
         });
+    }
+}
+
+impl BoltForest {
+    /// Creates a reusable scratch buffer for batched inference via
+    /// [`Self::classify_batch_with`].
+    #[must_use]
+    pub fn batch_scratch(&self) -> BatchScratch {
+        BatchScratch::for_shape(self.universe().len(), self.n_classes())
+    }
+
+    /// Runs the entry-major kernel over `samples`, leaving each sample's
+    /// vote vector in the scratch arena ([`BatchScratch::votes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is shorter than the universe's feature count or
+    /// the scratch came from a differently-shaped forest.
+    pub fn batch_votes_with(&self, samples: &[&[f32]], scratch: &mut BatchScratch) {
+        self.view()
+            .batch_votes_into(self.universe(), samples, scratch);
     }
 
     /// Allocation-free batched classification through a caller-owned

@@ -38,6 +38,283 @@ impl DictEntry {
     }
 }
 
+/// A borrowed, storage-agnostic view of the dictionary's scan arrays.
+///
+/// All of Bolt's inference kernels run over this view, so the same code
+/// serves an owned [`Dictionary`] (whose arrays live in `Vec`s) and a
+/// memory-mapped `BLT1` artifact (whose arrays are borrowed straight from
+/// the mapped file, never copied). Callbacks receive entry *indices*; the
+/// owned wrapper resolves them to [`DictEntry`] metadata, which a mapped
+/// model does not carry.
+///
+/// The view trusts its invariants (slice lengths consistent with
+/// `width`/entry count, offsets monotone, predicate IDs `< width`); the
+/// cheap shape checks are asserted in [`DictView::new`] and the O(n)
+/// invariants are enforced by the artifact loader before a view is ever
+/// built over untrusted bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct DictView<'a> {
+    width: usize,
+    stride: usize,
+    n_entries: usize,
+    mask_words: &'a [u64],
+    key_words: &'a [u64],
+    uncommon_flat: &'a [u32],
+    uncommon_offsets: &'a [u32],
+}
+
+impl<'a> DictView<'a> {
+    /// Builds a view over raw scan arrays for a universe of `width`
+    /// predicates. The entry count is `uncommon_offsets.len() - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are mutually inconsistent
+    /// (`mask_words`/`key_words` must be `n_entries x stride` long and
+    /// `uncommon_offsets` must be non-empty).
+    #[must_use]
+    pub fn new(
+        width: usize,
+        mask_words: &'a [u64],
+        key_words: &'a [u64],
+        uncommon_flat: &'a [u32],
+        uncommon_offsets: &'a [u32],
+    ) -> Self {
+        let stride = width.div_ceil(64).max(1);
+        assert!(
+            !uncommon_offsets.is_empty(),
+            "uncommon_offsets needs a terminating sentinel"
+        );
+        let n_entries = uncommon_offsets.len() - 1;
+        assert_eq!(mask_words.len(), n_entries * stride, "mask words shape");
+        assert_eq!(key_words.len(), n_entries * stride, "key words shape");
+        Self {
+            width,
+            stride,
+            n_entries,
+            mask_words,
+            key_words,
+            uncommon_flat,
+            uncommon_offsets,
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n_entries
+    }
+
+    /// Whether the dictionary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_entries == 0
+    }
+
+    /// Predicate-universe width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Words per entry in the packed scan arrays.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The packed common-predicate masks, `stride` words per entry.
+    #[must_use]
+    pub fn mask_words(&self) -> &'a [u64] {
+        self.mask_words
+    }
+
+    /// The packed expected values under the masks.
+    #[must_use]
+    pub fn key_words(&self) -> &'a [u64] {
+        self.key_words
+    }
+
+    /// Every entry's uncommon predicates, concatenated.
+    #[must_use]
+    pub fn uncommon_flat(&self) -> &'a [u32] {
+        self.uncommon_flat
+    }
+
+    /// Entry `i`'s uncommon run is `uncommon_offsets[i]..uncommon_offsets[i+1]`.
+    #[must_use]
+    pub fn uncommon_offsets(&self) -> &'a [u32] {
+        self.uncommon_offsets
+    }
+
+    /// The branch-free membership test for entry `id`:
+    /// `(input & mask) == key` over the entry's stride words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `input` has the wrong width.
+    #[must_use]
+    pub fn matches(&self, id: u32, input: &Mask) -> bool {
+        let words = input.as_words();
+        assert!(
+            words.len() >= self.stride || self.width == 0,
+            "input mask width {} narrower than dictionary width {}",
+            input.width(),
+            self.width
+        );
+        let base = id as usize * self.stride;
+        let mut diff = 0u64;
+        for w in 0..self.stride {
+            diff |= (words.get(w).copied().unwrap_or(0) & self.mask_words[base + w])
+                ^ self.key_words[base + w];
+        }
+        diff == 0
+    }
+
+    /// Scans all entries against an input mask, invoking `on_match` with the
+    /// index of each entry whose common pairs all hold.
+    pub fn scan<F: FnMut(u32)>(&self, input: &Mask, mut on_match: F) {
+        if self.n_entries == 0 {
+            return;
+        }
+        let words = &input.as_words()[..self.stride.min(input.as_words().len())];
+        for (idx, (mask, key)) in self
+            .mask_words
+            .chunks_exact(self.stride)
+            .zip(self.key_words.chunks_exact(self.stride))
+            .enumerate()
+        {
+            let mut diff = 0u64;
+            for w in 0..words.len().min(mask.len()) {
+                diff |= (words[w] & mask[w]) ^ key[w];
+            }
+            // Mask words beyond the input's width must still match a zero
+            // input word (only possible when key bits are set there).
+            for &key_word in key.iter().skip(words.len()) {
+                diff |= key_word;
+            }
+            if diff == 0 {
+                on_match(idx as u32);
+            }
+        }
+    }
+
+    /// Entry-major batched scan over lane-contiguous sample masks; see
+    /// [`Dictionary::scan_lanes`] for the layout and skipping rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_words` is not `stride x n_samples` long or `diffs`
+    /// is shorter than `n_samples`.
+    pub fn scan_lanes<F: FnMut(u32, &[u32])>(
+        &self,
+        lane_words: &[u64],
+        n_samples: usize,
+        diffs: &mut [u64],
+        matched: &mut Vec<u32>,
+        mut on_entry: F,
+    ) {
+        if self.n_entries == 0 || n_samples == 0 {
+            return;
+        }
+        assert_eq!(
+            lane_words.len(),
+            self.stride * n_samples,
+            "lane words must be stride ({}) x n_samples ({})",
+            self.stride,
+            n_samples
+        );
+        let diffs = &mut diffs[..n_samples];
+        for (idx, (mask, key)) in self
+            .mask_words
+            .chunks_exact(self.stride)
+            .zip(self.key_words.chunks_exact(self.stride))
+            .enumerate()
+        {
+            // Dense vectorizable pass per nonzero word. Skipping is only
+            // sound when both mask and key are zero: a stray key bit under
+            // a zero mask (possible in a corrupted deserialized artifact)
+            // must keep rejecting every sample, as the per-sample scan does.
+            let mut first = true;
+            for w in 0..self.stride {
+                if mask[w] == 0 && key[w] == 0 {
+                    continue;
+                }
+                let lane = &lane_words[w * n_samples..(w + 1) * n_samples];
+                if first {
+                    bolt_bitpack::lanes::masked_compare_into(lane, mask[w], key[w], diffs);
+                    first = false;
+                } else {
+                    bolt_bitpack::lanes::fold_masked_compare(lane, mask[w], key[w], diffs);
+                }
+            }
+            matched.clear();
+            if first {
+                // Entry with an all-zero mask matches every sample.
+                matched.extend(0..n_samples as u32);
+            } else {
+                bolt_bitpack::lanes::zero_lanes_into(diffs, matched);
+            }
+            if !matched.is_empty() {
+                on_entry(idx as u32, matched);
+            }
+        }
+    }
+
+    /// Hot-path address gather for entry `id` (see
+    /// [`Dictionary::address_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn address_of(&self, id: u32, bits: &Mask) -> u64 {
+        let (lo, hi) = (
+            self.uncommon_offsets[id as usize] as usize,
+            self.uncommon_offsets[id as usize + 1] as usize,
+        );
+        let words = bits.as_words();
+        let mut address = 0u64;
+        for (bit, &pred) in self.uncommon_flat[lo..hi].iter().enumerate() {
+            let p = pred as usize;
+            address |= (words[p / 64] >> (p % 64) & 1) << bit;
+        }
+        address
+    }
+
+    /// Address gather for sample `sample` of a lane-contiguous batch (see
+    /// [`Dictionary::address_of_lane`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `sample` is out of range.
+    #[must_use]
+    pub fn address_of_lane(
+        &self,
+        id: u32,
+        lane_words: &[u64],
+        n_samples: usize,
+        sample: usize,
+    ) -> u64 {
+        let (lo, hi) = (
+            self.uncommon_offsets[id as usize] as usize,
+            self.uncommon_offsets[id as usize + 1] as usize,
+        );
+        let mut address = 0u64;
+        for (bit, &pred) in self.uncommon_flat[lo..hi].iter().enumerate() {
+            let p = pred as usize;
+            address |= (lane_words[(p / 64) * n_samples + sample] >> (p % 64) & 1) << bit;
+        }
+        address
+    }
+
+    /// Bytes consumed by the packed scan arrays.
+    #[must_use]
+    pub fn scan_bytes(&self) -> usize {
+        (self.mask_words.len() + self.key_words.len()) * 8
+    }
+}
+
 /// The compiled dictionary: per-entry metadata plus flat, stride-packed mask
 /// and key words for the branch-free scan.
 ///
@@ -119,6 +396,22 @@ impl Dictionary {
         }
     }
 
+    /// A borrowed [`DictView`] over the packed scan arrays — the shape the
+    /// inference kernels actually run over, shared with memory-mapped
+    /// artifacts.
+    #[must_use]
+    pub fn view(&self) -> DictView<'_> {
+        DictView {
+            width: self.width,
+            stride: self.stride,
+            n_entries: self.entries.len(),
+            mask_words: &self.mask_words,
+            key_words: &self.key_words,
+            uncommon_flat: &self.uncommon_flat,
+            uncommon_offsets: &self.uncommon_offsets,
+        }
+    }
+
     /// Hot-path address gather for entry `id`: collects the input's bits of
     /// the entry's uncommon predicates from the flat arrays (equivalent to
     /// [`DictEntry::address_of`]).
@@ -128,17 +421,7 @@ impl Dictionary {
     /// Panics if `id` is out of range.
     #[must_use]
     pub fn address_of(&self, id: u32, bits: &Mask) -> u64 {
-        let (lo, hi) = (
-            self.uncommon_offsets[id as usize] as usize,
-            self.uncommon_offsets[id as usize + 1] as usize,
-        );
-        let words = bits.as_words();
-        let mut address = 0u64;
-        for (bit, &pred) in self.uncommon_flat[lo..hi].iter().enumerate() {
-            let p = pred as usize;
-            address |= (words[p / 64] >> (p % 64) & 1) << bit;
-        }
-        address
+        self.view().address_of(id, bits)
     }
 
     /// The entries in ID order.
@@ -179,49 +462,15 @@ impl Dictionary {
     /// Panics if `id` is out of range or `input` has the wrong width.
     #[must_use]
     pub fn matches(&self, id: u32, input: &Mask) -> bool {
-        let words = input.as_words();
-        assert!(
-            words.len() >= self.stride || self.width == 0,
-            "input mask width {} narrower than dictionary width {}",
-            input.width(),
-            self.width
-        );
-        let base = id as usize * self.stride;
-        let mut diff = 0u64;
-        for w in 0..self.stride {
-            diff |= (words.get(w).copied().unwrap_or(0) & self.mask_words[base + w])
-                ^ self.key_words[base + w];
-        }
-        diff == 0
+        self.view().matches(id, input)
     }
 
     /// Scans all entries against an input mask, invoking `on_match` for each
     /// entry whose common pairs all hold. This is Bolt's inference front
     /// half: no branches in the compare, sequential memory access.
     pub fn scan<F: FnMut(&DictEntry)>(&self, input: &Mask, mut on_match: F) {
-        if self.entries.is_empty() {
-            return;
-        }
-        let words = &input.as_words()[..self.stride.min(input.as_words().len())];
-        for (idx, (mask, key)) in self
-            .mask_words
-            .chunks_exact(self.stride)
-            .zip(self.key_words.chunks_exact(self.stride))
-            .enumerate()
-        {
-            let mut diff = 0u64;
-            for w in 0..words.len().min(mask.len()) {
-                diff |= (words[w] & mask[w]) ^ key[w];
-            }
-            // Mask words beyond the input's width must still match a zero
-            // input word (only possible when key bits are set there).
-            for &key_word in key.iter().skip(words.len()) {
-                diff |= key_word;
-            }
-            if diff == 0 {
-                on_match(&self.entries[idx]);
-            }
-        }
+        self.view()
+            .scan(input, |idx| on_match(&self.entries[idx as usize]));
     }
 
     /// Entry-major batched scan: tests `n_samples` encoded inputs against
@@ -261,51 +510,10 @@ impl Dictionary {
         matched: &mut Vec<u32>,
         mut on_entry: F,
     ) {
-        if self.entries.is_empty() || n_samples == 0 {
-            return;
-        }
-        assert_eq!(
-            lane_words.len(),
-            self.stride * n_samples,
-            "lane words must be stride ({}) x n_samples ({})",
-            self.stride,
-            n_samples
-        );
-        let diffs = &mut diffs[..n_samples];
-        for (idx, (mask, key)) in self
-            .mask_words
-            .chunks_exact(self.stride)
-            .zip(self.key_words.chunks_exact(self.stride))
-            .enumerate()
-        {
-            // Dense vectorizable pass per nonzero word. Skipping is only
-            // sound when both mask and key are zero: a stray key bit under
-            // a zero mask (possible in a corrupted deserialized artifact)
-            // must keep rejecting every sample, as the per-sample scan does.
-            let mut first = true;
-            for w in 0..self.stride {
-                if mask[w] == 0 && key[w] == 0 {
-                    continue;
-                }
-                let lane = &lane_words[w * n_samples..(w + 1) * n_samples];
-                if first {
-                    bolt_bitpack::lanes::masked_compare_into(lane, mask[w], key[w], diffs);
-                    first = false;
-                } else {
-                    bolt_bitpack::lanes::fold_masked_compare(lane, mask[w], key[w], diffs);
-                }
-            }
-            matched.clear();
-            if first {
-                // Entry with an all-zero mask matches every sample.
-                matched.extend(0..n_samples as u32);
-            } else {
-                bolt_bitpack::lanes::zero_lanes_into(diffs, matched);
-            }
-            if !matched.is_empty() {
-                on_entry(&self.entries[idx], matched);
-            }
-        }
+        self.view()
+            .scan_lanes(lane_words, n_samples, diffs, matched, |idx, matched| {
+                on_entry(&self.entries[idx as usize], matched);
+            });
     }
 
     /// Address gather for sample `sample` of a lane-contiguous batch (the
@@ -323,16 +531,8 @@ impl Dictionary {
         n_samples: usize,
         sample: usize,
     ) -> u64 {
-        let (lo, hi) = (
-            self.uncommon_offsets[id as usize] as usize,
-            self.uncommon_offsets[id as usize + 1] as usize,
-        );
-        let mut address = 0u64;
-        for (bit, &pred) in self.uncommon_flat[lo..hi].iter().enumerate() {
-            let p = pred as usize;
-            address |= (lane_words[(p / 64) * n_samples + sample] >> (p % 64) & 1) << bit;
-        }
-        address
+        self.view()
+            .address_of_lane(id, lane_words, n_samples, sample)
     }
 
     /// Bytes consumed by the packed scan arrays.

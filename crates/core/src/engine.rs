@@ -1,10 +1,10 @@
 //! The compiled Bolt forest and its inference loop (§4.5, Fig. 7).
 
 use crate::cluster::Clustering;
-use crate::dictionary::Dictionary;
-use crate::filter::{table_key, BloomFilter};
+use crate::dictionary::{DictView, Dictionary};
+use crate::filter::{table_key, BloomFilter, BloomView};
 use crate::paths::SortedPaths;
-use crate::table::RecombinedTable;
+use crate::table::{RecombinedTable, TableView, Votes};
 use crate::BoltError;
 use bolt_bitpack::Mask;
 use bolt_forest::{BinaryPath, BoostedForest, PredicateUniverse, RandomForest};
@@ -92,6 +92,182 @@ pub struct InferenceStats {
 pub struct BoltScratch {
     bits: Mask,
     votes: Vec<f64>,
+}
+
+/// A borrowed view of a compiled model's inference structures: dictionary,
+/// table, optional bloom filter, constant votes, and the class count.
+///
+/// Every inference path — per-sample, batched, owned or memory-mapped —
+/// funnels through this one view, so an mmap-backed `BLT1` artifact runs
+/// literally the same scan/lookup/accumulate code as an in-memory
+/// [`BoltForest`], and vote vectors are bit-identical by construction.
+#[derive(Clone, Copy, Debug)]
+pub struct ForestView<'a> {
+    dict: DictView<'a>,
+    table: TableView<'a>,
+    bloom: Option<BloomView<'a>>,
+    constant_votes: &'a [(u32, f64)],
+    n_classes: usize,
+}
+
+impl<'a> ForestView<'a> {
+    /// Assembles a view from component views. For regressors (which carry
+    /// no per-class votes) pass an empty `constant_votes` and
+    /// `n_classes = 0`; only [`Self::accumulate_weights`] is meaningful
+    /// then.
+    #[must_use]
+    pub fn new(
+        dict: DictView<'a>,
+        table: TableView<'a>,
+        bloom: Option<BloomView<'a>>,
+        constant_votes: &'a [(u32, f64)],
+        n_classes: usize,
+    ) -> Self {
+        Self {
+            dict,
+            table,
+            bloom,
+            constant_votes,
+            n_classes,
+        }
+    }
+
+    /// The dictionary view.
+    #[must_use]
+    pub fn dict(&self) -> DictView<'a> {
+        self.dict
+    }
+
+    /// The table view.
+    #[must_use]
+    pub fn table(&self) -> TableView<'a> {
+        self.table
+    }
+
+    /// The bloom-filter view, if the model carries one.
+    #[must_use]
+    pub fn bloom(&self) -> Option<BloomView<'a>> {
+        self.bloom
+    }
+
+    /// Constant votes contributed by single-leaf trees.
+    #[must_use]
+    pub fn constant_votes(&self) -> &'a [(u32, f64)] {
+        self.constant_votes
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The single shared scan body behind every inference path: constant
+    /// votes, dictionary scan, bloom filtering, verified table lookups, and
+    /// vote accumulation — counted into `stats` when provided. Votes must
+    /// be zeroed by the caller (`entries_scanned` is also the caller's).
+    pub fn scan_votes_into(
+        &self,
+        bits: &Mask,
+        votes: &mut [f64],
+        mut stats: Option<&mut InferenceStats>,
+    ) {
+        for &(class, weight) in self.constant_votes {
+            votes[class as usize] += weight;
+        }
+        self.dict.scan(bits, |entry_id| {
+            if let Some(stats) = stats.as_deref_mut() {
+                stats.entries_matched += 1;
+            }
+            // Address gather through the contiguous `uncommon_flat` mirror
+            // (no per-entry heap hop).
+            let address = self.dict.address_of(entry_id, bits);
+            self.accumulate_entry_votes(entry_id, address, votes, stats.as_deref_mut());
+        });
+    }
+
+    /// Back half of the shared scan body, from a matched entry's gathered
+    /// address onward: bloom filtering, the verified table lookup, and vote
+    /// accumulation. The batched kernel calls this per matched
+    /// (entry, sample) pair, so additions happen in the exact order of the
+    /// per-sample path and votes stay bit-identical.
+    #[inline]
+    fn accumulate_entry_votes(
+        &self,
+        entry_id: u32,
+        address: u64,
+        votes: &mut [f64],
+        stats: Option<&mut InferenceStats>,
+    ) {
+        if let Some(bloom) = &self.bloom {
+            if !bloom.contains(table_key(entry_id, address)) {
+                if let Some(stats) = stats {
+                    stats.bloom_rejects += 1;
+                }
+                return;
+            }
+        }
+        let cell_votes = self.table.lookup(entry_id, address);
+        if let Some(stats) = stats {
+            // Every stored cell carries at least one vote, so an empty
+            // view is exactly a table miss (a surviving false positive).
+            if cell_votes.is_empty() {
+                stats.table_misses += 1;
+            } else {
+                stats.table_hits += 1;
+            }
+        }
+        for (class, weight) in cell_votes.iter() {
+            votes[class as usize] += weight;
+        }
+    }
+
+    /// Verified table cell for `(entry, address)` with the bloom filter
+    /// consulted first — empty when filtered out, missed, or unstored. The
+    /// batched kernel memoizes this per entry across samples sharing an
+    /// address; the returned votes are exactly what the per-sample path
+    /// would have added.
+    #[inline]
+    #[must_use]
+    pub fn lookup_entry_votes(&self, entry_id: u32, address: u64) -> Votes<'a> {
+        if let Some(bloom) = &self.bloom {
+            if !bloom.contains(table_key(entry_id, address)) {
+                return Votes::empty();
+            }
+        }
+        self.table.lookup(entry_id, address)
+    }
+
+    /// Classifies an encoded input through a caller-owned vote buffer,
+    /// which is cleared and resized to `n_classes`. Bit-identical to
+    /// [`BoltForest::classify_bits`] on the same structures.
+    #[must_use]
+    pub fn classify_bits_into(&self, bits: &Mask, votes: &mut Vec<f64>) -> u32 {
+        votes.clear();
+        votes.resize(self.n_classes, 0.0);
+        self.scan_votes_into(bits, votes, None);
+        argmax(votes)
+    }
+
+    /// Regression scan: folds every surviving vote weight into `init`
+    /// (start it at the model's constant sum) in the exact per-sample
+    /// order, and returns the accumulated sum.
+    #[must_use]
+    pub fn accumulate_weights(&self, bits: &Mask, init: f64) -> f64 {
+        let mut sum = init;
+        self.dict.scan(bits, |entry_id| {
+            let address = self.dict.address_of(entry_id, bits);
+            if let Some(bloom) = &self.bloom {
+                if !bloom.contains(table_key(entry_id, address)) {
+                    return;
+                }
+            }
+            for &value in self.table.lookup(entry_id, address).weights() {
+                sum += value;
+            }
+        });
+        sum
+    }
 }
 
 /// A random forest compiled into Bolt's lookup structures: one dictionary,
@@ -242,80 +418,30 @@ impl BoltForest {
         (votes, stats)
     }
 
-    /// The single shared scan body behind every inference path: constant
-    /// votes, dictionary scan, bloom filtering, verified table lookups, and
-    /// vote accumulation — counted into `stats` when provided. Both the
-    /// stats path and the allocation-free hot path call this, so the two
-    /// can never drift. Votes must be zeroed by the caller.
+    /// A borrowed [`ForestView`] over the inference structures — the shape
+    /// every scan kernel runs over, shared with memory-mapped artifacts.
+    #[must_use]
+    pub fn view(&self) -> ForestView<'_> {
+        ForestView {
+            dict: self.dictionary.view(),
+            table: self.table.view(),
+            bloom: self.bloom.as_ref().map(BloomFilter::view),
+            constant_votes: &self.constant_votes,
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// The single shared scan body behind every inference path; see
+    /// [`ForestView::scan_votes_into`]. Both the stats path and the
+    /// allocation-free hot path call this, so the two can never drift.
+    /// Votes must be zeroed by the caller.
     pub(crate) fn scan_votes_into(
         &self,
         bits: &Mask,
         votes: &mut [f64],
-        mut stats: Option<&mut InferenceStats>,
-    ) {
-        for &(class, weight) in &self.constant_votes {
-            votes[class as usize] += weight;
-        }
-        self.dictionary.scan(bits, |entry| {
-            if let Some(stats) = stats.as_deref_mut() {
-                stats.entries_matched += 1;
-            }
-            // Address gather through the contiguous `uncommon_flat` mirror
-            // (no per-entry heap hop).
-            let address = self.dictionary.address_of(entry.id, bits);
-            self.accumulate_entry_votes(entry.id, address, votes, stats.as_deref_mut());
-        });
-    }
-
-    /// Back half of the shared scan body, from a matched entry's gathered
-    /// address onward: bloom filtering, the verified table lookup, and vote
-    /// accumulation. The batched kernel calls this per matched
-    /// (entry, sample) pair, so additions happen in the exact order of the
-    /// per-sample path and votes stay bit-identical.
-    #[inline]
-    pub(crate) fn accumulate_entry_votes(
-        &self,
-        entry_id: u32,
-        address: u64,
-        votes: &mut [f64],
         stats: Option<&mut InferenceStats>,
     ) {
-        if let Some(bloom) = &self.bloom {
-            if !bloom.contains(table_key(entry_id, address)) {
-                if let Some(stats) = stats {
-                    stats.bloom_rejects += 1;
-                }
-                return;
-            }
-        }
-        let cell_votes = self.table.lookup_votes(entry_id, address);
-        if let Some(stats) = stats {
-            // Every stored cell carries at least one vote, so an empty
-            // slice is exactly a table miss (a surviving false positive).
-            if cell_votes.is_empty() {
-                stats.table_misses += 1;
-            } else {
-                stats.table_hits += 1;
-            }
-        }
-        for &(class, weight) in cell_votes {
-            votes[class as usize] += weight;
-        }
-    }
-
-    /// Verified table cell for `(entry, address)` with the bloom filter
-    /// consulted first — empty when filtered out, missed, or unstored. The
-    /// batched kernel memoizes this per entry across samples sharing an
-    /// address; the returned slice is exactly what
-    /// [`Self::accumulate_entry_votes`] would have added.
-    #[inline]
-    pub(crate) fn lookup_entry_votes(&self, entry_id: u32, address: u64) -> &[(u32, f64)] {
-        if let Some(bloom) = &self.bloom {
-            if !bloom.contains(table_key(entry_id, address)) {
-                return &[];
-            }
-        }
-        self.table.lookup_votes(entry_id, address)
+        self.view().scan_votes_into(bits, votes, stats);
     }
 
     /// Classifies an encoded input.
@@ -429,6 +555,12 @@ impl BoltForest {
     #[must_use]
     pub fn n_trees(&self) -> usize {
         self.n_trees
+    }
+
+    /// Total vote weight across trees (`n_trees` for plain forests).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
     }
 
     /// The configuration used at compile time.

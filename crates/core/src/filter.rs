@@ -88,13 +88,18 @@ impl BloomFilter {
     /// Tests membership. Never returns `false` for an inserted key.
     #[must_use]
     pub fn contains(&self, key: u64) -> bool {
-        let (h1, h2) = (mix64(key), mix64(key.rotate_left(32) ^ 0x9E37_79B9));
-        let mut hit = true;
-        for i in 0..self.n_hashes {
-            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & self.bit_mask) as usize;
-            hit &= self.words[bit / 64] >> (bit % 64) & 1 == 1;
+        self.view().contains(key)
+    }
+
+    /// A borrowed [`BloomView`] over the bit array — the shape the
+    /// inference kernels probe, shared with memory-mapped artifacts.
+    #[must_use]
+    pub fn view(&self) -> BloomView<'_> {
+        BloomView {
+            words: &self.words,
+            bit_mask: self.bit_mask,
+            n_hashes: self.n_hashes,
         }
-        hit
     }
 
     /// Number of keys inserted at construction.
@@ -125,6 +130,69 @@ impl BloomFilter {
         } else {
             hits as f64 / total as f64
         }
+    }
+}
+
+/// A borrowed, storage-agnostic view of a bloom filter's bit array: the
+/// probing code shared by owned filters and memory-mapped `BLT1` artifacts.
+#[derive(Clone, Copy, Debug)]
+pub struct BloomView<'a> {
+    words: &'a [u64],
+    bit_mask: u64,
+    n_hashes: u32,
+}
+
+impl<'a> BloomView<'a> {
+    /// Builds a view over a raw bit array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count does not cover `bit_mask + 1` bits or
+    /// `n_hashes` is zero.
+    #[must_use]
+    pub fn new(words: &'a [u64], bit_mask: u64, n_hashes: u32) -> Self {
+        assert!(n_hashes >= 1, "a bloom filter needs at least one hash");
+        assert_eq!(
+            words.len() as u64 * 64,
+            bit_mask + 1,
+            "bloom words must cover exactly bit_mask + 1 bits"
+        );
+        Self {
+            words,
+            bit_mask,
+            n_hashes,
+        }
+    }
+
+    /// Tests membership; same double-hashing probe as
+    /// [`BloomFilter::contains`].
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        let (h1, h2) = (mix64(key), mix64(key.rotate_left(32) ^ 0x9E37_79B9));
+        let mut hit = true;
+        for i in 0..self.n_hashes {
+            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & self.bit_mask) as usize;
+            hit &= self.words[bit / 64] >> (bit % 64) & 1 == 1;
+        }
+        hit
+    }
+
+    /// The raw bit-array words.
+    #[must_use]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Bit-index mask (`n_bits - 1`; the bit count is a power of two).
+    #[must_use]
+    pub fn bit_mask(&self) -> u64 {
+        self.bit_mask
+    }
+
+    /// Number of hash probes per query.
+    #[must_use]
+    pub fn n_hashes(&self) -> u32 {
+        self.n_hashes
     }
 }
 

@@ -74,13 +74,13 @@ pub mod tuning;
 pub use batch::BatchScratch;
 pub use cluster::{Cluster, Clustering};
 pub use deep::DeepBolt;
-pub use dictionary::{DictEntry, Dictionary};
-pub use engine::{BoltConfig, BoltForest, BoltScratch, InferenceStats};
+pub use dictionary::{DictEntry, DictView, Dictionary};
+pub use engine::{BoltConfig, BoltForest, BoltScratch, ForestView, InferenceStats};
 pub use error::BoltError;
 pub use explain::Explanation;
-pub use filter::BloomFilter;
+pub use filter::{BloomFilter, BloomView};
 pub use layout::{LayoutReport, SectionBytes};
 pub use parallel::{PartitionPlan, PartitionedBolt};
 pub use regress::{Aggregation, BoltRegressor};
-pub use table::{RecombinedTable, TableCell};
+pub use table::{RecombinedTable, TableCell, TableView, Votes, EMPTY_SLOT_ENTRY};
 pub use tuning::{CostModel, ParameterSearch, Trial, TuningReport};

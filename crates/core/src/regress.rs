@@ -8,8 +8,8 @@
 
 use crate::cluster::Clustering;
 use crate::dictionary::Dictionary;
-use crate::engine::BoltConfig;
-use crate::filter::{table_key, BloomFilter};
+use crate::engine::{BoltConfig, ForestView};
+use crate::filter::BloomFilter;
 use crate::paths::SortedPaths;
 use crate::table::RecombinedTable;
 use crate::BoltError;
@@ -154,22 +154,24 @@ impl BoltRegressor {
         self.universe.evaluate(sample)
     }
 
+    /// A borrowed [`ForestView`] over the inference structures (regressors
+    /// carry no per-class votes, so only the weight-sum scan applies).
+    #[must_use]
+    pub fn view(&self) -> ForestView<'_> {
+        ForestView::new(
+            self.dictionary.view(),
+            self.table.view(),
+            self.bloom.as_ref().map(BloomFilter::view),
+            &[],
+            0,
+        )
+    }
+
     /// Predicts from an encoded input: the mean of matched leaf values
     /// (`mean(results)`, Fig. 7).
     #[must_use]
     pub fn predict_bits(&self, bits: &Mask) -> f32 {
-        let mut sum = self.constant_sum;
-        self.dictionary.scan(bits, |entry| {
-            let address = self.dictionary.address_of(entry.id, bits);
-            if let Some(bloom) = &self.bloom {
-                if !bloom.contains(table_key(entry.id, address)) {
-                    return;
-                }
-            }
-            for &(_, value) in self.table.lookup_votes(entry.id, address) {
-                sum += value;
-            }
-        });
+        let sum = self.view().accumulate_weights(bits, self.constant_sum);
         match self.aggregation {
             Aggregation::Mean => (sum / self.n_trees as f64) as f32,
             Aggregation::Sum => (self.base + sum) as f32,
@@ -208,6 +210,36 @@ impl BoltRegressor {
     #[must_use]
     pub fn table(&self) -> &RecombinedTable {
         &self.table
+    }
+
+    /// The predicate universe used for input encoding.
+    #[must_use]
+    pub fn universe(&self) -> &PredicateUniverse {
+        &self.universe
+    }
+
+    /// The bloom filter, if enabled.
+    #[must_use]
+    pub fn bloom(&self) -> Option<&BloomFilter> {
+        self.bloom.as_ref()
+    }
+
+    /// Leaf-value sum of single-leaf trees (always added to the scan sum).
+    #[must_use]
+    pub fn constant_sum(&self) -> f64 {
+        self.constant_sum
+    }
+
+    /// Constant offset added before aggregation (a GBM's base score).
+    #[must_use]
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// How matched leaf values combine into a prediction.
+    #[must_use]
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
     }
 
     /// Number of source trees.

@@ -67,18 +67,210 @@ pub struct RecombinedTable {
     n_cells: usize,
     /// Worst-case probes needed by any stored key (1 = perfect).
     max_probes: usize,
-    /// Hot-path mirror of `slots`: per-slot `(entry_id, address)` key
-    /// (empty slots use `EMPTY_KEY`), dense in one cache-friendly vector.
-    slot_keys: Vec<(u32, u64)>,
-    /// Per-slot `(offset, len)` into `votes_flat`.
-    slot_votes: Vec<(u32, u32)>,
-    /// Every cell's votes, concatenated in slot order.
-    votes_flat: Vec<Vote>,
+    /// Hot-path mirror of `slots`, split into primitive parallel arrays so
+    /// a memory-mapped artifact can expose the identical layout borrowed
+    /// from the file: per-slot owning entry ID ([`EMPTY_SLOT_ENTRY`] marks
+    /// an empty slot).
+    slot_entries: Vec<u32>,
+    /// Per-slot feature-value address (0 for empty slots).
+    slot_addrs: Vec<u64>,
+    /// Monotone prefix offsets, `capacity + 1` long: slot `i`'s votes are
+    /// `vote_classes[off[i]..off[i+1]]` / `vote_weights[..]`.
+    vote_offsets: Vec<u32>,
+    /// Every cell's vote classes, concatenated in slot order.
+    vote_classes: Vec<u32>,
+    /// Every cell's vote weights, parallel to `vote_classes`.
+    vote_weights: Vec<f64>,
 }
 
-/// Sentinel key marking an empty slot in the hot-path arrays (no real entry
-/// uses `u32::MAX`: entry IDs are dictionary indices).
-const EMPTY_KEY: (u32, u64) = (u32::MAX, u64::MAX);
+/// Sentinel entry ID marking an empty slot in the hot-path arrays (no real
+/// entry uses `u32::MAX`: entry IDs are dictionary indices).
+pub const EMPTY_SLOT_ENTRY: u32 = u32::MAX;
+
+/// The votes stored in one table cell, as a pair of borrowed parallel
+/// columns (classes and weights). This is what the hot-path lookup returns:
+/// for an owned [`RecombinedTable`] the slices borrow its vectors, for a
+/// mapped `BLT1` artifact they borrow the file bytes directly.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Votes<'a> {
+    classes: &'a [u32],
+    weights: &'a [f64],
+}
+
+impl<'a> Votes<'a> {
+    /// Builds a votes view over parallel class/weight columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns differ in length.
+    #[must_use]
+    pub fn new(classes: &'a [u32], weights: &'a [f64]) -> Self {
+        assert_eq!(classes.len(), weights.len(), "vote columns must align");
+        Self { classes, weights }
+    }
+
+    /// The empty vote set (misses and bloom rejects).
+    #[must_use]
+    pub fn empty() -> Votes<'static> {
+        Votes {
+            classes: &[],
+            weights: &[],
+        }
+    }
+
+    /// Number of votes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the cell holds no votes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The vote classes column.
+    #[must_use]
+    pub fn classes(&self) -> &'a [u32] {
+        self.classes
+    }
+
+    /// The vote weights column.
+    #[must_use]
+    pub fn weights(&self) -> &'a [f64] {
+        self.weights
+    }
+
+    /// Iterates `(class, weight)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + 'a {
+        self.classes.iter().zip(self.weights).map(|(&c, &w)| (c, w))
+    }
+
+    /// Collects the votes into the owned pair form used by [`TableCell`].
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<Vote> {
+        self.iter().collect()
+    }
+}
+
+/// A borrowed, storage-agnostic view of the table's hot-path arrays — the
+/// shape every inference kernel probes, whether the arrays are owned
+/// vectors or borrowed from a memory-mapped `BLT1` file.
+///
+/// Probe termination relies on the open-addressed invariant that at least
+/// one slot is empty; [`RecombinedTable::build`] guarantees it (≤50% load)
+/// and the artifact loader validates it before building a view over
+/// untrusted bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct TableView<'a> {
+    index_mask: u64,
+    slot_entries: &'a [u32],
+    slot_addrs: &'a [u64],
+    vote_offsets: &'a [u32],
+    vote_classes: &'a [u32],
+    vote_weights: &'a [f64],
+}
+
+impl<'a> TableView<'a> {
+    /// Builds a view over raw hot-path arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice shapes are mutually inconsistent: the capacity
+    /// (`slot_entries.len()`) must be a power of two equal to
+    /// `index_mask + 1`, with `slot_addrs` parallel and `vote_offsets`
+    /// one longer.
+    #[must_use]
+    pub fn new(
+        index_mask: u64,
+        slot_entries: &'a [u32],
+        slot_addrs: &'a [u64],
+        vote_offsets: &'a [u32],
+        vote_classes: &'a [u32],
+        vote_weights: &'a [f64],
+    ) -> Self {
+        let capacity = slot_entries.len();
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        assert_eq!(capacity as u64, index_mask + 1, "index mask shape");
+        assert_eq!(slot_addrs.len(), capacity, "slot address shape");
+        assert_eq!(vote_offsets.len(), capacity + 1, "vote offsets shape");
+        assert_eq!(vote_classes.len(), vote_weights.len(), "vote columns");
+        Self {
+            index_mask,
+            slot_entries,
+            slot_addrs,
+            vote_offsets,
+            vote_classes,
+            vote_weights,
+        }
+    }
+
+    /// Total slot capacity (a power of two).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slot_entries.len()
+    }
+
+    /// Per-slot owning entry IDs ([`EMPTY_SLOT_ENTRY`] marks empties).
+    #[must_use]
+    pub fn slot_entries(&self) -> &'a [u32] {
+        self.slot_entries
+    }
+
+    /// Per-slot feature-value addresses.
+    #[must_use]
+    pub fn slot_addrs(&self) -> &'a [u64] {
+        self.slot_addrs
+    }
+
+    /// Monotone vote prefix offsets (`capacity + 1` long).
+    #[must_use]
+    pub fn vote_offsets(&self) -> &'a [u32] {
+        self.vote_offsets
+    }
+
+    /// All vote classes, concatenated in slot order.
+    #[must_use]
+    pub fn vote_classes(&self) -> &'a [u32] {
+        self.vote_classes
+    }
+
+    /// All vote weights, parallel to [`Self::vote_classes`].
+    #[must_use]
+    pub fn vote_weights(&self) -> &'a [f64] {
+        self.vote_weights
+    }
+
+    /// Hot-path lookup: the votes stored for `(entry_id, address)`, empty
+    /// for misses/false positives. Linear probing with exact key
+    /// verification, touching only the dense primitive arrays.
+    #[must_use]
+    pub fn lookup(&self, entry_id: u32, address: u64) -> Votes<'a> {
+        let mut idx = table_key(entry_id, address) & self.index_mask;
+        loop {
+            let i = idx as usize;
+            let entry = self.slot_entries[i];
+            if entry == entry_id && self.slot_addrs[i] == address {
+                let (lo, hi) = (
+                    self.vote_offsets[i] as usize,
+                    self.vote_offsets[i + 1] as usize,
+                );
+                return Votes {
+                    classes: &self.vote_classes[lo..hi],
+                    weights: &self.vote_weights[lo..hi],
+                };
+            }
+            if entry == EMPTY_SLOT_ENTRY {
+                return Votes::empty();
+            }
+            idx = (idx + 1) & self.index_mask;
+        }
+    }
+}
 
 impl RecombinedTable {
     /// Builds the recombined table from a clustering. When
@@ -129,45 +321,58 @@ impl RecombinedTable {
             slots[idx as usize] = Some(cell);
             max_probes = max_probes.max(probes);
         }
-        // Dense hot-path mirror.
-        let mut slot_keys = vec![EMPTY_KEY; capacity];
-        let mut slot_votes = vec![(0u32, 0u32); capacity];
-        let mut votes_flat = Vec::new();
+        // Dense hot-path mirror, split into primitive parallel arrays (the
+        // exact section layout a BLT1 artifact stores and maps back).
+        let mut slot_entries = vec![EMPTY_SLOT_ENTRY; capacity];
+        let mut slot_addrs = vec![0u64; capacity];
+        let mut vote_offsets = Vec::with_capacity(capacity + 1);
+        let mut vote_classes = Vec::new();
+        let mut vote_weights = Vec::new();
+        vote_offsets.push(0u32);
         for (i, slot) in slots.iter().enumerate() {
             if let Some(cell) = slot {
-                slot_keys[i] = (cell.entry_id, cell.address);
-                slot_votes[i] = (votes_flat.len() as u32, cell.votes.len() as u32);
-                votes_flat.extend_from_slice(&cell.votes);
+                slot_entries[i] = cell.entry_id;
+                slot_addrs[i] = cell.address;
+                for &(class, weight) in &cell.votes {
+                    vote_classes.push(class);
+                    vote_weights.push(weight);
+                }
             }
+            vote_offsets.push(vote_classes.len() as u32);
         }
         Self {
             slots,
             index_mask,
             n_cells: cells.len(),
             max_probes,
-            slot_keys,
-            slot_votes,
-            votes_flat,
+            slot_entries,
+            slot_addrs,
+            vote_offsets,
+            vote_classes,
+            vote_weights,
+        }
+    }
+
+    /// A borrowed [`TableView`] over the hot-path arrays — the shape the
+    /// inference kernels probe, shared with memory-mapped artifacts.
+    #[must_use]
+    pub fn view(&self) -> TableView<'_> {
+        TableView {
+            index_mask: self.index_mask,
+            slot_entries: &self.slot_entries,
+            slot_addrs: &self.slot_addrs,
+            vote_offsets: &self.vote_offsets,
+            vote_classes: &self.vote_classes,
+            vote_weights: &self.vote_weights,
         }
     }
 
     /// Hot-path lookup: the votes stored for `(entry_id, address)`, or an
-    /// empty slice for misses/false positives. Touches only the dense
-    /// key/vote arrays (no per-cell heap indirection).
+    /// empty view for misses/false positives. Touches only the dense
+    /// primitive arrays (no per-cell heap indirection).
     #[must_use]
-    pub fn lookup_votes(&self, entry_id: u32, address: u64) -> &[Vote] {
-        let mut idx = table_key(entry_id, address) & self.index_mask;
-        loop {
-            let key = self.slot_keys[idx as usize];
-            if key == (entry_id, address) {
-                let (off, len) = self.slot_votes[idx as usize];
-                return &self.votes_flat[off as usize..(off + len) as usize];
-            }
-            if key == EMPTY_KEY {
-                return &[];
-            }
-            idx = (idx + 1) & self.index_mask;
-        }
+    pub fn lookup_votes(&self, entry_id: u32, address: u64) -> Votes<'_> {
+        self.view().lookup(entry_id, address)
     }
 
     /// Looks up the cell for `(entry_id, address)`, verifying the stored key
@@ -365,9 +570,29 @@ mod tests {
                     .lookup(entry, address)
                     .map(|c| c.votes.clone())
                     .unwrap_or_default();
-                assert_eq!(table.lookup_votes(entry, address), via_cell.as_slice());
+                assert_eq!(table.lookup_votes(entry, address).to_vec(), via_cell);
             }
         }
+    }
+
+    #[test]
+    fn view_lookup_matches_owned_lookup() {
+        let table = RecombinedTable::build(&figure3_clustering(), true);
+        let view = table.view();
+        assert_eq!(view.capacity(), table.capacity());
+        for entry in 0..5u32 {
+            for address in 0..8u64 {
+                assert_eq!(
+                    view.lookup(entry, address).to_vec(),
+                    table.lookup_votes(entry, address).to_vec()
+                );
+            }
+        }
+        // The prefix offsets account for every stored vote exactly once.
+        assert_eq!(
+            *view.vote_offsets().last().expect("sentinel") as usize,
+            view.vote_classes().len()
+        );
     }
 
     #[test]

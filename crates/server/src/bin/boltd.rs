@@ -13,18 +13,28 @@
 //!       --default fast --socket /tmp/bolt.sock --tcp 127.0.0.1:9000
 //! ```
 //!
-//! `--model NAME=KIND` may repeat; KIND is `bolt` (needs `--artifact`),
-//! or `scikit`/`ranger`/`fp` (need `--forest`; `fp` also needs
+//! `--model NAME=KIND` may repeat but every NAME must be distinct; KIND
+//! is `bolt` (needs `--artifact`), `artifact:PATH.blt` (a compiled `BLT1`
+//! artifact, memory-mapped and served zero-copy), or
+//! `scikit`/`ranger`/`fp` (need `--forest`; `fp` also needs
 //! `--calibration-csv`). Each kind is built once and shared, so two
-//! names of the same kind serve one compiled forest. Pair with `boltc`
+//! names of the same kind serve one compiled forest (and two names of
+//! the same `artifact:` path share one mapping). Pair with `boltc`
 //! (the compiler CLI in the workspace root) to train and compile
-//! artifacts. The front-end hosts any engine, mirroring §4.5: "the
+//! artifacts:
+//!
+//! ```text
+//! boltc compile --forest forest.json --out model.blt
+//! boltd --model prod=artifact:model.blt --default prod --socket /tmp/bolt.sock
+//! ```
+//!
+//! The front-end hosts any engine, mirroring §4.5: "the
 //! front-end can connect to other forest implementations".
 
 use bolt_baselines::{ForestPackingForest, InferenceEngine, RangerLikeForest, ScikitLikeForest};
 use bolt_core::BoltForest;
 use bolt_forest::{csv, RandomForest};
-use bolt_server::{BoltEngine, ServerBuilder};
+use bolt_server::{ArtifactEngine, BoltEngine, ServerBuilder};
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -39,7 +49,8 @@ fn main() -> ExitCode {
                 "usage: boltd [--artifact BOLT.json] [--forest FOREST.json] \
                  [--engine scikit|ranger|fp] [--calibration-csv FILE] \
                  [--model NAME=KIND]... [--default NAME] \
-                 --socket PATH [--tcp ADDR]"
+                 --socket PATH [--tcp ADDR]\n\
+                 KIND: bolt | artifact:PATH.blt | scikit | ranger | fp"
             );
             ExitCode::FAILURE
         }
@@ -80,6 +91,28 @@ impl EngineLoader {
         if let Some(engine) = self.built.get(kind) {
             return Ok(Arc::clone(engine));
         }
+        if let Some(path) = kind.strip_prefix("artifact:") {
+            if path.is_empty() {
+                return Err("artifact: kind needs a path, e.g. artifact:model.blt".to_owned());
+            }
+            let engine = ArtifactEngine::open(path).map_err(|e| format!("map {path}: {e}"))?;
+            let meta = engine.model().meta();
+            println!(
+                "mapped BLT1 artifact {path}: {} dictionary entries, {} table slots, {} classes \
+                 ({})",
+                meta.n_entries,
+                meta.table_capacity,
+                meta.n_classes,
+                if engine.model().artifact().is_mapped() {
+                    "zero-copy mmap"
+                } else {
+                    "aligned heap fallback"
+                }
+            );
+            let engine: Arc<dyn InferenceEngine> = Arc::new(engine);
+            self.built.insert(kind.to_owned(), Arc::clone(&engine));
+            return Ok(engine);
+        }
         let engine: Arc<dyn InferenceEngine> = match kind {
             "bolt" => {
                 let path = self
@@ -113,13 +146,34 @@ impl EngineLoader {
             }
             other => {
                 return Err(format!(
-                    "unknown engine kind {other:?} (bolt|scikit|ranger|fp)"
+                    "unknown engine kind {other:?} (bolt|artifact:PATH.blt|scikit|ranger|fp)"
                 ))
             }
         };
         self.built.insert(kind.to_owned(), Arc::clone(&engine));
         Ok(engine)
     }
+}
+
+/// Parses one `--model NAME=KIND` value and appends it. Duplicate names are
+/// a hard error rather than silently last-wins: two registrations of the
+/// same name would make it ambiguous which engine answers, and the registry
+/// would quietly drop the earlier one.
+fn push_model(models: &mut Vec<(String, String)>, value: &str) -> Result<(), String> {
+    let (name, kind) = value
+        .split_once('=')
+        .ok_or_else(|| format!("--model wants NAME=KIND, got {value:?}"))?;
+    if name.is_empty() {
+        return Err("--model needs a non-empty NAME".to_owned());
+    }
+    if let Some((_, existing)) = models.iter().find(|(n, _)| n == name) {
+        return Err(format!(
+            "duplicate --model name {name:?}: already registered with kind {existing:?}; \
+             model names must be unique"
+        ));
+    }
+    models.push((name.to_owned(), kind.to_owned()));
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -141,15 +195,7 @@ fn run() -> Result<(), String> {
             "--calibration-csv" => calibration = Some(value),
             "--socket" => socket = Some(value),
             "--tcp" => tcp = Some(value),
-            "--model" => {
-                let (name, kind) = value
-                    .split_once('=')
-                    .ok_or_else(|| format!("--model wants NAME=KIND, got {value:?}"))?;
-                if name.is_empty() {
-                    return Err("--model needs a non-empty NAME".to_owned());
-                }
-                models.push((name.to_owned(), kind.to_owned()));
-            }
+            "--model" => push_model(&mut models, &value)?,
             "--default" => default_model = Some(value),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -231,5 +277,50 @@ fn run() -> Result<(), String> {
             }
             last = stats;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::push_model;
+
+    #[test]
+    fn model_flags_parse_and_accumulate() {
+        let mut models = Vec::new();
+        push_model(&mut models, "fast=bolt").unwrap();
+        push_model(&mut models, "prod=artifact:model.blt").unwrap();
+        push_model(&mut models, "ref=scikit").unwrap();
+        assert_eq!(
+            models,
+            vec![
+                ("fast".to_owned(), "bolt".to_owned()),
+                ("prod".to_owned(), "artifact:model.blt".to_owned()),
+                ("ref".to_owned(), "scikit".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_model_name_is_rejected_not_last_wins() {
+        let mut models = Vec::new();
+        push_model(&mut models, "prod=bolt").unwrap();
+        let err = push_model(&mut models, "prod=scikit").unwrap_err();
+        assert!(err.contains("duplicate --model name \"prod\""), "{err}");
+        assert!(
+            err.contains("\"bolt\""),
+            "error should name the earlier kind: {err}"
+        );
+        // The earlier registration survives untouched.
+        assert_eq!(models, vec![("prod".to_owned(), "bolt".to_owned())]);
+        // Same name with the *same* kind is still a duplicate.
+        assert!(push_model(&mut models, "prod=bolt").is_err());
+    }
+
+    #[test]
+    fn malformed_model_flags_are_rejected() {
+        let mut models = Vec::new();
+        assert!(push_model(&mut models, "no-equals-sign").is_err());
+        assert!(push_model(&mut models, "=bolt").is_err());
+        assert!(models.is_empty());
     }
 }

@@ -1,0 +1,106 @@
+//! `boltq` — a one-shot query client for `boltd`, for smoke tests and
+//! scripting.
+//!
+//! ```text
+//! boltq --socket /tmp/bolt.sock --sample 1.5,0.0,3.2          # default model
+//! boltq --socket /tmp/bolt.sock --model prod --sample 1.5,0,3 # routed
+//! boltq --socket /tmp/bolt.sock --zeros 11                    # all-zero sample
+//! boltq --socket /tmp/bolt.sock --list                        # registry listing
+//! ```
+//!
+//! Prints `class <N> (<latency> us via <model>)` for a classification, or
+//! one `NAME ENGINE REQUESTS [default]` line per model for `--list`, and
+//! exits nonzero on any error — so shell scripts can assert on both the
+//! exit code and the output.
+
+use bolt_server::ClassificationClient;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: boltq --socket PATH [--model NAME] \
+                 (--sample F1,F2,... | --zeros N | --list)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut socket = None;
+    let mut model = None;
+    let mut sample: Option<Vec<f32>> = None;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            flag => {
+                let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag {
+                    "--socket" => socket = Some(value),
+                    "--model" => model = Some(value),
+                    "--sample" => sample = Some(parse_sample(&value)?),
+                    "--zeros" => {
+                        let n: usize = value
+                            .parse()
+                            .map_err(|e| format!("--zeros wants a count: {e}"))?;
+                        sample = Some(vec![0.0; n]);
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+        }
+    }
+    let socket = socket.ok_or("need --socket PATH")?;
+    let mut client =
+        ClassificationClient::connect(&socket).map_err(|e| format!("connect {socket}: {e}"))?;
+
+    if list {
+        let listing = client.list_models().map_err(|e| e.to_string())?;
+        for m in listing.models {
+            let default = if m.is_default { " default" } else { "" };
+            println!("{} {} {}{default}", m.name, m.engine, m.requests);
+        }
+        return Ok(());
+    }
+
+    let sample = sample.ok_or("need --sample F1,F2,... or --zeros N (or --list)")?;
+    let response = match &model {
+        Some(name) => client.classify_with(name, &sample),
+        None => client.classify(&sample),
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "class {} ({:.1} us via {})",
+        response.class,
+        response.latency_ns as f64 / 1000.0,
+        model.as_deref().unwrap_or("default")
+    );
+    Ok(())
+}
+
+fn parse_sample(text: &str) -> Result<Vec<f32>, String> {
+    text.split(',')
+        .map(|f| {
+            f.trim()
+                .parse::<f32>()
+                .map_err(|e| format!("bad feature {f:?}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_sample;
+
+    #[test]
+    fn samples_parse_with_whitespace_and_signs() {
+        assert_eq!(parse_sample("1.5, -2,0").unwrap(), vec![1.5, -2.0, 0.0]);
+        assert!(parse_sample("1.5,x").is_err());
+    }
+}

@@ -1,5 +1,6 @@
 //! Engine adapters for the service.
 
+use bolt_artifact::MappedForest;
 use bolt_baselines::InferenceEngine;
 use bolt_core::BoltForest;
 use std::sync::Arc;
@@ -44,6 +45,50 @@ impl InferenceEngine for BoltEngine {
     fn classify_batch(&self, samples: &[&[f32]]) -> Vec<u32> {
         let shards = std::thread::available_parallelism().map_or(1, usize::from);
         self.bolt.classify_batch_sharded(samples, shards)
+    }
+}
+
+/// Adapts a memory-mapped `.blt` artifact ([`MappedForest`]) to the
+/// [`InferenceEngine`] interface, so `boltd` can serve a model straight off
+/// disk — zero heap copy of the structures — and hot-swap it for a freshly
+/// mapped file under live traffic via
+/// [`ModelRegistry::register`](crate::ModelRegistry::register).
+#[derive(Clone)]
+pub struct ArtifactEngine {
+    model: Arc<MappedForest>,
+}
+
+impl ArtifactEngine {
+    /// Wraps an already-mapped artifact.
+    #[must_use]
+    pub fn new(model: Arc<MappedForest>) -> Self {
+        Self { model }
+    }
+
+    /// Maps and validates the artifact at `path`.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, bolt_artifact::ArtifactError> {
+        Ok(Self::new(Arc::new(MappedForest::open(path)?)))
+    }
+
+    /// The wrapped mapped model.
+    #[must_use]
+    pub fn model(&self) -> &MappedForest {
+        &self.model
+    }
+}
+
+impl InferenceEngine for ArtifactEngine {
+    fn name(&self) -> &'static str {
+        "BOLT-BLT"
+    }
+
+    fn classify(&self, sample: &[f32]) -> u32 {
+        self.model.classify(sample)
+    }
+
+    fn classify_batch(&self, samples: &[&[f32]]) -> Vec<u32> {
+        let shards = std::thread::available_parallelism().map_or(1, usize::from);
+        self.model.classify_batch_sharded(samples, shards)
     }
 }
 

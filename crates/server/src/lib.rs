@@ -74,7 +74,7 @@ mod tcp;
 
 pub use builder::ServerBuilder;
 pub use client::ClassificationClient;
-pub use engine::BoltEngine;
+pub use engine::{ArtifactEngine, BoltEngine};
 pub use proto::{
     ClassifyBatchRequest, ClassifyBatchResponse, ClassifyBatchWithRequest, ClassifyRequest,
     ClassifyResponse, ClassifyWithRequest, ErrorFrame, ListModelsResponse, ModelInfo, ProtoError,

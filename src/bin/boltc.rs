@@ -7,10 +7,21 @@
 //! boltc train   --workload mnist --samples 2000 --trees 10 --height 4 --out forest.json
 //! boltc train   --csv data.csv --trees 20 --height 6 --out forest.json
 //! boltc compile --forest forest.json --threshold 2 --bloom 10 --out bolt.json
+//! boltc compile --forest forest.json --threshold 2 --out model.blt   # BLT1 artifact
+//! boltc inspect --blt model.blt
+//! boltc verify  --blt model.blt --forest forest.json --workload mnist
 //! boltc eval    --forest forest.json --workload mnist --samples 500
 //! boltc eval    --bolt bolt.json     --workload mnist --samples 500
+//! boltc eval    --bolt model.blt     --workload mnist --samples 500
 //! ```
+//!
+//! A `--out` ending in `.blt` compiles to the binary `BLT1` zero-copy
+//! artifact (serve it with `boltd --model NAME=artifact:model.blt`); any
+//! other extension keeps the JSON format.
 
+use bolt_repro::artifact::{
+    section_name, Artifact, ArtifactWriter, MappedForest, MappedModel, MappedRegressor,
+};
 use bolt_repro::core::{BoltConfig, BoltForest, BoltRegressor};
 use bolt_repro::data::Workload;
 use bolt_repro::forest::{
@@ -40,6 +51,8 @@ fn main() -> ExitCode {
         "train-reg" => train_reg(&flags),
         "compile-reg" => compile_reg(&flags),
         "eval-reg" => eval_reg(&flags),
+        "inspect" => inspect(&flags),
+        "verify" => verify(&flags),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
@@ -55,14 +68,19 @@ const USAGE: &str = "usage:
   boltc train   (--workload mnist|lstw|yelp --samples N | --csv FILE)
                 [--trees N] [--height N] [--seed N] --out FOREST.json
   boltc compile --forest FOREST.json [--threshold N] [--bloom BITS_PER_KEY]
-                [--explanations] [--verify WORKLOAD] --out BOLT.json
-  boltc eval    (--forest FOREST.json | --bolt BOLT.json)
+                [--explanations] [--verify WORKLOAD] --out BOLT.json|MODEL.blt
+                (a .blt extension writes the binary BLT1 zero-copy artifact)
+  boltc inspect --blt MODEL.blt
+  boltc verify  --blt MODEL.blt [--forest FOREST.json]
+                [--workload NAME] [--samples N] [--seed N]
+  boltc eval    (--forest FOREST.json | --bolt BOLT.json|MODEL.blt)
                 (--workload NAME --samples N [--seed N] | --csv FILE)
   boltc train-reg   (--workload trips --samples N | --csv FILE)
                     [--trees N] [--height N] [--seed N] --out FOREST.json
                     (regression CSV: last column is the float target)
-  boltc compile-reg --forest FOREST.json [--threshold N] [--bloom N] --out BOLT.json
-  boltc eval-reg    (--forest FOREST.json | --bolt BOLT.json)
+  boltc compile-reg --forest FOREST.json [--threshold N] [--bloom N]
+                    --out BOLT.json|MODEL.blt
+  boltc eval-reg    (--forest FOREST.json | --bolt BOLT.json|MODEL.blt)
                     (--workload trips --samples N [--seed N] | --csv FILE)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -159,8 +177,14 @@ fn compile(flags: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("verified safety property on {n} samples");
     }
-    let json = serde_json::to_string(&bolt).map_err(|e| e.to_string())?;
-    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    if out.ends_with(".blt") {
+        ArtifactWriter::write_forest(&bolt, out).map_err(|e| format!("write {out}: {e}"))?;
+        // Round-trip sanity: the artifact must map and validate cleanly.
+        MappedForest::open(out).map_err(|e| format!("re-map {out}: {e}"))?;
+    } else {
+        let json = serde_json::to_string(&bolt).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    }
     println!(
         "compiled: {} predicates, {} dictionary entries, {} table cells -> {out}",
         bolt.universe().len(),
@@ -173,6 +197,19 @@ fn compile(flags: &HashMap<String, String>) -> Result<(), String> {
 fn eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let data = load_dataset(flags)?;
     if let Some(path) = flags.get("bolt") {
+        if path.ends_with(".blt") {
+            let mapped = MappedForest::open(path).map_err(|e| format!("map {path}: {e}"))?;
+            let correct = data
+                .iter()
+                .filter(|(sample, label)| mapped.classify(sample) == *label)
+                .count();
+            println!(
+                "mapped artifact accuracy on {} samples: {:.1}%",
+                data.len(),
+                100.0 * correct as f64 / data.len().max(1) as f64
+            );
+            return Ok(());
+        }
         let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         let mut bolt: BoltForest = serde_json::from_str(&json).map_err(|e| e.to_string())?;
         bolt.rebuild();
@@ -265,8 +302,13 @@ fn compile_reg(flags: &HashMap<String, String>) -> Result<(), String> {
         .with_cluster_threshold(numeric(flags, "threshold", 4)?)
         .with_bloom_bits_per_key(numeric(flags, "bloom", 10)?);
     let bolt = BoltRegressor::compile(&forest, &config).map_err(|e| e.to_string())?;
-    let json = serde_json::to_string(&bolt).map_err(|e| e.to_string())?;
-    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    if out.ends_with(".blt") {
+        ArtifactWriter::write_regressor(&bolt, out).map_err(|e| format!("write {out}: {e}"))?;
+        MappedRegressor::open(out).map_err(|e| format!("re-map {out}: {e}"))?;
+    } else {
+        let json = serde_json::to_string(&bolt).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    }
     println!(
         "compiled regressor: {} dictionary entries, {} table cells -> {out}",
         bolt.dictionary().len(),
@@ -278,6 +320,22 @@ fn compile_reg(flags: &HashMap<String, String>) -> Result<(), String> {
 fn eval_reg(flags: &HashMap<String, String>) -> Result<(), String> {
     let data = load_regression_dataset(flags)?;
     if let Some(path) = flags.get("bolt") {
+        if path.ends_with(".blt") {
+            let mapped = MappedRegressor::open(path).map_err(|e| format!("map {path}: {e}"))?;
+            let sse: f64 = data
+                .iter()
+                .map(|(sample, target)| {
+                    let err = f64::from(mapped.predict(sample)) - f64::from(target);
+                    err * err
+                })
+                .sum();
+            println!(
+                "mapped regressor RMSE on {} samples: {:.3}",
+                data.len(),
+                (sse / data.len().max(1) as f64).sqrt()
+            );
+            return Ok(());
+        }
         let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         let mut bolt: BoltRegressor = serde_json::from_str(&json).map_err(|e| e.to_string())?;
         bolt.rebuild();
@@ -295,6 +353,99 @@ fn eval_reg(flags: &HashMap<String, String>) -> Result<(), String> {
         "regression forest RMSE on {} samples: {:.3}",
         data.len(),
         forest.mse(&data).sqrt()
+    );
+    Ok(())
+}
+
+/// `boltc inspect --blt MODEL.blt` — header, model shape, and section table
+/// of a `BLT1` artifact (which is fully CRC-verified by the mapping itself).
+fn inspect(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("blt").ok_or("need --blt MODEL.blt")?;
+    let artifact = Artifact::map(path).map_err(|e| format!("map {path}: {e}"))?;
+    let header = artifact.header();
+    let kind = match header.model_kind {
+        1 => "classifier",
+        2 => "regressor",
+        _ => "unknown",
+    };
+    println!(
+        "{path}: BLT1 v{} {kind}, {} bytes, {} sections, {}",
+        header.version,
+        header.file_len,
+        header.section_count,
+        if artifact.is_mapped() {
+            "memory-mapped"
+        } else {
+            "heap-backed"
+        }
+    );
+    let model = MappedModel::from_artifact(artifact).map_err(|e| e.to_string())?;
+    let meta = model.meta();
+    println!(
+        "  model: {} predicates ({} features), {} dictionary entries, \
+         {} table slots, {} classes, {} trees, bloom hashes {}",
+        meta.width,
+        meta.n_features,
+        meta.n_entries,
+        meta.table_capacity,
+        meta.n_classes,
+        meta.n_trees,
+        meta.bloom_n_hashes,
+    );
+    println!(
+        "  {:<16} {:>10} {:>10}  crc32",
+        "section", "offset", "bytes"
+    );
+    for s in model.artifact().sections() {
+        println!(
+            "  {:<16} {:>10} {:>10}  {:08x}",
+            section_name(s.id),
+            s.offset,
+            s.len,
+            s.crc32
+        );
+    }
+    Ok(())
+}
+
+/// `boltc verify --blt MODEL.blt [--forest FOREST.json]` — map the artifact,
+/// re-running every checksum and structural check; with `--forest`, also
+/// prove the mapped model classifies identically to the source forest on a
+/// workload sweep.
+fn verify(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("blt").ok_or("need --blt MODEL.blt")?;
+    let model = MappedModel::open(path).map_err(|e| format!("verify {path}: {e}"))?;
+    let meta = model.meta();
+    println!(
+        "{path}: checksums and structure OK ({} sections, {} dictionary entries)",
+        model.artifact().header().section_count,
+        meta.n_entries
+    );
+    let Some(forest_path) = flags.get("forest") else {
+        return Ok(());
+    };
+    let MappedModel::Forest(mapped) = &model else {
+        return Err("--forest verification only supports classifier artifacts".into());
+    };
+    let json =
+        std::fs::read_to_string(forest_path).map_err(|e| format!("read {forest_path}: {e}"))?;
+    let forest: RandomForest = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let workload = workload_by_name(flags.get("workload").map_or("mnist", String::as_str))?;
+    let samples = numeric(flags, "samples", 500usize)?;
+    let seed = numeric(flags, "seed", 0x5AFEu64)?;
+    let check = bolt_repro::data::generate(workload, samples, seed);
+    for i in 0..check.len() {
+        let sample = check.sample(i);
+        let (got, want) = (mapped.classify(sample), forest.predict(sample));
+        if got != want {
+            return Err(format!(
+                "mapped artifact diverges from forest on sample {i}: {got} != {want}"
+            ));
+        }
+    }
+    println!(
+        "verified bit-identical classification on {} samples",
+        check.len()
     );
     Ok(())
 }

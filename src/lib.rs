@@ -10,6 +10,9 @@
 //! * [`simcpu`] — cache/branch/instruction simulator and hardware profiles.
 //! * [`server`] — the Unix-domain-socket classification service.
 //! * [`bitpack`] — bit-level packed containers behind the compressed layouts.
+//! * [`artifact`] — the zero-copy `BLT1` model store: compiled models
+//!   serialized to `.blt` files and memory-mapped straight back into the
+//!   scan kernels.
 //!
 //! # Quick start
 //!
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use bolt_artifact as artifact;
 pub use bolt_baselines as baselines;
 pub use bolt_bitpack as bitpack;
 pub use bolt_core as core;

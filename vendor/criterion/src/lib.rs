@@ -1,9 +1,10 @@
 //! Vendored stand-in for `criterion`, built for offline use.
 //!
 //! Runs each benchmark closure for a fixed number of timed samples and
-//! prints mean wall-clock time per iteration. No statistics, plotting, or
-//! baselines — just enough to keep `cargo bench` useful and the bench
-//! sources compiling unchanged.
+//! prints mean, median, and standard deviation of wall-clock time per
+//! iteration, plus the iteration count behind the numbers. No plotting
+//! or baselines — just enough to keep `cargo bench` useful and the
+//! bench sources compiling unchanged.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -56,8 +57,9 @@ pub enum Throughput {
 /// Timing loop handle passed to benchmark closures.
 pub struct Bencher {
     samples: usize,
-    /// (total elapsed, total iterations) accumulated by `iter`.
-    result: Option<(Duration, u64)>,
+    /// Per-sample wall-clock durations and the iteration count behind
+    /// each one, recorded by `iter`.
+    result: Option<(Vec<Duration>, u64)>,
 }
 
 impl Bencher {
@@ -77,17 +79,59 @@ impl Bencher {
             }
             iters_per_sample *= 4;
         }
-        let mut total = Duration::ZERO;
-        let mut iters: u64 = 0;
+        let mut durations = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let start = Instant::now();
             for _ in 0..iters_per_sample {
                 black_box(routine());
             }
-            total += start.elapsed();
-            iters += iters_per_sample;
+            durations.push(start.elapsed());
         }
-        self.result = Some((total, iters));
+        self.result = Some((durations, iters_per_sample));
+    }
+}
+
+/// Per-iteration summary statistics over a run's timed samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct SampleStats {
+    mean_ns: f64,
+    median_ns: f64,
+    std_dev_ns: f64,
+    total_iters: u64,
+}
+
+impl SampleStats {
+    /// Reduces per-sample durations (each covering `iters_per_sample`
+    /// iterations) to per-iteration mean, median, and standard deviation.
+    fn from_samples(durations: &[Duration], iters_per_sample: u64) -> Option<Self> {
+        if durations.is_empty() || iters_per_sample == 0 {
+            return None;
+        }
+        let mut per_iter: Vec<f64> = durations
+            .iter()
+            .map(|d| d.as_nanos() as f64 / iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let n = per_iter.len();
+        let mean_ns = per_iter.iter().sum::<f64>() / n as f64;
+        let median_ns = if n % 2 == 1 {
+            per_iter[n / 2]
+        } else {
+            (per_iter[n / 2 - 1] + per_iter[n / 2]) / 2.0
+        };
+        // Sample standard deviation (n - 1); zero for a single sample.
+        let std_dev_ns = if n > 1 {
+            let var = per_iter.iter().map(|x| (x - mean_ns).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        Some(Self {
+            mean_ns,
+            median_ns,
+            std_dev_ns,
+            total_iters: iters_per_sample * n as u64,
+        })
     }
 }
 
@@ -97,12 +141,17 @@ fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
         result: None,
     };
     f(&mut b);
-    match b.result {
-        Some((total, iters)) if iters > 0 => {
-            let per_iter = total.as_nanos() as f64 / iters as f64;
-            println!("bench {label:<50} {per_iter:>14.1} ns/iter ({iters} iters)");
-        }
-        _ => println!("bench {label:<50} (no measurement)"),
+    let stats = b
+        .result
+        .as_ref()
+        .and_then(|(durations, iters)| SampleStats::from_samples(durations, *iters));
+    match stats {
+        Some(s) => println!(
+            "bench {label:<50} mean {:>12.1} ns/iter, median {:>12.1}, std dev {:>10.1} \
+             ({} samples, {} iters)",
+            s.mean_ns, s.median_ns, s.std_dev_ns, samples, s.total_iters
+        ),
+        None => println!("bench {label:<50} (no measurement)"),
     }
 }
 
@@ -237,4 +286,68 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Bencher, SampleStats};
+    use std::time::Duration;
+
+    #[test]
+    fn stats_reduce_per_sample_durations_to_per_iteration_numbers() {
+        // Three samples of 10 iterations each: 100ns, 200ns, 600ns per iter.
+        let durations = [
+            Duration::from_nanos(1000),
+            Duration::from_nanos(2000),
+            Duration::from_nanos(6000),
+        ];
+        let s = SampleStats::from_samples(&durations, 10).expect("stats");
+        assert_eq!(s.total_iters, 30);
+        assert!((s.mean_ns - 300.0).abs() < 1e-9, "{}", s.mean_ns);
+        assert!((s.median_ns - 200.0).abs() < 1e-9, "{}", s.median_ns);
+        // Sample std dev of {100, 200, 600} is sqrt(70000).
+        assert!(
+            (s.std_dev_ns - 70_000f64.sqrt()).abs() < 1e-9,
+            "{}",
+            s.std_dev_ns
+        );
+    }
+
+    #[test]
+    fn even_sample_counts_take_the_midpoint_median() {
+        let durations = [
+            Duration::from_nanos(100),
+            Duration::from_nanos(400),
+            Duration::from_nanos(200),
+            Duration::from_nanos(300),
+        ];
+        let s = SampleStats::from_samples(&durations, 1).expect("stats");
+        assert!((s.median_ns - 250.0).abs() < 1e-9, "{}", s.median_ns);
+        assert_eq!(s.total_iters, 4);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_no_stats_or_zero_spread() {
+        assert_eq!(SampleStats::from_samples(&[], 10), None);
+        assert_eq!(
+            SampleStats::from_samples(&[Duration::from_nanos(5)], 0),
+            None
+        );
+        let single = SampleStats::from_samples(&[Duration::from_nanos(500)], 5).expect("stats");
+        assert_eq!(single.std_dev_ns, 0.0);
+        assert!((single.mean_ns - 100.0).abs() < 1e-9);
+        assert!((single.median_ns - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bencher_records_one_duration_per_sample() {
+        let mut b = Bencher {
+            samples: 7,
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(5)));
+        let (durations, iters_per_sample) = b.result.expect("iter ran");
+        assert_eq!(durations.len(), 7);
+        assert!(iters_per_sample >= 1);
+    }
 }

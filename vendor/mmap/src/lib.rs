@@ -1,0 +1,267 @@
+//! Minimal read-only memory-mapping shim.
+//!
+//! Vendored so the workspace stays dependency-free: on unix targets
+//! [`Mmap::map`] wraps the raw `mmap(2)`/`munmap(2)` syscalls through a tiny
+//! `extern "C"` surface; everywhere else (and for empty files, which `mmap`
+//! rejects) it falls back to reading the file into a 64-byte-aligned heap
+//! buffer ([`AlignedBuf`]). Either way the result derefs to `&[u8]` whose
+//! base address is at least 64-byte aligned, which is what the BLT1 artifact
+//! reader needs for its zero-copy typed views.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Deref;
+
+/// A heap buffer whose base address is 64-byte aligned.
+///
+/// Used as the portable fallback when a real memory map is unavailable and
+/// for byte slices that arrive already in memory (tests, network frames).
+pub struct AlignedBuf {
+    /// Allocation as `Vec<u64>` blocks so the base pointer is ≥8-byte aligned;
+    /// we over-allocate and slide `start` forward to reach 64-byte alignment.
+    storage: Vec<u8>,
+    start: usize,
+    len: usize,
+}
+
+const ALIGN: usize = 64;
+
+impl AlignedBuf {
+    /// Copies `bytes` into a fresh 64-byte-aligned buffer.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        let mut storage = vec![0u8; bytes.len() + ALIGN];
+        let base = storage.as_ptr() as usize;
+        let start = (ALIGN - (base % ALIGN)) % ALIGN;
+        storage[start..start + bytes.len()].copy_from_slice(bytes);
+        Self {
+            storage,
+            start,
+            len: bytes.len(),
+        }
+    }
+
+    /// Reads the whole of `file` (from the start) into an aligned buffer.
+    pub fn read_file(file: &mut File) -> io::Result<Self> {
+        file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        Ok(Self::copy_from(&bytes))
+    }
+
+    /// The buffered bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.storage[self.start..self.start + self.len]
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    //! Thin `extern "C"` surface over the libc already linked into every
+    //! Rust binary — no external crate needed.
+    #![allow(non_camel_case_types)]
+
+    pub type c_int = i32;
+    pub type c_void = core::ffi::c_void;
+    pub type size_t = usize;
+    pub type off_t = i64;
+
+    /// `PROT_READ` — same value on Linux and macOS.
+    pub const PROT_READ: c_int = 1;
+    /// `MAP_PRIVATE` — same value on Linux and macOS.
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: size_t,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: off_t,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    }
+}
+
+/// A read-only view of a file's bytes.
+///
+/// On unix, non-empty files are mapped with `mmap(2)` (private, read-only)
+/// and unmapped on drop; page alignment (≥4096) satisfies the 64-byte
+/// alignment contract. Empty files and non-unix targets use [`AlignedBuf`].
+pub struct Mmap {
+    inner: MmapInner,
+}
+
+enum MmapInner {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut sys::c_void,
+        len: usize,
+    },
+    Heap(AlignedBuf),
+}
+
+// SAFETY: the mapping is private and read-only; no interior mutability, and
+// the underlying pages stay valid until `munmap` in `Drop`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only. Falls back to a heap copy where `mmap` is
+    /// unavailable (non-unix) or meaningless (empty file).
+    pub fn map(file: &mut File) -> io::Result<Self> {
+        let len = file.metadata()?.len();
+        let len_usize = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        #[cfg(unix)]
+        {
+            if len_usize > 0 {
+                use std::os::unix::io::AsRawFd;
+                // SAFETY: fd is valid for the duration of the call; a
+                // PROT_READ/MAP_PRIVATE map of a regular file has no aliasing
+                // requirements on our side. MAP_FAILED is (void*)-1.
+                let ptr = unsafe {
+                    sys::mmap(
+                        core::ptr::null_mut(),
+                        len_usize,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr as isize == -1 {
+                    return Err(io::Error::last_os_error());
+                }
+                return Ok(Self {
+                    inner: MmapInner::Mapped {
+                        ptr,
+                        len: len_usize,
+                    },
+                });
+            }
+        }
+        let _ = len_usize;
+        Ok(Self {
+            inner: MmapInner::Heap(AlignedBuf::read_file(file)?),
+        })
+    }
+
+    /// Copies `bytes` into an aligned heap buffer wrapped as an `Mmap`, so
+    /// in-memory artifacts share the file-backed code path.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Self {
+            inner: MmapInner::Heap(AlignedBuf::copy_from(bytes)),
+        }
+    }
+
+    /// Whether the bytes come from a real OS memory map (as opposed to the
+    /// aligned-heap fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            MmapInner::Mapped { .. } => true,
+            MmapInner::Heap(_) => false,
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            MmapInner::Mapped { ptr, len } => {
+                // SAFETY: the region [ptr, ptr+len) stays mapped and
+                // read-only until Drop runs.
+                unsafe { core::slice::from_raw_parts(*ptr as *const u8, *len) }
+            }
+            MmapInner::Heap(buf) => buf.as_slice(),
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MmapInner::Mapped { ptr, len } = self.inner {
+            // SAFETY: ptr/len came from a successful mmap and are unmapped
+            // exactly once.
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mmap-shim-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let mut f = File::open(&path).unwrap();
+        let map = Mmap::map(&mut f).unwrap();
+        assert_eq!(&*map, payload.as_slice());
+        #[cfg(unix)]
+        assert!(map.is_mapped());
+        assert_eq!(map.as_ptr() as usize % ALIGN, 0);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_uses_heap_fallback() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let map = Mmap::map(&mut f).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn from_bytes_is_aligned_copy() {
+        let bytes = vec![7u8; 130];
+        let map = Mmap::from_bytes(&bytes);
+        assert_eq!(&*map, bytes.as_slice());
+        assert!(!map.is_mapped());
+        assert_eq!(map.as_ptr() as usize % ALIGN, 0);
+    }
+
+    #[test]
+    fn aligned_buf_alignment_holds_for_many_sizes() {
+        for n in [0usize, 1, 63, 64, 65, 4096, 100_003] {
+            let src: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let buf = AlignedBuf::copy_from(&src);
+            assert_eq!(buf.as_slice(), src.as_slice());
+            assert_eq!(buf.as_slice().as_ptr() as usize % ALIGN, 0);
+        }
+    }
+}
