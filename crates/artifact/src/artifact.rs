@@ -194,6 +194,8 @@ pub fn section_name(id: u32) -> &'static str {
         section::TBL_VOTE_WEIGHT => "TBL_VOTE_WEIGHT",
         section::BLOOM => "BLOOM",
         section::CONST => "CONST",
+        section::DICT_MASK_BLK => "DICT_MASK_BLK",
+        section::DICT_KEY_BLK => "DICT_KEY_BLK",
         _ => "UNKNOWN",
     }
 }

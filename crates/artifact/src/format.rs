@@ -73,6 +73,15 @@ pub mod section {
     pub const BLOOM: u32 = 12;
     /// Constant votes / regressor scalars; small, copied to the heap at load.
     pub const CONST: u32 = 13;
+    /// Entry-blocked mask words for the SIMD scan (`u64`): the
+    /// [`bolt_core::simd::interleave_blocked`] image of [`DICT_MASK`].
+    /// Optional — old files without it (and dictionaries with fewer than
+    /// one full block) load fine and scan via the scalar path, so the
+    /// format version stays unchanged.
+    pub const DICT_MASK_BLK: u32 = 14;
+    /// Entry-blocked key words for the SIMD scan (`u64`); present iff
+    /// [`DICT_MASK_BLK`] is.
+    pub const DICT_KEY_BLK: u32 = 15;
 }
 
 /// One entry of the in-file section table.

@@ -7,7 +7,7 @@ use crate::format::{self, section};
 use crate::ArtifactError;
 use bolt_bitpack::Mask;
 use bolt_core::{
-    Aggregation, BatchScratch, BloomView, DictView, ForestView, TableView, EMPTY_SLOT_ENTRY,
+    simd, Aggregation, BatchScratch, BloomView, DictView, ForestView, TableView, EMPTY_SLOT_ENTRY,
 };
 use bolt_forest::PredicateUniverse;
 use std::path::Path;
@@ -111,6 +111,10 @@ fn rebuild_universe(
 struct RawSections<'a> {
     mask_words: &'a [u64],
     key_words: &'a [u64],
+    /// Entry-blocked SIMD mirrors of the mask/key arrays; `None` on files
+    /// written before the blocked layout existed (or for dictionaries with
+    /// no full block), which then scan scalar.
+    blk: Option<(&'a [u64], &'a [u64])>,
     uncommon_flat: &'a [u32],
     uncommon_offsets: &'a [u32],
     slot_entries: &'a [u32],
@@ -127,9 +131,25 @@ fn raw_sections(artifact: &Artifact) -> Result<RawSections<'_>, ArtifactError> {
     if has_bloom != bloom_section.is_some() {
         return Err(invalid("bloom flag and BLOOM section presence disagree"));
     }
+    let blk = match (
+        artifact.section(section::DICT_MASK_BLK),
+        artifact.section(section::DICT_KEY_BLK),
+    ) {
+        (Some(mask), Some(key)) => Some((
+            cast_u64(mask, "DICT_MASK_BLK")?,
+            cast_u64(key, "DICT_KEY_BLK")?,
+        )),
+        (None, None) => None,
+        _ => {
+            return Err(invalid(
+                "DICT_MASK_BLK and DICT_KEY_BLK must be present together",
+            ))
+        }
+    };
     Ok(RawSections {
         mask_words: cast_u64(artifact.require(section::DICT_MASK)?, "DICT_MASK")?,
         key_words: cast_u64(artifact.require(section::DICT_KEY)?, "DICT_KEY")?,
+        blk,
         uncommon_flat: cast_u32(artifact.require(section::DICT_UNCOMMON)?, "DICT_UNCOMMON")?,
         uncommon_offsets: cast_u32(artifact.require(section::DICT_OFFSETS)?, "DICT_OFFSETS")?,
         slot_entries: cast_u32(artifact.require(section::TBL_SLOT_ENTRY)?, "TBL_SLOT_ENTRY")?,
@@ -187,6 +207,37 @@ fn validate(raw: &RawSections<'_>, meta: &ModelMeta) -> Result<(), ArtifactError
             raw.key_words.len(),
             n_entries * stride
         )));
+    }
+
+    // Blocked SIMD mirror: must be the exact interleave of the flat
+    // arrays, word for word — otherwise a corrupted (or maliciously
+    // crafted) file could make the SIMD scan diverge from the scalar
+    // reference. O(n x stride), same cost class as the CRC pass.
+    if let Some((blk_mask, blk_key)) = raw.blk {
+        let expect = simd::blocked_len(n_entries, stride);
+        if blk_mask.len() != expect || blk_key.len() != expect {
+            return Err(invalid(format!(
+                "blocked dictionary lanes hold {}/{} words, expected {expect}",
+                blk_mask.len(),
+                blk_key.len()
+            )));
+        }
+        for block in 0..n_entries / simd::BLOCK {
+            for lane in 0..simd::BLOCK {
+                let entry = block * simd::BLOCK + lane;
+                for w in 0..stride {
+                    let at = (block * stride + w) * simd::BLOCK + lane;
+                    if blk_mask[at] != raw.mask_words[entry * stride + w]
+                        || blk_key[at] != raw.key_words[entry * stride + w]
+                    {
+                        return Err(invalid(format!(
+                            "blocked dictionary lanes diverge from the flat \
+                             arrays at entry {entry} word {w}"
+                        )));
+                    }
+                }
+            }
+        }
     }
 
     // Recombined-table shapes. The probe loop terminates only if at least
@@ -261,13 +312,16 @@ fn build_views<'a>(
     raw: &RawSections<'a>,
     meta: &ModelMeta,
 ) -> (DictView<'a>, TableView<'a>, Option<BloomView<'a>>) {
-    let dict = DictView::new(
+    let mut dict = DictView::new(
         meta.width as usize,
         raw.mask_words,
         raw.key_words,
         raw.uncommon_flat,
         raw.uncommon_offsets,
     );
+    if let Some((blk_mask, blk_key)) = raw.blk {
+        dict = dict.with_blocked(blk_mask, blk_key);
+    }
     let table = TableView::new(
         (raw.slot_entries.len() - 1) as u64,
         raw.slot_entries,

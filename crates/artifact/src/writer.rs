@@ -56,6 +56,12 @@ impl ArtifactWriter {
             (section::TBL_VOTE_CLASS, u32_bytes(table.vote_classes())),
             (section::TBL_VOTE_WEIGHT, f64_bytes(table.vote_weights())),
         ];
+        // Entry-blocked SIMD mirror: optional, absent when the dictionary
+        // has no full block. Readers that predate it skip the ids.
+        if dict.has_blocked() {
+            sections.push((section::DICT_MASK_BLK, u64_bytes(dict.blk_mask())));
+            sections.push((section::DICT_KEY_BLK, u64_bytes(dict.blk_key())));
+        }
         let mut flags = 0u8;
         if let Some(bloom) = view.bloom() {
             flags |= format::FLAG_HAS_BLOOM;
@@ -103,6 +109,10 @@ impl ArtifactWriter {
             (section::TBL_VOTE_CLASS, u32_bytes(table.vote_classes())),
             (section::TBL_VOTE_WEIGHT, f64_bytes(table.vote_weights())),
         ];
+        if dict.has_blocked() {
+            sections.push((section::DICT_MASK_BLK, u64_bytes(dict.blk_mask())));
+            sections.push((section::DICT_KEY_BLK, u64_bytes(dict.blk_key())));
+        }
         let mut flags = 0u8;
         if let Some(bloom) = view.bloom() {
             flags |= format::FLAG_HAS_BLOOM;

@@ -6,8 +6,32 @@
 
 use bolt_artifact::{Artifact, ArtifactWriter, MappedForest, MappedRegressor};
 use bolt_core::oracle::{self, OracleRng};
-use bolt_core::{BoltConfig, BoltForest, BoltRegressor};
+use bolt_core::{BoltConfig, BoltForest, BoltRegressor, Kernel};
 use bolt_forest::{RegressionConfig, RegressionDataset, RegressionForest};
+
+/// The mapped artifact's blocked scan must report exactly the entries the
+/// owned model's scalar scan reports, in the same order, under every
+/// kernel the host supports. This is the artifact leg of the kernel
+/// differential: owned-scalar vs mapped-scalar vs mapped-SIMD.
+fn assert_mapped_kernels_match(bolt: &BoltForest, mapped: &MappedForest, sample: &[f32]) {
+    let bits = bolt.encode(sample);
+    let owned_view = bolt.view();
+    let mapped_view = mapped.view();
+    let mut reference = Vec::new();
+    owned_view
+        .dict()
+        .scan_with_kernel(&bits, Kernel::Scalar, |id| reference.push(id));
+    for kernel in Kernel::all_supported() {
+        let mut got = Vec::new();
+        mapped_view
+            .dict()
+            .scan_with_kernel(&bits, kernel, |id| got.push(id));
+        assert_eq!(
+            got, reference,
+            "mapped {kernel} scan diverges from owned scalar"
+        );
+    }
+}
 
 fn temp_blt(tag: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -47,7 +71,15 @@ fn classifier_round_trip_is_bit_identical_across_config_matrix() {
                     .collect();
                 let via_map: Vec<u64> = mapped.votes(sample).iter().map(|v| v.to_bits()).collect();
                 assert_eq!(via_map, owned, "seed {seed} config {i}: vote bits diverge");
+                assert_mapped_kernels_match(&bolt, &mapped, sample);
             }
+            // The blocked SIMD mirror survives the round trip whenever the
+            // owned dictionary carries one.
+            assert_eq!(
+                mapped.view().dict().has_blocked(),
+                bolt.view().dict().has_blocked(),
+                "seed {seed} config {i}: blocked layout lost in round trip"
+            );
             let slices: Vec<&[f32]> = case.inputs.iter().map(Vec::as_slice).collect();
             assert_eq!(
                 mapped.classify_batch(&slices),

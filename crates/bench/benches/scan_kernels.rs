@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the dictionary scan kernels: the scalar
+//! flat-layout reference vs each blocked SIMD kernel the host supports,
+//! on deep scan-bound LSTW forests (cluster threshold 0 — one dictionary
+//! entry per root-to-leaf path, so the scan dominates inference).
+//!
+//! Two dictionary sizes are measured: a cache-resident one (the serving
+//! sweet spot Bolt targets) and a larger one that spills to L3, where the
+//! scan is memory-bandwidth-bound and SIMD width matters less.
+//!
+//! Throughput is reported in dictionary entries tested per second; the
+//! tentpole target is ≥1.5× scalar for the best native kernel on the
+//! cache-resident forest.
+
+use bolt_bench::{train_workload, TrainedWorkload};
+use bolt_core::{BoltConfig, BoltForest, Kernel};
+use bolt_data::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_scan_group(c: &mut Criterion, name: &str, trained: &TrainedWorkload, bolt: &BoltForest) {
+    let view = bolt.view();
+    let dict = view.dict();
+    let inputs: Vec<_> = (0..trained.test.len())
+        .map(|i| bolt.encode(trained.test.sample(i)))
+        .collect();
+    println!(
+        "{name}: {} entries x {} words/entry ({} KiB mask+key), {} inputs",
+        dict.len(),
+        dict.stride(),
+        dict.len() * dict.stride() * 16 / 1024,
+        inputs.len(),
+    );
+    let mut group = c.benchmark_group(name);
+    // One iteration scans the whole dictionary once per input sample.
+    group.throughput(Throughput::Elements((dict.len() * inputs.len()) as u64));
+    for kernel in Kernel::all_supported() {
+        group.bench_with_input(BenchmarkId::from_parameter(kernel), &kernel, |b, &k| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for bits in &inputs {
+                    dict.scan_with_kernel(black_box(bits), k, |id| acc = acc.wrapping_add(id));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn compile_deep(trained: &TrainedWorkload) -> BoltForest {
+    BoltForest::compile(
+        &trained.forest,
+        &BoltConfig::default().with_cluster_threshold(0),
+    )
+    .expect("threshold-0 forest compiles")
+}
+
+fn bench_scan_kernels(c: &mut Criterion) {
+    println!("host kernel: {}", Kernel::selected());
+
+    let small = train_workload(Workload::LstwLike, 20, 8, 400, 64);
+    let small_bolt = compile_deep(&small);
+    bench_scan_group(
+        c,
+        "scan_kernels_lstw_20trees_h8_th0_small",
+        &small,
+        &small_bolt,
+    );
+
+    let deep = train_workload(Workload::LstwLike, 20, 8, 2000, 64);
+    let bolt = compile_deep(&deep);
+    bench_scan_group(c, "scan_kernels_lstw_20trees_h8_th0_large", &deep, &bolt);
+
+    // End-to-end single-sample classification under the dispatched kernel,
+    // for the satellite question "what does the scan win buy the whole
+    // pipeline" — same deep forest, votes + argmax included.
+    let mut group = c.benchmark_group("classify_lstw_20trees_h8_th0");
+    let samples: Vec<&[f32]> = (0..deep.test.len()).map(|i| deep.test.sample(i)).collect();
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter(Kernel::selected()), |b| {
+        let mut scratch = bolt.scratch();
+        b.iter(|| {
+            let mut last = 0u32;
+            for s in &samples {
+                last = bolt.classify_with(black_box(s), &mut scratch);
+            }
+            black_box(last)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scan_kernels
+);
+criterion_main!(benches);

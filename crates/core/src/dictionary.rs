@@ -8,9 +8,33 @@
 //! so the scan walks memory sequentially.
 
 use crate::cluster::Clustering;
+use crate::simd::{self, Kernel};
 use bolt_bitpack::Mask;
 use bolt_forest::PredId;
 use serde::{Deserialize, Serialize};
+
+/// The scalar reference compare for one entry: folds
+/// `(input & mask) ^ key` over the words both sides share, then folds the
+/// key words beyond the input's width (a zero input word can only match
+/// them if no key bit is set there — narrow inputs reject, they don't
+/// panic). Returns the accumulated difference; zero means the entry
+/// matches.
+///
+/// This is the single source of truth for scan semantics: [`DictView::scan`]
+/// and [`DictView::matches`] both go through it, and every SIMD kernel in
+/// [`crate::simd`] is pinned bit-for-bit against it.
+#[inline]
+fn entry_diff(words: &[u64], mask: &[u64], key: &[u64]) -> u64 {
+    let n = words.len().min(mask.len());
+    let mut diff = 0u64;
+    for w in 0..n {
+        diff |= (words[w] & mask[w]) ^ key[w];
+    }
+    for &key_word in &key[n..] {
+        diff |= key_word;
+    }
+    diff
+}
 
 /// One dictionary entry: the membership key (common pairs) and address
 /// layout (uncommon predicates) of one path cluster.
@@ -59,6 +83,12 @@ pub struct DictView<'a> {
     n_entries: usize,
     mask_words: &'a [u64],
     key_words: &'a [u64],
+    /// Entry-blocked mirror of `mask_words` (see [`crate::simd`]): empty
+    /// when the producer carries no blocked layout, in which case every
+    /// scan takes the scalar path.
+    blk_mask: &'a [u64],
+    /// Entry-blocked mirror of `key_words`.
+    blk_key: &'a [u64],
     uncommon_flat: &'a [u32],
     uncommon_offsets: &'a [u32],
 }
@@ -94,9 +124,39 @@ impl<'a> DictView<'a> {
             n_entries,
             mask_words,
             key_words,
+            blk_mask: &[],
+            blk_key: &[],
             uncommon_flat,
             uncommon_offsets,
         }
+    }
+
+    /// Attaches an entry-blocked mirror of the scan arrays (the
+    /// [`crate::simd`] interleave), enabling the SIMD fast path for the
+    /// `n_entries - n_entries % 4` entries it covers. Pass empty slices to
+    /// keep the scalar-only view.
+    ///
+    /// The blocked arrays are *derived* data: they must be the exact
+    /// [`simd::interleave_blocked`] image of the flat arrays (the artifact
+    /// loader verifies this before trusting mapped bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocked arrays disagree with each other or with the
+    /// dictionary's shape.
+    #[must_use]
+    pub fn with_blocked(mut self, blk_mask: &'a [u64], blk_key: &'a [u64]) -> Self {
+        assert_eq!(blk_mask.len(), blk_key.len(), "blocked array shapes differ");
+        if !blk_mask.is_empty() {
+            assert_eq!(
+                blk_mask.len(),
+                simd::blocked_len(self.n_entries, self.stride),
+                "blocked layout shape"
+            );
+        }
+        self.blk_mask = blk_mask;
+        self.blk_key = blk_key;
+        self
     }
 
     /// Number of entries.
@@ -147,53 +207,86 @@ impl<'a> DictView<'a> {
         self.uncommon_offsets
     }
 
+    /// The entry-blocked mask mirror (empty when the producer carries no
+    /// blocked layout).
+    #[must_use]
+    pub fn blk_mask(&self) -> &'a [u64] {
+        self.blk_mask
+    }
+
+    /// The entry-blocked key mirror.
+    #[must_use]
+    pub fn blk_key(&self) -> &'a [u64] {
+        self.blk_key
+    }
+
+    /// Whether this view carries the entry-blocked layout (and so scans
+    /// its full blocks through the selected SIMD kernel).
+    #[must_use]
+    pub fn has_blocked(&self) -> bool {
+        !self.blk_mask.is_empty()
+    }
+
     /// The branch-free membership test for entry `id`:
-    /// `(input & mask) == key` over the entry's stride words.
+    /// `(input & mask) == key` over the entry's stride words. Inputs
+    /// narrower than the dictionary width are handled exactly as
+    /// [`Self::scan`] handles them — key bits beyond the input reject.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range or `input` has the wrong width.
+    /// Panics if `id` is out of range.
     #[must_use]
     pub fn matches(&self, id: u32, input: &Mask) -> bool {
         let words = input.as_words();
-        assert!(
-            words.len() >= self.stride || self.width == 0,
-            "input mask width {} narrower than dictionary width {}",
-            input.width(),
-            self.width
-        );
+        let words = &words[..self.stride.min(words.len())];
         let base = id as usize * self.stride;
-        let mut diff = 0u64;
-        for w in 0..self.stride {
-            diff |= (words.get(w).copied().unwrap_or(0) & self.mask_words[base + w])
-                ^ self.key_words[base + w];
-        }
-        diff == 0
+        entry_diff(
+            words,
+            &self.mask_words[base..base + self.stride],
+            &self.key_words[base..base + self.stride],
+        ) == 0
     }
 
     /// Scans all entries against an input mask, invoking `on_match` with the
-    /// index of each entry whose common pairs all hold.
-    pub fn scan<F: FnMut(u32)>(&self, input: &Mask, mut on_match: F) {
+    /// index of each entry whose common pairs all hold, in ascending entry
+    /// order. Full blocks of the blocked layout (when present) go through
+    /// the process-selected SIMD kernel ([`Kernel::selected`]); the tail —
+    /// or the whole dictionary when no blocked layout is attached — takes
+    /// the scalar reference path.
+    pub fn scan<F: FnMut(u32)>(&self, input: &Mask, on_match: F) {
+        self.scan_with_kernel(input, Kernel::selected(), on_match);
+    }
+
+    /// [`Self::scan`] with an explicit kernel — the hook the differential
+    /// harness and benches use to pin every backend against the scalar
+    /// reference regardless of `BOLT_KERNEL`. `Kernel::Scalar` ignores the
+    /// blocked layout entirely and is the reference semantics.
+    pub fn scan_with_kernel<F: FnMut(u32)>(&self, input: &Mask, kernel: Kernel, mut on_match: F) {
         if self.n_entries == 0 {
             return;
         }
-        let words = &input.as_words()[..self.stride.min(input.as_words().len())];
-        for (idx, (mask, key)) in self
-            .mask_words
-            .chunks_exact(self.stride)
-            .zip(self.key_words.chunks_exact(self.stride))
-            .enumerate()
-        {
-            let mut diff = 0u64;
-            for w in 0..words.len().min(mask.len()) {
-                diff |= (words[w] & mask[w]) ^ key[w];
-            }
-            // Mask words beyond the input's width must still match a zero
-            // input word (only possible when key bits are set there).
-            for &key_word in key.iter().skip(words.len()) {
-                diff |= key_word;
-            }
-            if diff == 0 {
+        let words = input.as_words();
+        let words = &words[..self.stride.min(words.len())];
+        let mut tail_start = 0usize;
+        if kernel != Kernel::Scalar && !self.blk_mask.is_empty() {
+            tail_start = (self.n_entries / simd::BLOCK) * simd::BLOCK;
+            simd::scan_blocked(
+                kernel,
+                self.blk_mask,
+                self.blk_key,
+                self.stride,
+                words,
+                &mut |idx| on_match(idx),
+            );
+        }
+        for idx in tail_start..self.n_entries {
+            let base = idx * self.stride;
+            if entry_diff(
+                words,
+                &self.mask_words[base..base + self.stride],
+                &self.key_words[base..base + self.stride],
+            ) == 0
+            {
                 on_match(idx as u32);
             }
         }
@@ -335,7 +428,7 @@ impl<'a> DictView<'a> {
 /// assert_eq!(dict.len(), clustering.len());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Dictionary {
     entries: Vec<DictEntry>,
     /// Predicate-universe width in bits.
@@ -346,11 +439,36 @@ pub struct Dictionary {
     mask_words: Vec<u64>,
     /// `stride`-word expected values under the mask, per entry, contiguous.
     key_words: Vec<u64>,
+    /// Entry-blocked mirror of `mask_words` for the SIMD scan (see
+    /// [`crate::simd`]). Derived data, rebuilt rather than serialized so a
+    /// hand-edited JSON artifact cannot desynchronize the two layouts; a
+    /// deserialized dictionary scans scalar until [`Self::rebuild_blocked`]
+    /// runs (which [`crate::BoltForest::rebuild`] does).
+    #[serde(skip)]
+    blk_mask: Vec<u64>,
+    /// Entry-blocked mirror of `key_words`.
+    #[serde(skip)]
+    blk_key: Vec<u64>,
     /// Every entry's uncommon predicates, concatenated (hot-path mirror of
     /// the per-entry lists, avoiding heap hops during address gathering).
     uncommon_flat: Vec<u32>,
     /// Entry `i`'s uncommon run is `uncommon_offsets[i]..uncommon_offsets[i+1]`.
     uncommon_offsets: Vec<u32>,
+}
+
+/// Equality over the semantic fields only: the blocked mirrors are a
+/// derived cache, so a deserialized (not yet rebuilt) dictionary still
+/// equals the one it was serialized from.
+impl PartialEq for Dictionary {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+            && self.width == other.width
+            && self.stride == other.stride
+            && self.mask_words == other.mask_words
+            && self.key_words == other.key_words
+            && self.uncommon_flat == other.uncommon_flat
+            && self.uncommon_offsets == other.uncommon_offsets
+    }
 }
 
 impl Dictionary {
@@ -385,15 +503,29 @@ impl Dictionary {
             });
         }
         uncommon_offsets.push(uncommon_flat.len() as u32);
-        Self {
+        let mut dict = Self {
             entries,
             width,
             stride,
             mask_words,
             key_words,
+            blk_mask: Vec::new(),
+            blk_key: Vec::new(),
             uncommon_flat,
             uncommon_offsets,
-        }
+        };
+        dict.rebuild_blocked();
+        dict
+    }
+
+    /// Rebuilds the entry-blocked SIMD mirror from the flat scan arrays.
+    /// Serde skips the mirror (it is derived data), so deserialized
+    /// dictionaries scan scalar until this runs — `BoltForest::rebuild`
+    /// and `BoltRegressor::rebuild` call it alongside the predicate
+    /// universe's index rebuild.
+    pub fn rebuild_blocked(&mut self) {
+        self.blk_mask = simd::interleave_blocked(&self.mask_words, self.stride);
+        self.blk_key = simd::interleave_blocked(&self.key_words, self.stride);
     }
 
     /// A borrowed [`DictView`] over the packed scan arrays — the shape the
@@ -407,6 +539,8 @@ impl Dictionary {
             n_entries: self.entries.len(),
             mask_words: &self.mask_words,
             key_words: &self.key_words,
+            blk_mask: &self.blk_mask,
+            blk_key: &self.blk_key,
             uncommon_flat: &self.uncommon_flat,
             uncommon_offsets: &self.uncommon_offsets,
         }
@@ -665,6 +799,86 @@ mod tests {
     }
 
     #[test]
+    fn matches_handles_inputs_narrower_than_the_dictionary() {
+        // Regression: `matches` used to assert on inputs narrower than the
+        // dictionary width, while `scan` handled them (key bits beyond the
+        // input reject). The two must agree on every entry.
+        let sorted = SortedPaths::from_paths(
+            vec![
+                path(&[(70, true), (100, false)], 0, 0),
+                path(&[(70, true), (100, true)], 1, 0),
+                path(&[(2, true)], 0, 0),
+            ],
+            1,
+        );
+        let clustering = Clustering::greedy(&sorted, 2).expect("clusters");
+        let dict = Dictionary::from_clustering(&clustering, 128);
+        assert_eq!(dict.stride(), 2);
+        let mut narrow = Mask::zeros(3); // one word, dictionary needs two
+        narrow.set(2, true);
+        let mut via_scan = Vec::new();
+        dict.scan(&narrow, |e| via_scan.push(e.id));
+        for entry in dict.entries() {
+            assert_eq!(
+                dict.matches(entry.id, &narrow),
+                via_scan.contains(&entry.id),
+                "entry {}",
+                entry.id
+            );
+            // Entries keyed on predicates beyond the narrow input reject.
+            if entry.common.iter().any(|&(p, v)| p >= 64 && v) {
+                assert!(!dict.matches(entry.id, &narrow));
+            }
+        }
+        assert!(
+            via_scan.iter().any(|&id| {
+                dict.entries()[id as usize]
+                    .common
+                    .iter()
+                    .all(|&(p, _)| p < 64)
+            }),
+            "the low-word entry should still match"
+        );
+    }
+
+    #[test]
+    fn blocked_mirror_matches_flat_on_every_kernel() {
+        // 4+ entries so at least one full block exists; compare the
+        // dispatched scan against the forced-scalar reference.
+        // Threshold 0 keeps every distinct path its own entry, so the
+        // dictionary has 6 entries: one full block of 4 plus a tail of 2.
+        let sorted = SortedPaths::from_paths(
+            vec![
+                path(&[(0, true), (70, true)], 0, 0),
+                path(&[(0, true), (70, false)], 1, 0),
+                path(&[(0, false), (100, true)], 1, 0),
+                path(&[(0, false), (100, false)], 0, 0),
+                path(&[(2, true)], 0, 0),
+                path(&[(2, false), (70, true)], 1, 0),
+            ],
+            1,
+        );
+        let clustering = Clustering::greedy(&sorted, 0).expect("clusters");
+        let dict = Dictionary::from_clustering(&clustering, 128);
+        assert!(dict.len() >= 5, "want a full block plus a tail");
+        let view = dict.view();
+        assert!(view.has_blocked());
+        for bits in 0u8..8 {
+            let mut input = Mask::zeros(128);
+            input.set(0, bits & 1 == 1);
+            input.set(70, bits >> 1 & 1 == 1);
+            input.set(100, bits >> 2 & 1 == 1);
+            let mut reference = Vec::new();
+            view.scan_with_kernel(&input, Kernel::Scalar, |id| reference.push(id));
+            for kernel in Kernel::all_supported() {
+                let mut got = Vec::new();
+                view.scan_with_kernel(&input, kernel, |id| got.push(id));
+                assert_eq!(got, reference, "kernel {kernel} input {bits:03b}");
+            }
+        }
+    }
+
+    #[test]
     fn flat_address_matches_entry_address() {
         let dict = small_dictionary();
         for input_bits in 0u8..8 {
@@ -768,6 +982,7 @@ mod tests {
         assert_eq!(dict.stride(), 2);
         assert_eq!(dict.mask_words[0], 0, "entry 0 word 0 starts unmasked");
         dict.key_words[0] = 1; // corrupt: key bit with no mask bit
+        dict.rebuild_blocked(); // keep the SIMD mirror in sync with the corruption
         let mut inputs: Vec<Mask> = Vec::new();
         for bits in 0u8..4 {
             let mut input = Mask::zeros(128);

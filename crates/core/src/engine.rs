@@ -182,6 +182,9 @@ impl<'a> ForestView<'a> {
             // Address gather through the contiguous `uncommon_flat` mirror
             // (no per-entry heap hop).
             let address = self.dict.address_of(entry_id, bits);
+            // Pull the table line toward L1 while the bloom check runs;
+            // pure latency hiding, no effect on results.
+            self.table.prefetch(entry_id, address);
             self.accumulate_entry_votes(entry_id, address, votes, stats.as_deref_mut());
         });
     }
@@ -257,6 +260,7 @@ impl<'a> ForestView<'a> {
         let mut sum = init;
         self.dict.scan(bits, |entry_id| {
             let address = self.dict.address_of(entry_id, bits);
+            self.table.prefetch(entry_id, address);
             if let Some(bloom) = &self.bloom {
                 if !bloom.contains(table_key(entry_id, address)) {
                     return;
@@ -570,9 +574,11 @@ impl BoltForest {
     }
 
     /// Restores derived structures after deserialization (the predicate
-    /// universe's lookup index and feature groups are not serialized).
+    /// universe's lookup index, feature groups, and the dictionary's
+    /// entry-blocked SIMD mirror are not serialized).
     pub fn rebuild(&mut self) {
         self.universe.rebuild_index();
+        self.dictionary.rebuild_blocked();
     }
 
     /// Checks the paper's safety property against the source forest on a

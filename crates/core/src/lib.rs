@@ -52,7 +52,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the one module that wraps `std::arch`
+// SIMD intrinsics ([`simd`]) can opt in with a scoped `allow`; everything
+// else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
@@ -68,6 +71,8 @@ pub mod oracle;
 pub mod parallel;
 pub mod paths;
 pub mod regress;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod table;
 pub mod tuning;
 
@@ -82,5 +87,6 @@ pub use filter::{BloomFilter, BloomView};
 pub use layout::{LayoutReport, SectionBytes};
 pub use parallel::{PartitionPlan, PartitionedBolt};
 pub use regress::{Aggregation, BoltRegressor};
+pub use simd::Kernel;
 pub use table::{RecombinedTable, TableCell, TableView, Votes, EMPTY_SLOT_ENTRY};
 pub use tuning::{CostModel, ParameterSearch, Trial, TuningReport};

@@ -516,6 +516,64 @@ pub fn check_batch(bolt: &BoltForest, samples: &[Vec<f32>]) -> Result<usize, Str
     Ok(checked)
 }
 
+/// Pins every SIMD scan kernel the host supports to the scalar reference
+/// on the given samples: the sequence of matched entry indices must be
+/// identical (same entries, same ascending order — vote accumulation
+/// order depends on it), and the dispatched scan's vote vectors must be
+/// **bit-identical** to the forced-scalar scan's. Returns the number of
+/// (sample, kernel) checks performed.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence.
+pub fn check_kernels(bolt: &BoltForest, samples: &[Vec<f32>]) -> Result<usize, String> {
+    use crate::simd::Kernel;
+    let view = bolt.view();
+    let dict = view.dict();
+    let mut checked = 0usize;
+    for sample in samples {
+        let bits = bolt.encode(sample);
+        let mut reference = Vec::new();
+        dict.scan_with_kernel(&bits, Kernel::Scalar, |id| reference.push(id));
+        for kernel in Kernel::all_supported() {
+            let mut got = Vec::new();
+            dict.scan_with_kernel(&bits, kernel, |id| got.push(id));
+            if got != reference {
+                return Err(format!(
+                    "kernel {kernel}: matched entries {got:?} diverge from scalar \
+                     {reference:?} on sample {sample:?}"
+                ));
+            }
+            checked += 1;
+        }
+        // The dispatched scan (whatever `BOLT_KERNEL`/detection chose)
+        // must produce bit-identical votes end to end.
+        let via_dispatch: Vec<u64> = bolt
+            .votes_for_bits(&bits)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let mut scalar_votes = vec![0.0f64; bolt.n_classes()];
+        for &(class, weight) in view.constant_votes() {
+            scalar_votes[class as usize] += weight;
+        }
+        dict.scan_with_kernel(&bits, Kernel::Scalar, |entry_id| {
+            let address = dict.address_of(entry_id, &bits);
+            for (class, weight) in view.lookup_entry_votes(entry_id, address).iter() {
+                scalar_votes[class as usize] += weight;
+            }
+        });
+        let scalar_bits: Vec<u64> = scalar_votes.iter().map(|v| v.to_bits()).collect();
+        if via_dispatch != scalar_bits {
+            return Err(format!(
+                "dispatched votes diverge from forced-scalar votes on sample {sample:?}"
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
 /// The full compile-time configuration matrix the differential suite
 /// sweeps: every `cluster_threshold` in 1..=8 crossed with bloom filtering
 /// on/off and explanation payloads on/off (32 configurations).

@@ -248,9 +248,12 @@ impl BoltRegressor {
         self.n_trees
     }
 
-    /// Restores derived universe structures after deserialization.
+    /// Restores derived structures after deserialization: the predicate
+    /// universe's lookup index and the dictionary's entry-blocked SIMD
+    /// mirror.
     pub fn rebuild(&mut self) {
         self.universe.rebuild_index();
+        self.dictionary.rebuild_blocked();
     }
 }
 

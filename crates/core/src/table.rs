@@ -245,6 +245,17 @@ impl<'a> TableView<'a> {
         self.vote_weights
     }
 
+    /// Hints the CPU to pull the home slot's line for `(entry_id,
+    /// address)` toward L1 before [`Self::lookup`] probes it — issued as
+    /// soon as the address is gathered, so the fetch overlaps the bloom
+    /// check. Pure latency hiding: no side effects, no result changes.
+    #[inline]
+    pub fn prefetch(&self, entry_id: u32, address: u64) {
+        let idx = (table_key(entry_id, address) & self.index_mask) as usize;
+        crate::simd::prefetch(self.slot_entries, idx);
+        crate::simd::prefetch(self.slot_addrs, idx);
+    }
+
     /// Hot-path lookup: the votes stored for `(entry_id, address)`, empty
     /// for misses/false positives. Linear probing with exact key
     /// verification, touching only the dense primitive arrays.

@@ -57,6 +57,13 @@ fn random_forests_match_reference_across_config_matrix() {
                 .unwrap_or_else(|m| panic!("seed {seed}, config {config:?}, batched: {m}"));
             combinations += batch_checked;
 
+            // Kernel leg: every SIMD backend the host supports must match
+            // the scalar scan entry-for-entry, and the dispatched scan's
+            // votes must be bit-identical to forced-scalar votes.
+            let kernel_checked = oracle::check_kernels(&bolt, &inputs)
+                .unwrap_or_else(|m| panic!("seed {seed}, config {config:?}, kernels: {m}"));
+            combinations += kernel_checked;
+
             // Every 4th configuration also goes through serialize →
             // deserialize → rebuild, so the persisted artifact is held to
             // the same standard as the freshly compiled one.
@@ -106,6 +113,8 @@ fn trained_forests_match_reference_on_adversarial_inputs() {
                 .unwrap_or_else(|m| panic!("trained seed {seed}, config {config:?}: {m}"));
             oracle::check_batch(&bolt, &inputs)
                 .unwrap_or_else(|m| panic!("trained seed {seed}, config {config:?}, batched: {m}"));
+            oracle::check_kernels(&bolt, &inputs)
+                .unwrap_or_else(|m| panic!("trained seed {seed}, config {config:?}, kernels: {m}"));
         }
     }
 }

@@ -245,6 +245,9 @@ fn run() -> Result<(), String> {
     let server = registry_builder
         .bind_uds(&socket)
         .map_err(|e| format!("bind {socket}: {e}"))?;
+    // Logged once at startup so operators can tell which scan backend the
+    // process resolved (BOLT_KERNEL override or CPU feature detection).
+    println!("boltd scan kernel: {}", bolt_core::Kernel::selected());
     println!("boltd listening on {socket} (Ctrl-C to stop)");
     let _tcp_server = match tcp {
         Some(addr) => {

@@ -2,7 +2,9 @@
 //!
 //! Runs each benchmark closure for a fixed number of timed samples and
 //! prints mean, median, and standard deviation of wall-clock time per
-//! iteration, plus the iteration count behind the numbers. No plotting
+//! iteration, plus the iteration count behind the numbers — and, when a
+//! group declares `Throughput`, the derived elements- or bytes-per-second
+//! rate. No plotting
 //! or baselines — just enough to keep `cargo bench` useful and the
 //! bench sources compiling unchanged.
 
@@ -45,7 +47,9 @@ impl From<String> for BenchmarkId {
     }
 }
 
-/// Declared throughput for a benchmark (accepted, not reported).
+/// Declared throughput for a benchmark: when set on a group, each report
+/// line additionally prints the processing rate (elements or bytes per
+/// second) derived from the mean time per iteration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Throughput {
     /// Bytes processed per iteration.
@@ -135,7 +139,41 @@ impl SampleStats {
     }
 }
 
-fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+/// Formats a per-second rate with a K/M/G scale prefix.
+fn scaled_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+/// Renders the throughput clause appended to a report line, from the
+/// declared per-iteration work and the measured mean time per iteration.
+fn throughput_clause(throughput: Option<Throughput>, mean_ns: f64) -> String {
+    let Some(t) = throughput else {
+        return String::new();
+    };
+    if mean_ns <= 0.0 {
+        return String::new();
+    }
+    let per_sec = |count: u64| count as f64 / (mean_ns * 1e-9);
+    match t {
+        Throughput::Elements(n) => format!(", {} elem/s", scaled_rate(per_sec(n))),
+        Throughput::Bytes(n) => format!(", {}B/s", scaled_rate(per_sec(n))),
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
     let mut b = Bencher {
         samples,
         result: None,
@@ -148,8 +186,13 @@ fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
     match stats {
         Some(s) => println!(
             "bench {label:<50} mean {:>12.1} ns/iter, median {:>12.1}, std dev {:>10.1} \
-             ({} samples, {} iters)",
-            s.mean_ns, s.median_ns, s.std_dev_ns, samples, s.total_iters
+             ({} samples, {} iters){}",
+            s.mean_ns,
+            s.median_ns,
+            s.std_dev_ns,
+            samples,
+            s.total_iters,
+            throughput_clause(throughput, s.mean_ns)
         ),
         None => println!("bench {label:<50} (no measurement)"),
     }
@@ -189,7 +232,7 @@ impl Criterion {
 
     /// Runs one standalone benchmark.
     pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, self.sample_size, f);
+        run_one(name, self.sample_size, None, f);
         self
     }
 
@@ -200,6 +243,7 @@ impl Criterion {
             _parent: self,
             name: name.into(),
             sample_size,
+            throughput: None,
         }
     }
 
@@ -212,6 +256,7 @@ pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -221,8 +266,10 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Accepted for API compatibility; not reported.
-    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+    /// Declares per-iteration work; subsequent benchmarks in this group
+    /// report a derived rate (e.g. `12.50Melem/s`) next to the timings.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -238,7 +285,12 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let id = id.into();
-        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, f);
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -250,9 +302,14 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let id = id.into();
-        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
-            f(b, input);
-        });
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.sample_size,
+            self.throughput,
+            |b| {
+                f(b, input);
+            },
+        );
         self
     }
 
@@ -290,8 +347,29 @@ macro_rules! criterion_main {
 
 #[cfg(test)]
 mod tests {
-    use super::{Bencher, SampleStats};
+    use super::{throughput_clause, Bencher, SampleStats, Throughput};
     use std::time::Duration;
+
+    #[test]
+    fn throughput_clause_scales_rates_and_handles_missing_declarations() {
+        // 2000 elements per iteration at 1µs/iter = 2e9 elem/s.
+        assert_eq!(
+            throughput_clause(Some(Throughput::Elements(2000)), 1000.0),
+            ", 2.00G elem/s"
+        );
+        // 64 bytes at 1µs/iter = 64 MB/s.
+        assert_eq!(
+            throughput_clause(Some(Throughput::Bytes(64)), 1000.0),
+            ", 64.00MB/s"
+        );
+        // 5 elements at 10ms/iter = 500 elem/s (no scale prefix).
+        assert_eq!(
+            throughput_clause(Some(Throughput::Elements(5)), 1e7),
+            ", 500.0 elem/s"
+        );
+        assert_eq!(throughput_clause(None, 1000.0), "");
+        assert_eq!(throughput_clause(Some(Throughput::Elements(5)), 0.0), "");
+    }
 
     #[test]
     fn stats_reduce_per_sample_durations_to_per_iteration_numbers() {
