@@ -1,0 +1,313 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! `bolt-bench` needs percentiles (p50/p90/p99/p999) over millions of
+//! nanosecond-scale latency samples without storing them. An
+//! HdrHistogram-style scheme gives bounded relative error in O(1) memory:
+//! values are bucketed by octave (power of two) with [`SUB_BUCKETS`]
+//! linear sub-buckets per octave, so any recorded value lands in a bucket
+//! whose width is at most `1/SUB_BUCKETS` of its magnitude (≤ 3.125 %
+//! relative error). Values below [`SUB_BUCKETS`] are exact. No external
+//! dependency, per the workspace's vendoring policy.
+//!
+//! Percentile queries report the *upper edge* of the bucket containing the
+//! target rank (clamped to the true maximum), i.e. "P % of requests
+//! completed within X ns" — the conservative reading for latency SLOs.
+
+/// Linear sub-buckets per power-of-two octave. 32 bounds the relative
+/// bucketing error at 1/32 ≈ 3.1 %.
+pub const SUB_BUCKETS: u64 = 32;
+
+/// Number of value bits resolved exactly (2^5 = [`SUB_BUCKETS`]).
+const SUB_BITS: u32 = 5;
+
+/// Total bucket count covering the full `u64` range: one exact region of
+/// [`SUB_BUCKETS`] values plus 59 octaves × [`SUB_BUCKETS`] sub-buckets.
+const N_BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB_BUCKETS as usize) + SUB_BUCKETS as usize;
+
+/// A fixed-size log-bucketed histogram over `u64` values (nanoseconds, by
+/// convention here, though the scheme is unit-agnostic).
+///
+/// # Examples
+///
+/// ```
+/// use bolt_bench::hist::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.value_at_quantile(0.50);
+/// // Within one bucket width (3.125 %) of the true median.
+/// assert!((470..=530).contains(&p50), "p50 = {p50}");
+/// assert_eq!(h.max(), 1000);
+/// ```
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (~15 KiB of buckets).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value: exact below [`SUB_BUCKETS`], then
+    /// `SUB_BUCKETS` linear sub-buckets per octave.
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize;
+        }
+        // value >= 32 ⇒ top bit position in 5..=63.
+        let top = 63 - value.leading_zeros();
+        let octave = (top - SUB_BITS + 1) as usize;
+        let sub = ((value >> (top - SUB_BITS)) - SUB_BUCKETS) as usize;
+        octave * SUB_BUCKETS as usize + sub
+    }
+
+    /// Largest value mapping to the bucket at `index` (its upper edge).
+    fn bucket_upper(index: usize) -> u64 {
+        let sub_buckets = SUB_BUCKETS as usize;
+        if index < sub_buckets {
+            return index as u64;
+        }
+        let octave = index / sub_buckets;
+        let sub = (index % sub_buckets) as u64;
+        let shift = (octave - 1) as u32;
+        // Bucket covers [ (32+sub) << shift, (32+sub+1) << shift ). The
+        // topmost bucket's exclusive edge is exactly 2^64, which shifts to
+        // 0; wrapping the decrement turns that into u64::MAX, the correct
+        // inclusive upper edge.
+        ((SUB_BUCKETS + sub + 1) << shift).wrapping_sub(1)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one (for combining per-thread
+    /// recordings).
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean of recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound `v` such that
+    /// at least `q * count` recorded values are ≤ `v`, within one bucket
+    /// width (≤ 3.125 %) of the true order statistic and clamped to the
+    /// recorded maximum. Returns 0 when empty.
+    #[must_use]
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), at least 1: the rank of the target value.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            seen += bucket_count;
+            if seen >= target {
+                return Self::bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.value_at_quantile(0.50))
+            .field("p99", &self.value_at_quantile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS - 1);
+        // Every value below SUB_BUCKETS has its own bucket, so quantile
+        // lookups are exact order statistics.
+        assert_eq!(h.value_at_quantile(1.0 / SUB_BUCKETS as f64), 0);
+        assert_eq!(h.value_at_quantile(0.5), SUB_BUCKETS / 2 - 1);
+        assert_eq!(h.value_at_quantile(1.0), SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert!((h.mean() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn index_and_upper_edge_are_consistent() {
+        // Every probe value must land in a bucket whose upper edge is
+        // >= the value and within the relative error bound.
+        let mut probes = vec![0u64, 1, 31, 32, 33, 63, 64, 100, 1000];
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            probes.push(v);
+            probes.push(v + 1);
+            probes.push(v.saturating_mul(3) / 2);
+            v = v.saturating_mul(2);
+        }
+        probes.push(u64::MAX);
+        for &p in &probes {
+            let idx = LatencyHistogram::index_of(p);
+            let upper = LatencyHistogram::bucket_upper(idx);
+            assert!(upper >= p, "upper({idx}) = {upper} < value {p}");
+            if p >= SUB_BUCKETS {
+                let err = (upper - p) as f64 / p as f64;
+                assert!(
+                    err <= 1.0 / SUB_BUCKETS as f64,
+                    "value {p}: upper {upper}, rel err {err}"
+                );
+            } else {
+                assert_eq!(upper, p);
+            }
+            // Indices are monotone in value within the probe set.
+            if p > 0 {
+                assert!(LatencyHistogram::index_of(p - 1) <= idx);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_true_order_statistics() {
+        use proptest::prelude::*;
+        proptest!(|(values in proptest::collection::vec(0u64..10_000_000_000, 1..400))| {
+            let mut h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut values = values.clone();
+            values.sort_unstable();
+            for q in [0.5, 0.9, 0.99, 1.0] {
+                let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+                let truth = values[rank - 1];
+                let got = h.value_at_quantile(q);
+                // Upper-edge semantics: the reported value is an upper
+                // bound on the true order statistic, within one bucket
+                // width (≤ 1/SUB_BUCKETS relative) of it, and never above
+                // the recorded maximum.
+                prop_assert!(got <= h.max());
+                prop_assert!(
+                    got >= truth && got <= truth + truth / SUB_BUCKETS + 1,
+                    "q={q}: got {got}, truth {truth}"
+                );
+            }
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.min(), values[0]);
+            prop_assert_eq!(h.max(), *values.last().expect("non-empty"));
+        });
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..5000u64 {
+            let v = i * 37 % 100_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.value_at_quantile(q), whole.value_at_quantile(q));
+        }
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_003);
+        h.record(999_997);
+        assert!((h.mean() - 1_000_000.0).abs() < 1e-9);
+    }
+}

@@ -9,6 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hist;
+pub mod loadgen;
+
 use bolt_baselines::{ForestPackingForest, InferenceEngine, RangerLikeForest, ScikitLikeForest};
 use bolt_core::{BoltConfig, BoltForest};
 use bolt_data::Workload;

@@ -964,30 +964,110 @@ impl ClassifyBatchResponse {
 /// Reads one length-prefixed frame from `reader`. Returns `Ok(None)` on a
 /// clean EOF at a frame boundary.
 ///
+/// This is the one-shot form for *blocking* streams with no read timeout
+/// (the client side, tests, tools). On a stream with a read timeout
+/// configured, a timeout firing mid-frame loses whatever bytes were
+/// already consumed — use a per-connection [`FrameReader`] there, which
+/// buffers partial frames across timeouts and resumes instead of
+/// restarting.
+///
 /// # Errors
 ///
 /// Returns [`ProtoError::FrameTooLarge`] for oversized declarations,
 /// [`ProtoError::UnexpectedEof`] for mid-frame closes, and
 /// [`ProtoError::Io`] for socket failures.
 pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<Vec<u8>>, ProtoError> {
-    let mut len_buf = [0u8; 4];
-    match reader.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+    FrameReader::new().read_frame(reader)
+}
+
+/// Incremental frame reader that survives read timeouts mid-frame.
+///
+/// `read_exact`-style reading discards partially consumed bytes when a
+/// timed read fails with `WouldBlock`/`TimedOut`, so a slow client
+/// dribbling a frame across the timeout boundary desyncs the stream: the
+/// next read treats mid-frame bytes as a fresh length header. A
+/// `FrameReader` keeps the partial header/payload buffered across calls
+/// and resumes exactly where it stopped, so timeout errors returned to the
+/// caller are pure idle notifications and never lose data.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Length-header bytes collected so far.
+    len_buf: [u8; 4],
+    /// How many of `len_buf`'s bytes are valid.
+    len_filled: usize,
+    /// Payload buffer, allocated once the header is complete.
+    payload: Vec<u8>,
+    /// How many payload bytes are valid.
+    payload_filled: usize,
+    /// Whether the length header has been fully read for the current frame.
+    have_len: bool,
+}
+
+impl FrameReader {
+    /// A reader with no buffered frame state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(ProtoError::FrameTooLarge { declared: len });
+
+    /// True when part of a frame (header or payload) is buffered — i.e. a
+    /// timeout returned now would be *mid-frame*, not between frames.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.len_filled > 0 || self.have_len
     }
-    let mut payload = vec![0u8; len];
-    reader
-        .read_exact(&mut payload)
-        .map_err(|e| match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => ProtoError::UnexpectedEof,
-            _ => ProtoError::Io(e),
-        })?;
-    Ok(Some(payload))
+
+    /// Reads one length-prefixed frame, resuming any partially buffered
+    /// frame from a previous call. Returns `Ok(None)` on a clean EOF at a
+    /// frame boundary.
+    ///
+    /// When the underlying read fails with `WouldBlock`/`TimedOut`, the
+    /// error is returned but all bytes consumed so far stay buffered; call
+    /// again with the same reader to continue the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::FrameTooLarge`] for oversized declarations,
+    /// [`ProtoError::UnexpectedEof`] for mid-frame closes, and
+    /// [`ProtoError::Io`] for socket failures (including timeouts, which
+    /// are resumable as described above).
+    pub fn read_frame<R: Read>(&mut self, reader: &mut R) -> Result<Option<Vec<u8>>, ProtoError> {
+        if !self.have_len {
+            while self.len_filled < 4 {
+                match reader.read(&mut self.len_buf[self.len_filled..]) {
+                    Ok(0) => {
+                        return if self.len_filled == 0 {
+                            Ok(None) // clean EOF at a frame boundary
+                        } else {
+                            Err(ProtoError::UnexpectedEof)
+                        };
+                    }
+                    Ok(n) => self.len_filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            let len = u32::from_le_bytes(self.len_buf) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(ProtoError::FrameTooLarge { declared: len });
+            }
+            self.have_len = true;
+            self.payload = vec![0u8; len];
+            self.payload_filled = 0;
+        }
+        while self.payload_filled < self.payload.len() {
+            match reader.read(&mut self.payload[self.payload_filled..]) {
+                Ok(0) => return Err(ProtoError::UnexpectedEof),
+                Ok(n) => self.payload_filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.have_len = false;
+        self.len_filled = 0;
+        self.payload_filled = 0;
+        Ok(Some(std::mem::take(&mut self.payload)))
+    }
 }
 
 /// Writes a pre-framed buffer (as produced by the `encode` methods).
@@ -1004,6 +1084,7 @@ pub fn write_frame<W: Write>(writer: &mut W, framed: &[u8]) -> Result<(), ProtoE
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn request_roundtrip() {
@@ -1471,6 +1552,109 @@ mod tests {
             let _ = Request::decode(&prefixed);
             let _ = V2Response::decode(&prefixed);
         });
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_read_timeouts() {
+        use std::io::Write as _;
+        use std::os::unix::net::UnixStream;
+        // A reader with a timeout far shorter than the writer's dribble
+        // cadence: every frame byte arrives in its own timeout window.
+        let (mut tx, mut rx) = UnixStream::pair().expect("socketpair");
+        rx.set_read_timeout(Some(Duration::from_millis(10)))
+            .expect("timeout");
+        let req = ClassifyRequest {
+            features: vec![1.5, -2.0, 42.0],
+        };
+        let framed = req.encode();
+        let writer = std::thread::spawn(move || {
+            for chunk in framed.chunks(1) {
+                tx.write_all(chunk).expect("write");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            tx // keep the stream open until the frame is fully written
+        });
+        let mut reader = FrameReader::new();
+        let mut timeouts = 0u32;
+        let payload = loop {
+            match reader.read_frame(&mut rx) {
+                Ok(Some(payload)) => break payload,
+                Ok(None) => panic!("EOF before the frame completed"),
+                Err(ProtoError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    timeouts += 1;
+                    assert!(timeouts < 10_000, "reader livelocked");
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert!(
+            timeouts > 0,
+            "the dribble must actually cross timeout boundaries"
+        );
+        assert_eq!(ClassifyRequest::decode(&payload).expect("decode"), req);
+        drop(writer.join().expect("writer"));
+    }
+
+    #[test]
+    fn frame_reader_mid_frame_tracks_partial_state() {
+        use std::io::Write as _;
+        use std::os::unix::net::UnixStream;
+        let (mut tx, mut rx) = UnixStream::pair().expect("socketpair");
+        rx.set_read_timeout(Some(Duration::from_millis(5)))
+            .expect("timeout");
+        let mut reader = FrameReader::new();
+        assert!(!reader.mid_frame());
+        // Two header bytes, then silence: the reader times out mid-header
+        // and must remember both bytes.
+        tx.write_all(&[8, 0]).expect("write");
+        assert!(matches!(reader.read_frame(&mut rx), Err(ProtoError::Io(_))));
+        assert!(reader.mid_frame());
+        // Finish the header and payload; the frame completes with the
+        // early bytes intact.
+        tx.write_all(&[0, 0]).expect("write");
+        tx.write_all(&[1, 2, 3, 4, 5, 6, 7, 8]).expect("write");
+        let payload = reader
+            .read_frame(&mut rx)
+            .expect("read")
+            .expect("complete frame");
+        assert_eq!(payload, [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(!reader.mid_frame());
+    }
+
+    #[test]
+    fn frame_reader_back_to_back_frames() {
+        // Several frames through one reader, state fully reset between.
+        let a = ClassifyRequest {
+            features: vec![1.0],
+        };
+        let b = ClassifyRequest {
+            features: vec![2.0, 3.0],
+        };
+        let mut bytes = a.encode().to_vec();
+        bytes.extend_from_slice(&b.encode());
+        let mut cursor = std::io::Cursor::new(bytes);
+        let mut reader = FrameReader::new();
+        let first = reader.read_frame(&mut cursor).expect("read").expect("a");
+        assert_eq!(ClassifyRequest::decode(&first).expect("decode"), a);
+        let second = reader.read_frame(&mut cursor).expect("read").expect("b");
+        assert_eq!(ClassifyRequest::decode(&second).expect("decode"), b);
+        assert!(reader.read_frame(&mut cursor).expect("eof").is_none());
+    }
+
+    #[test]
+    fn frame_reader_eof_mid_header_is_error() {
+        // 2 of 4 header bytes then EOF: not a clean boundary.
+        let mut cursor = std::io::Cursor::new(vec![7u8, 0]);
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.read_frame(&mut cursor),
+            Err(ProtoError::UnexpectedEof)
+        ));
     }
 
     #[test]

@@ -73,10 +73,15 @@ impl ModelHandle {
 
     /// Books `requests` answered in `latency_ns` total into the model's
     /// statistics.
+    ///
+    /// Both counters saturate at `u64::MAX` instead of wrapping: a
+    /// long-lived server (or a load harness hammering one) accumulates
+    /// latency without bound, and an unchecked `+` would panic in debug
+    /// builds and silently wrap — corrupting the mean — in release.
     pub fn book(&self, requests: u64, latency_ns: u64) {
         let mut stats = self.stats.lock();
-        stats.requests += requests;
-        stats.total_latency_ns += latency_ns;
+        stats.requests = stats.requests.saturating_add(requests);
+        stats.total_latency_ns = stats.total_latency_ns.saturating_add(latency_ns);
     }
 }
 
@@ -297,8 +302,12 @@ impl ModelRegistry {
             .chain(state.retired.values())
         {
             let stats = stats.lock();
-            total.requests += stats.requests;
-            total.total_latency_ns += stats.total_latency_ns;
+            total.requests = total.requests.saturating_add(stats.requests);
+            // Saturate like `ModelHandle::book`: summing many models'
+            // accumulated latencies must never overflow the aggregate.
+            total.total_latency_ns = total
+                .total_latency_ns
+                .saturating_add(stats.total_latency_ns);
         }
         total
     }
@@ -437,6 +446,34 @@ mod tests {
         a.book(1, 10);
         assert_eq!(registry.stats("a").expect("a").requests, 1);
         assert_eq!(registry.stats("b").expect("b").requests, 0);
+    }
+
+    #[test]
+    fn booking_saturates_instead_of_overflowing() {
+        let registry = ModelRegistry::new();
+        let f = forest();
+        registry.register("m", Arc::new(ScikitLikeForest::from_forest(&f)));
+        registry.register("n", Arc::new(ScikitLikeForest::from_forest(&f)));
+        let handle = registry.resolve(Some("m")).expect("resolves");
+        // Drive the latency accumulator to the boundary, then past it:
+        // pre-fix this panics in debug builds and wraps in release.
+        handle.book(1, u64::MAX - 5);
+        handle.book(1, 100);
+        let stats = registry.stats("m").expect("stats");
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.total_latency_ns, u64::MAX);
+        // The mean stays finite and sane rather than collapsing to ~0 as
+        // a wrapped sum would.
+        assert!(stats.mean_latency_ns() > 1e18);
+        // The aggregate across models saturates too instead of wrapping
+        // when two saturated counters are summed.
+        registry
+            .resolve(Some("n"))
+            .expect("resolves")
+            .book(3, u64::MAX);
+        let total = registry.total_stats();
+        assert_eq!(total.requests, 5);
+        assert_eq!(total.total_latency_ns, u64::MAX);
     }
 
     #[test]

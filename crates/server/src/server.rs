@@ -1,7 +1,7 @@
 //! The classification front-end (Fig. 7), serving a [`ModelRegistry`].
 
 use crate::proto::{
-    read_frame, write_frame, ClassifyBatchResponse, ClassifyResponse, ErrorFrame,
+    write_frame, ClassifyBatchResponse, ClassifyResponse, ErrorFrame, FrameReader,
     ListModelsResponse, ProtoError, Request, ERR_INTERNAL, ERR_NO_DEFAULT_MODEL, ERR_RETIRED_MODEL,
     ERR_UNKNOWN_MODEL, ERR_UNSUPPORTED_VERSION, PROTOCOL_VERSION,
 };
@@ -62,6 +62,51 @@ pub(crate) fn reap_finished(workers: &mut Vec<JoinHandle<()>>) {
     }
 }
 
+/// Longest sleep between retries of a failing `accept`.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(100);
+
+/// Drives an accept loop until shutdown, spawning one worker thread per
+/// accepted connection. Shared by the UDS and TCP front-ends.
+///
+/// `WouldBlock` is the non-blocking listener's idle signal and polls at
+/// 1 ms. Every *other* accept error — `EMFILE`/`ENFILE` descriptor
+/// exhaustion under connection load, `ECONNABORTED` handshakes, `EINTR` —
+/// is transient pressure, not a reason to die: a `break` here would kill
+/// the accept thread while the process keeps running deaf. Such errors are
+/// logged and retried with exponential backoff (capped at
+/// [`ACCEPT_BACKOFF_MAX`]); only the shutdown flag exits the loop.
+pub(crate) fn run_accept_loop<S, A, F>(shared: &Arc<Shared>, mut accept: A, serve: F)
+where
+    S: Send + 'static,
+    A: FnMut() -> std::io::Result<S>,
+    F: Fn(S, &Shared) + Clone + Send + 'static,
+{
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut backoff = Duration::from_millis(1);
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match accept() {
+            Ok(stream) => {
+                backoff = Duration::from_millis(1);
+                let conn_shared = Arc::clone(shared);
+                let serve = serve.clone();
+                workers.push(std::thread::spawn(move || serve(stream, &conn_shared)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => {
+                eprintln!("bolt-server: accept failed ({e}); retrying in {backoff:?}");
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
+        }
+        reap_finished(&mut workers);
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
 /// A classification server on a Unix domain socket, one thread per
 /// connection (requests on a connection are processed sequentially, without
 /// batching, per §6's methodology). Hosts every model in its
@@ -87,25 +132,13 @@ impl ClassificationServer {
         let shared = Arc::new(Shared::new(registry));
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
-            let mut workers: Vec<JoinHandle<()>> = Vec::new();
-            while !accept_shared.shutdown.load(Ordering::Acquire) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let conn_shared = Arc::clone(&accept_shared);
-                        workers.push(std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &conn_shared);
-                        }));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
-                    Err(_) => break,
-                }
-                reap_finished(&mut workers);
-            }
-            for worker in workers {
-                let _ = worker.join();
-            }
+            run_accept_loop(
+                &accept_shared,
+                || listener.accept().map(|(stream, _)| stream),
+                |stream, shared| {
+                    let _ = handle_connection(stream, shared);
+                },
+            );
         });
         Ok(Self {
             shared,
@@ -252,11 +285,17 @@ pub(crate) fn handle_stream<S: std::io::Read + std::io::Write>(
     mut stream: S,
     shared: &Shared,
 ) -> Result<(), ProtoError> {
+    // Per-connection frame state: the read timeout exists so this loop can
+    // re-check the shutdown flag, and it can fire *mid-frame* for a slow
+    // or trickling client. The FrameReader buffers partial bytes across
+    // those timeouts (resume, don't restart), so a timeout between frames
+    // is pure idleness and a timeout mid-frame loses nothing.
+    let mut frames = FrameReader::new();
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return Ok(());
         }
-        let payload = match read_frame(&mut stream) {
+        let payload = match frames.read_frame(&mut stream) {
             Ok(Some(payload)) => payload,
             Ok(None) => return Ok(()), // client hung up cleanly
             Err(ProtoError::Io(e))
@@ -265,7 +304,7 @@ pub(crate) fn handle_stream<S: std::io::Read + std::io::Write>(
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                continue; // idle; re-check shutdown
+                continue; // re-check shutdown, then resume where we left off
             }
             Err(e) => return Err(e),
         };
@@ -335,6 +374,7 @@ mod tests {
     use crate::builder::ServerBuilder;
     use crate::client::ClassificationClient;
     use crate::engine::BoltEngine;
+    use crate::proto::read_frame;
     use bolt_baselines::ScikitLikeForest;
     use bolt_core::{BoltConfig, BoltForest};
     use bolt_forest::{Dataset, ForestConfig, RandomForest};
@@ -470,6 +510,84 @@ mod tests {
             assert_eq!(response.class, forest.predict(sample));
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn slow_client_dribbling_across_timeouts_is_served() {
+        use std::io::Write as _;
+        let (data, forest, bolt) = fixture();
+        let path = unique_socket("dribble");
+        let server = bolt_server(&path, bolt);
+        let mut raw = UnixStream::connect(&path).expect("connects");
+        let sample = data.sample(0);
+        let framed = crate::proto::ClassifyRequest {
+            features: sample.to_vec(),
+        }
+        .encode();
+        // Trickle the frame across the server's 200 ms read timeout twice:
+        // once inside the length header, once inside the payload. The old
+        // read_exact-based reader lost the already-consumed bytes at each
+        // timeout and desynced the connection.
+        raw.write_all(&framed[..2]).expect("writes");
+        std::thread::sleep(Duration::from_millis(350));
+        raw.write_all(&framed[2..6]).expect("writes");
+        std::thread::sleep(Duration::from_millis(350));
+        raw.write_all(&framed[6..]).expect("writes");
+        let reply = read_frame(&mut raw).expect("read").expect("frame");
+        let response = ClassifyResponse::decode(&reply).expect("decodes");
+        assert_eq!(response.class, forest.predict(sample));
+        // The same connection still serves a full-speed request after.
+        raw.write_all(&framed).expect("writes");
+        let reply = read_frame(&mut raw).expect("read").expect("frame");
+        assert_eq!(
+            ClassifyResponse::decode(&reply).expect("decodes").class,
+            forest.predict(sample)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn accept_loop_survives_transient_accept_errors() {
+        use std::sync::atomic::AtomicUsize;
+        let shared = Arc::new(Shared::new(crate::registry::ModelRegistry::new()));
+        let served = Arc::new(AtomicUsize::new(0));
+        let loop_shared = Arc::clone(&shared);
+        let loop_served = Arc::clone(&served);
+        let accept_thread = std::thread::spawn(move || {
+            // A listener under pressure: descriptor exhaustion twice, an
+            // aborted handshake, an interrupt — then one real connection,
+            // then idle. The old loop `break`s on the first EMFILE and
+            // never reaches the connection.
+            let mut calls = 0usize;
+            run_accept_loop(
+                &loop_shared,
+                move || {
+                    calls += 1;
+                    match calls {
+                        1 => Err(std::io::Error::from_raw_os_error(24)), // EMFILE
+                        2 => Err(std::io::Error::from_raw_os_error(23)), // ENFILE
+                        3 => Err(std::io::ErrorKind::ConnectionAborted.into()),
+                        4 => Err(std::io::ErrorKind::Interrupted.into()),
+                        5 => Ok(()),
+                        _ => Err(std::io::ErrorKind::WouldBlock.into()),
+                    }
+                },
+                move |(), _shared| {
+                    loop_served.fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while served.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            served.load(Ordering::SeqCst),
+            1,
+            "the accept loop must outlive transient errors and still serve"
+        );
+        shared.shutdown.store(true, Ordering::Release);
+        accept_thread.join().expect("accept loop exits on shutdown");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! same statistics — only the listener differs.
 
 use crate::registry::ModelRegistry;
-use crate::server::{handle_stream, reap_finished, Shared};
+use crate::server::{handle_stream, run_accept_loop, Shared};
 use crate::ServerStats;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
@@ -56,27 +56,16 @@ impl TcpClassificationServer {
         let shared = Arc::new(Shared::new(registry));
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
-            let mut workers: Vec<JoinHandle<()>> = Vec::new();
-            while !accept_shared.shutdown.load(Ordering::Acquire) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let conn_shared = Arc::clone(&accept_shared);
-                        workers.push(std::thread::spawn(move || {
-                            let _ = serve_tcp_connection(stream, &conn_shared);
-                        }));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
-                    Err(_) => break,
-                }
-                // Reap closed connections as we go: a long-lived server
-                // must not hold one JoinHandle per historical connection.
-                reap_finished(&mut workers);
-            }
-            for worker in workers {
-                let _ = worker.join();
-            }
+            // Transient accept errors (EMFILE under connection load,
+            // aborted handshakes) are retried with backoff rather than
+            // killing the accept thread; see run_accept_loop.
+            run_accept_loop(
+                &accept_shared,
+                || listener.accept().map(|(stream, _)| stream),
+                |stream, shared| {
+                    let _ = serve_tcp_connection(stream, shared);
+                },
+            );
         });
         Ok(Self {
             shared,
@@ -302,6 +291,7 @@ mod tests {
 
     #[test]
     fn reap_finished_joins_only_completed_workers() {
+        use crate::server::reap_finished;
         use std::sync::atomic::{AtomicBool, Ordering};
         let release = Arc::new(AtomicBool::new(false));
         let slow_release = Arc::clone(&release);

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Open-loop load-generator smoke test: train and compile a model, serve it
+# through a real boltd process on both transports, drive it with bolt-bench
+# over UDS and TCP, and validate the emitted BENCH_*.json snapshots against
+# the schema. Bounded request counts keep this inside CI budgets; the
+# numbers it produces are smoke-level, not publishable — use
+# `bolt-bench` (the self-hosted suite) on quiet hardware for trajectory
+# entries.
+#
+# Usage: scripts/run_loadgen.sh [requests]
+#   requests — frames per workload (default 1500).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUESTS="${1:-1500}"
+WORKDIR="$(mktemp -d "${TMPDIR:-/tmp}/bolt-loadgen.XXXXXX")"
+FOREST="$WORKDIR/forest.json"
+MODEL="$WORKDIR/model.blt"
+SOCKET="$WORKDIR/bolt.sock"
+TCP_ADDR="127.0.0.1:19407"
+BOLTD_PID=""
+
+cleanup() {
+    [ -n "$BOLTD_PID" ] && kill "$BOLTD_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+cargo build --release --bins --workspace
+BOLTC=./target/release/boltc
+BOLTD=./target/release/boltd
+BENCH=./target/release/bolt-bench
+
+echo "== train + compile (lstw) =="
+"$BOLTC" train --workload lstw --samples 800 --trees 8 --height 4 \
+    --seed 7 --out "$FOREST"
+"$BOLTC" compile --forest "$FOREST" --threshold 2 --out "$MODEL"
+
+echo "== serve on UDS + TCP =="
+"$BOLTD" --model prod=artifact:"$MODEL" --default prod \
+    --socket "$SOCKET" --tcp "$TCP_ADDR" &
+BOLTD_PID=$!
+for _ in $(seq 1 50); do
+    [ -S "$SOCKET" ] && break
+    kill -0 "$BOLTD_PID" 2>/dev/null || { echo "boltd died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -S "$SOCKET" ] || { echo "boltd never bound $SOCKET" >&2; exit 1; }
+
+echo "== open-loop load: UDS single + batch, TCP single =="
+# lstw matches the trained model's 11 features; the error mix proves the
+# unknown-model path stays structured under load.
+"$BENCH" --connect uds:"$SOCKET" --workload loadgen_uds_single --data lstw \
+    --requests "$REQUESTS" --rate 4000 --threads 4 --out "$WORKDIR/results"
+"$BENCH" --connect uds:"$SOCKET" --workload loadgen_uds_batch --data lstw \
+    --requests "$REQUESTS" --rate 2000 --threads 4 --batch 16 \
+    --out "$WORKDIR/results"
+"$BENCH" --connect tcp:"$TCP_ADDR" --workload loadgen_tcp_single --data lstw \
+    --requests "$REQUESTS" --rate 4000 --threads 4 --model prod \
+    --error-every 16 --out "$WORKDIR/results"
+
+echo "== validate snapshots against the schema =="
+"$BENCH" --check "$WORKDIR"/results/BENCH_loadgen_uds_single.json \
+    "$WORKDIR"/results/BENCH_loadgen_uds_batch.json \
+    "$WORKDIR"/results/BENCH_loadgen_tcp_single.json
+
+echo "Load-generator round trip OK: boltd served UDS + TCP open-loop traffic, snapshots validate."
