@@ -14,10 +14,16 @@
 //! # Drive an external boltd (what scripts/run_loadgen.sh does):
 //! bolt-bench --connect uds:/tmp/bolt.sock --workload uds_smoke \
 //!            --data lstw --requests 2000 --rate 4000 --threads 4 \
-//!            [--batch N] [--model NAME]... [--error-every N] [--out DIR]
+//!            [--batch N] [--model NAME]... [--error-every N] \
+//!            [--duration-secs S] [--reconnect-every N] [--out DIR]
 //!
 //! # Validate snapshot files against the current schema (CI):
 //! bolt-bench --check results/BENCH_uds_single.json ...
+//!
+//! # Compare two snapshot sets (files or directories) by workload and
+//! # exit nonzero when p99 grows or throughput shrinks past the
+//! # threshold (default 25 %):
+//! bolt-bench --compare results OLD_DIR [--threshold PCT]
 //! ```
 //!
 //! The suite covers the mixes the serving path must survive together:
@@ -43,6 +49,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = if args.first().map(String::as_str) == Some("--check") {
         check(&args[1..])
+    } else if args.first().map(String::as_str) == Some("--compare") {
+        compare_cmd(&args[1..])
     } else {
         match Cli::parse(&args) {
             Ok(cli) if cli.connect.is_some() => connect_run(&cli),
@@ -58,8 +66,11 @@ fn main() -> ExitCode {
                 "usage: bolt-bench [--out DIR] [--quick]\n\
                  \x20      bolt-bench --connect uds:PATH|tcp:ADDR --workload NAME \
                  [--data lstw|mnist|yelp] [--samples N] [--requests N] [--rate R] \
-                 [--threads N] [--batch N] [--model NAME]... [--error-every N] [--out DIR]\n\
-                 \x20      bolt-bench --check FILE..."
+                 [--threads N] [--batch N] [--model NAME]... [--error-every N] \
+                 [--duration-secs S] [--reconnect-every N] [--out DIR]\n\
+                 \x20      bolt-bench --check FILE...\n\
+                 \x20      bolt-bench --compare OLD NEW [--threshold PCT]   \
+                 (OLD/NEW: BENCH_*.json files or directories)"
             );
             ExitCode::FAILURE
         }
@@ -78,6 +89,8 @@ struct Cli {
     batch: usize,
     models: Vec<String>,
     error_every: u64,
+    duration_secs: f64,
+    reconnect_every: u64,
     out: PathBuf,
     quick: bool,
 }
@@ -95,6 +108,8 @@ impl Cli {
             batch: 1,
             models: Vec::new(),
             error_every: 0,
+            duration_secs: 0.0,
+            reconnect_every: 0,
             out: PathBuf::from("results"),
             quick: false,
         };
@@ -133,6 +148,17 @@ impl Cli {
                 "--batch" => cli.batch = parse_num(&value, "--batch")?,
                 "--model" => cli.models.push(value),
                 "--error-every" => cli.error_every = parse_num(&value, "--error-every")?,
+                "--duration-secs" => {
+                    cli.duration_secs = value
+                        .parse::<f64>()
+                        .map_err(|_| format!("--duration-secs wants a number, got {value:?}"))?;
+                    if !cli.duration_secs.is_finite() || cli.duration_secs <= 0.0 {
+                        return Err("--duration-secs must be a positive finite number".to_owned());
+                    }
+                }
+                "--reconnect-every" => {
+                    cli.reconnect_every = parse_num(&value, "--reconnect-every")?;
+                }
                 "--out" => cli.out = PathBuf::from(value),
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -206,6 +232,88 @@ fn check(files: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `--compare OLD NEW [--threshold PCT]`: per-workload p50/p99/throughput
+/// deltas between two snapshot sets, failing the invocation when any
+/// workload regresses past the threshold.
+fn compare_cmd(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold = bolt_bench::compare::DEFAULT_THRESHOLD_PCT;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threshold" {
+            let value = iter.next().ok_or("--threshold needs a value")?;
+            threshold = value
+                .parse::<f64>()
+                .map_err(|_| format!("--threshold wants a number, got {value:?}"))?;
+            if !threshold.is_finite() || threshold <= 0.0 {
+                return Err("--threshold must be a positive finite number".to_owned());
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err("--compare wants exactly two paths: OLD NEW".to_owned());
+    };
+    let old = bolt_bench::compare::load_snapshots(std::path::Path::new(old_path.as_str()))?;
+    let new = bolt_bench::compare::load_snapshots(std::path::Path::new(new_path.as_str()))?;
+    let cmp = bolt_bench::compare::compare(&old, &new, threshold)?;
+
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1000.0);
+    let signed = |pct: f64| format!("{pct:+.1}%");
+    let rows: Vec<Vec<String>> = cmp
+        .deltas
+        .iter()
+        .map(|d| {
+            vec![
+                d.workload.clone(),
+                us(d.old_p50_ns),
+                us(d.new_p50_ns),
+                signed(d.p50_pct),
+                us(d.old_p99_ns),
+                us(d.new_p99_ns),
+                signed(d.p99_pct),
+                format!("{:.0}", d.old_fps),
+                format!("{:.0}", d.new_fps),
+                signed(d.fps_pct),
+                if d.regressed { "REGRESSED" } else { "ok" }.to_owned(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{old_path} -> {new_path} (client latency µs, threshold {threshold}%)"),
+        &[
+            "workload", "p50 old", "p50 new", "Δp50", "p99 old", "p99 new", "Δp99", "fps old",
+            "fps new", "Δfps", "verdict",
+        ],
+        &rows,
+    );
+    for gone in &cmp.only_in_old {
+        println!("warning: workload {gone} present only in {old_path} (coverage dropped)");
+    }
+    for added in &cmp.only_in_new {
+        println!("note: workload {added} present only in {new_path}");
+    }
+    let regressions = cmp.regressions();
+    if regressions.is_empty() {
+        println!(
+            "compare clean: {} workload(s) within {threshold}% on p99 and throughput",
+            cmp.deltas.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{} workload(s) regressed past {threshold}%: {}",
+            regressions.len(),
+            regressions
+                .iter()
+                .map(|d| d.workload.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    }
+}
+
 /// One workload against an external server (`--connect` mode). No ground
 /// truth is available for an external model, so responses are counted but
 /// not class-checked.
@@ -213,15 +321,26 @@ fn connect_run(cli: &Cli) -> Result<(), String> {
     let target = cli.connect.as_ref().expect("checked by caller");
     let data = bolt_data::generate(cli.data, cli.samples, 0xF00D);
     let samples: Vec<Vec<f32>> = (0..data.len()).map(|i| data.sample(i).to_vec()).collect();
+    // Fixed-duration mode: the wall clock bounds the run; an explicit
+    // --requests still caps it, otherwise the schedule is open-ended.
+    let requests = if cli.requests > 0 {
+        cli.requests
+    } else if cli.duration_secs > 0.0 {
+        0
+    } else {
+        2000
+    };
     let mut cfg = OpenLoopConfig::new(
         cli.workload.clone(),
         cli.threads,
         if cli.rate > 0.0 { cli.rate } else { 4000.0 },
-        if cli.requests > 0 { cli.requests } else { 2000 },
+        requests,
     );
     cfg.batch_size = cli.batch;
     cfg.models = cli.models.clone();
     cfg.error_every = cli.error_every;
+    cfg.duration = (cli.duration_secs > 0.0).then(|| Duration::from_secs_f64(cli.duration_secs));
+    cfg.reconnect_every = cli.reconnect_every;
     let report = bolt_bench::loadgen::run_open_loop(target, &samples, None, &cfg)
         .map_err(|e| format!("connect {target:?}: {e}"))?;
     let snapshot = BenchSnapshot::from_report(
@@ -312,6 +431,10 @@ fn suite(cli: &Cli) -> Result<(), String> {
         cfg.error_every = error_every;
         cfg
     };
+    // Reconnect storm: every worker churns its connection after each 4
+    // frames, keeping accept/close hot for the whole run.
+    let mut reconnect = mk("uds_reconnect", 1, &[], 0);
+    reconnect.reconnect_every = 4;
     // (config, target, swap churn interval)
     let workloads: Vec<(OpenLoopConfig, &Target, u64)> = vec![
         (mk("uds_single", 1, &[], 0), &uds_target, 0),
@@ -321,6 +444,7 @@ fn suite(cli: &Cli) -> Result<(), String> {
         (mk("uds_fanout", 1, &["bolt", "scikit"], 0), &uds_target, 0),
         (mk("uds_errmix", 1, &[], 8), &uds_target, 0),
         (mk("uds_swap", 1, &["swap"], 0), &uds_target, 25),
+        (reconnect, &uds_target, 0),
     ];
 
     let mut snapshots = Vec::new();

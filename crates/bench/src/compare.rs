@@ -1,0 +1,264 @@
+//! Snapshot-to-snapshot regression comparison.
+//!
+//! `bolt-bench --compare OLD NEW` reads two sets of `BENCH_*.json`
+//! snapshots (single files or whole directories), matches them by
+//! workload name, and reports per-workload deltas for client p50, client
+//! p99, and achieved throughput. A workload *regresses* when its p99
+//! grows — or its throughput shrinks — by more than the threshold
+//! percentage; any regression makes the invocation exit nonzero, so the
+//! perf trajectory under `results/` is enforceable in CI, not just
+//! recorded.
+
+use crate::loadgen::BenchSnapshot;
+use std::path::Path;
+
+/// Default regression threshold, percent. Open-loop tails on shared CI
+/// hosts are noisy; 25 % catches real regressions (the kind that double a
+/// tail) without tripping on scheduler jitter.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// One workload's old-vs-new deltas. Latency deltas are positive when the
+/// new run is *slower*; the throughput delta is positive when the new run
+/// is *faster*.
+#[derive(Clone, Debug)]
+pub struct WorkloadDelta {
+    /// Workload name shared by the matched snapshots.
+    pub workload: String,
+    /// Old client p50, nanoseconds.
+    pub old_p50_ns: u64,
+    /// New client p50, nanoseconds.
+    pub new_p50_ns: u64,
+    /// Client p50 change, percent (positive = slower).
+    pub p50_pct: f64,
+    /// Old client p99, nanoseconds.
+    pub old_p99_ns: u64,
+    /// New client p99, nanoseconds.
+    pub new_p99_ns: u64,
+    /// Client p99 change, percent (positive = slower).
+    pub p99_pct: f64,
+    /// Old achieved frames/s.
+    pub old_fps: f64,
+    /// New achieved frames/s.
+    pub new_fps: f64,
+    /// Throughput change, percent (positive = faster).
+    pub fps_pct: f64,
+    /// Whether this workload tripped the regression threshold.
+    pub regressed: bool,
+}
+
+/// The matched comparison across two snapshot sets.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Per-workload deltas, in the old set's order.
+    pub deltas: Vec<WorkloadDelta>,
+    /// Threshold the regression verdicts used, percent.
+    pub threshold_pct: f64,
+    /// Workloads present only in the old set (dropped coverage).
+    pub only_in_old: Vec<String>,
+    /// Workloads present only in the new set (new coverage; not a
+    /// failure).
+    pub only_in_new: Vec<String>,
+}
+
+impl Comparison {
+    /// Workloads that tripped the threshold.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&WorkloadDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+}
+
+/// Percent change from `old` to `new`; 0 when `old` is zero (nothing
+/// meaningful to scale against).
+fn pct(old: f64, new: f64) -> f64 {
+    if old > 0.0 {
+        (new - old) / old * 100.0
+    } else {
+        0.0
+    }
+}
+
+/// Matches two snapshot sets by workload name and computes deltas.
+///
+/// # Errors
+///
+/// Returns an error if the sets share no workload — comparing disjoint
+/// runs silently would always "pass".
+pub fn compare(
+    old: &[BenchSnapshot],
+    new: &[BenchSnapshot],
+    threshold_pct: f64,
+) -> Result<Comparison, String> {
+    let mut deltas = Vec::new();
+    let mut only_in_old = Vec::new();
+    for o in old {
+        let Some(n) = new.iter().find(|n| n.workload == o.workload) else {
+            only_in_old.push(o.workload.clone());
+            continue;
+        };
+        let p50_pct = pct(o.client_latency.p50_ns as f64, n.client_latency.p50_ns as f64);
+        let p99_pct = pct(o.client_latency.p99_ns as f64, n.client_latency.p99_ns as f64);
+        let fps_pct = pct(o.throughput_fps, n.throughput_fps);
+        deltas.push(WorkloadDelta {
+            workload: o.workload.clone(),
+            old_p50_ns: o.client_latency.p50_ns,
+            new_p50_ns: n.client_latency.p50_ns,
+            p50_pct,
+            old_p99_ns: o.client_latency.p99_ns,
+            new_p99_ns: n.client_latency.p99_ns,
+            p99_pct,
+            old_fps: o.throughput_fps,
+            new_fps: n.throughput_fps,
+            fps_pct,
+            regressed: p99_pct > threshold_pct || fps_pct < -threshold_pct,
+        });
+    }
+    let only_in_new = new
+        .iter()
+        .filter(|n| !old.iter().any(|o| o.workload == n.workload))
+        .map(|n| n.workload.clone())
+        .collect();
+    if deltas.is_empty() {
+        return Err(format!(
+            "no common workloads to compare (old: {:?}, new: {:?})",
+            old.iter().map(|s| &s.workload).collect::<Vec<_>>(),
+            new.iter().map(|s| &s.workload).collect::<Vec<_>>()
+        ));
+    }
+    Ok(Comparison {
+        deltas,
+        threshold_pct,
+        only_in_old,
+        only_in_new,
+    })
+}
+
+/// Loads snapshots from `path`: one validated file, or every
+/// `BENCH_*.json` in a directory (sorted by filename for stable output).
+///
+/// # Errors
+///
+/// Returns an error when the path is unreadable, any file fails schema
+/// validation, or a directory holds no snapshots.
+pub fn load_snapshots(path: &Path) -> Result<Vec<BenchSnapshot>, String> {
+    if path.is_dir() {
+        let mut files: Vec<_> = std::fs::read_dir(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no BENCH_*.json under {}", path.display()));
+        }
+        files
+            .iter()
+            .map(|f| BenchSnapshot::validate_file(f))
+            .collect()
+    } else {
+        Ok(vec![BenchSnapshot::validate_file(path)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+    use crate::loadgen::{HistSummary, SNAPSHOT_SCHEMA_VERSION};
+
+    fn snapshot(workload: &str, p50_ns: u64, p99_ns: u64, fps: f64) -> BenchSnapshot {
+        let mut hist = LatencyHistogram::new();
+        hist.record(p50_ns);
+        let mut summary = HistSummary::from_histogram(&hist);
+        summary.p50_ns = p50_ns;
+        summary.p90_ns = p99_ns;
+        summary.p99_ns = p99_ns;
+        summary.p999_ns = p99_ns;
+        summary.max_ns = p99_ns;
+        BenchSnapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            bench: "bolt-bench".into(),
+            workload: workload.into(),
+            git_rev: "abc1234".into(),
+            kernel: "avx2".into(),
+            transport: "uds".into(),
+            threads: 4,
+            target_rate_fps: 4000.0,
+            batch_size: 1,
+            models: Vec::new(),
+            error_every: 0,
+            duration_s: 0.0,
+            reconnect_every: 0,
+            reconnects: 0,
+            swap_interval_ms: 0,
+            n_features: 11,
+            frames_sent: 1000,
+            responses_ok: 1000,
+            expected_rejections: 0,
+            wrong_class: 0,
+            protocol_errors: 0,
+            elapsed_s: 1000.0 / fps,
+            throughput_fps: fps,
+            throughput_sps: fps,
+            client_latency: summary.clone(),
+            service_latency: summary,
+        }
+    }
+
+    #[test]
+    fn delta_math_and_direction() {
+        let old = [snapshot("w", 1000, 2000, 4000.0)];
+        let new = [snapshot("w", 1100, 1500, 5000.0)];
+        let cmp = compare(&old, &new, 25.0).expect("compares");
+        let d = &cmp.deltas[0];
+        assert!((d.p50_pct - 10.0).abs() < 1e-9, "{}", d.p50_pct);
+        assert!((d.p99_pct - -25.0).abs() < 1e-9, "{}", d.p99_pct);
+        assert!((d.fps_pct - 25.0).abs() < 1e-9, "{}", d.fps_pct);
+        assert!(!d.regressed, "faster run is not a regression");
+    }
+
+    #[test]
+    fn threshold_trips_on_p99_growth_and_throughput_loss() {
+        let old = [snapshot("a", 1000, 1000, 1000.0), snapshot("b", 1000, 1000, 1000.0)];
+        // a: p99 +50 % (regression); b: throughput −50 % (regression).
+        let new = [snapshot("a", 1000, 1500, 1000.0), snapshot("b", 1000, 1000, 500.0)];
+        let cmp = compare(&old, &new, 25.0).expect("compares");
+        assert_eq!(cmp.regressions().len(), 2);
+        // A generous threshold lets both pass.
+        let cmp = compare(&old, &new, 60.0).expect("compares");
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn disjoint_sets_are_an_error_and_partial_overlap_is_reported() {
+        let old = [snapshot("gone", 1000, 1000, 1000.0), snapshot("kept", 1000, 1000, 1000.0)];
+        let new = [snapshot("kept", 1000, 1000, 1000.0), snapshot("added", 1000, 1000, 1000.0)];
+        let cmp = compare(&old, &new, 25.0).expect("compares");
+        assert_eq!(cmp.deltas.len(), 1);
+        assert_eq!(cmp.only_in_old, vec!["gone".to_owned()]);
+        assert_eq!(cmp.only_in_new, vec!["added".to_owned()]);
+        assert!(compare(&old[..1], &new[1..], 25.0).is_err());
+    }
+
+    #[test]
+    fn load_snapshots_reads_files_and_directories() {
+        let dir = std::env::temp_dir().join(format!("bolt-compare-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a = snapshot("a", 1000, 2000, 4000.0);
+        let b = snapshot("b", 1000, 2000, 4000.0);
+        a.write_to(&dir).expect("writes");
+        let path_b = b.write_to(&dir).expect("writes");
+        std::fs::write(dir.join("notes.txt"), "ignored").expect("writes");
+        let from_dir = load_snapshots(&dir).expect("loads dir");
+        assert_eq!(from_dir.len(), 2);
+        let from_file = load_snapshots(&path_b).expect("loads file");
+        assert_eq!(from_file[0].workload, "b");
+        assert!(load_snapshots(&dir.join("missing")).is_err());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -90,6 +90,14 @@ pub struct OpenLoopConfig {
     /// Every Nth frame asks for [`MISSING_MODEL`] instead and must be
     /// answered with a structured unknown-model rejection (0 disables).
     pub error_every: u64,
+    /// Stop scheduling new frames once this much wall-clock has elapsed.
+    /// Whichever of this and `requests` trips first ends the run; with a
+    /// duration set, `requests == 0` means "duration-bounded only".
+    pub duration: Option<Duration>,
+    /// Reconnect storm: every worker tears down and re-opens its
+    /// connection after each N frames it sends (0 keeps connections for
+    /// the whole run).
+    pub reconnect_every: u64,
 }
 
 impl OpenLoopConfig {
@@ -104,6 +112,8 @@ impl OpenLoopConfig {
             batch_size: 1,
             models: Vec::new(),
             error_every: 0,
+            duration: None,
+            reconnect_every: 0,
         }
     }
 }
@@ -165,6 +175,8 @@ pub struct LoadReport {
     /// Everything else: transport failures, malformed frames, unexpected
     /// rejections. Zero on a healthy run.
     pub protocol_errors: u64,
+    /// Connections deliberately re-opened by the reconnect-storm mix.
+    pub reconnects: u64,
     /// Wall-clock for the whole run, seconds.
     pub elapsed_s: f64,
     /// Client-observed latency (scheduled send → response decoded).
@@ -199,6 +211,7 @@ struct WorkerTally {
     rejections: u64,
     wrong_class: u64,
     errors: u64,
+    reconnects: u64,
 }
 
 /// What one scheduled request came back as.
@@ -270,7 +283,8 @@ fn issue(
 ///
 /// # Panics
 ///
-/// Panics if `samples` is empty or a worker thread panics.
+/// Panics if `samples` is empty, if the run is unbounded (`requests == 0`
+/// with no `duration`), or a worker thread panics.
 pub fn run_open_loop(
     target: &Target,
     samples: &[Vec<f32>],
@@ -278,6 +292,10 @@ pub fn run_open_loop(
     cfg: &OpenLoopConfig,
 ) -> std::io::Result<LoadReport> {
     assert!(!samples.is_empty(), "need at least one request sample");
+    assert!(
+        cfg.requests > 0 || cfg.duration.is_some(),
+        "run must be bounded by a request count or a duration"
+    );
     let threads = cfg.threads.max(1);
     // Fail fast if the server is absent; workers then own their clients.
     let mut clients = Vec::with_capacity(threads);
@@ -310,6 +328,7 @@ pub fn run_open_loop(
         tally.rejections += t.rejections;
         tally.wrong_class += t.wrong_class;
         tally.errors += t.errors;
+        tally.reconnects += t.reconnects;
     }
     Ok(LoadReport {
         config: cfg.clone(),
@@ -319,6 +338,7 @@ pub fn run_open_loop(
         expected_rejections: tally.rejections,
         wrong_class: tally.wrong_class,
         protocol_errors: tally.errors,
+        reconnects: tally.reconnects,
         elapsed_s,
         client: client_hist,
         service: service_hist,
@@ -343,9 +363,15 @@ fn worker(
     let mut batch: Vec<&[f32]> = Vec::with_capacity(cfg.batch_size.max(1));
     // Thread t owns global sequence numbers t, t+threads, t+2·threads, …
     // at one global arrival every 1/rate seconds.
+    let deadline = cfg.duration.map(|d| started + d);
     let mut seq = thread_idx as u64;
-    while seq < cfg.requests {
+    while cfg.requests == 0 || seq < cfg.requests {
         let sched = started + Duration::from_secs_f64(seq as f64 / cfg.rate);
+        // Fixed-duration mode: a frame *scheduled* past the deadline is
+        // not sent, so every thread stops on the same arrival boundary.
+        if deadline.is_some_and(|deadline| sched >= deadline) {
+            break;
+        }
         let now = Instant::now();
         if sched > now {
             std::thread::sleep(sched - now);
@@ -387,6 +413,20 @@ fn worker(
                 }
             }
         }
+        // Reconnect storm: churn the connection every N sent frames so
+        // accept/close paths stay under load for the whole run.
+        if cfg.reconnect_every > 0 && tally.sent % cfg.reconnect_every == 0 {
+            match target.connect() {
+                Ok(fresh) => {
+                    client = fresh;
+                    tally.reconnects += 1;
+                }
+                Err(_) => {
+                    tally.errors += 1;
+                    break;
+                }
+            }
+        }
         seq += threads;
     }
     (client_hist, service_hist, tally)
@@ -422,6 +462,15 @@ pub struct BenchSnapshot {
     pub models: Vec<String>,
     /// Error-traffic period (0 = none).
     pub error_every: u64,
+    /// Wall-clock bound on the run in seconds (0 = request-bounded).
+    #[serde(default)]
+    pub duration_s: f64,
+    /// Reconnect-storm period in frames (0 = persistent connections).
+    #[serde(default)]
+    pub reconnect_every: u64,
+    /// Connections re-opened by the reconnect-storm mix.
+    #[serde(default)]
+    pub reconnects: u64,
     /// Hot-swap churn interval in milliseconds (0 = no churn thread).
     pub swap_interval_ms: u64,
     /// Feature dimensionality of the request samples.
@@ -471,6 +520,9 @@ impl BenchSnapshot {
             batch_size: report.config.batch_size as u64,
             models: report.config.models.clone(),
             error_every: report.config.error_every,
+            duration_s: report.config.duration.map_or(0.0, |d| d.as_secs_f64()),
+            reconnect_every: report.config.reconnect_every,
+            reconnects: report.reconnects,
             swap_interval_ms,
             n_features: n_features as u64,
             frames_sent: report.frames_sent,
@@ -574,6 +626,8 @@ mod tests {
                 batch_size: 4,
                 models: vec!["bolt".into()],
                 error_every: 8,
+                duration: None,
+                reconnect_every: 0,
             },
             transport: "uds".into(),
             frames_sent: 1000,
@@ -581,6 +635,7 @@ mod tests {
             expected_rejections: 125,
             wrong_class: 0,
             protocol_errors: 0,
+            reconnects: 0,
             elapsed_s: 0.25,
             client,
             service,

@@ -34,26 +34,107 @@
 use bolt_baselines::{ForestPackingForest, InferenceEngine, RangerLikeForest, ScikitLikeForest};
 use bolt_core::BoltForest;
 use bolt_forest::{csv, RandomForest};
-use bolt_server::{ArtifactEngine, BoltEngine, ServerBuilder};
+use bolt_server::{
+    ArtifactEngine, BoltEngine, EventLoopOptions, MicroBatchConfig, ServerBuilder, ServingMode,
+};
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: boltd [--artifact BOLT.json] [--forest FOREST.json] \
+[--engine scikit|ranger|fp] [--calibration-csv FILE] \
+[--model NAME=KIND]... [--default NAME] \
+--socket PATH [--tcp ADDR] [serving flags]
+KIND: bolt | artifact:PATH.blt | scikit | ranger | fp
+
+serving flags (event-loop front-end with adaptive micro-batching is the default):
+  --serving threads|event-loop
+                       threads: one blocking thread per connection, no
+                       batching (the paper's §6 methodology).
+                       event-loop: non-blocking front-end; concurrent
+                       single-sample requests coalesce into batch-kernel
+                       calls. [default: event-loop]
+  --no-microbatch      keep the event loop but dispatch every request
+                       individually (no coalescing).
+  --mb-flush-samples N flush a micro-batch at N pending samples.
+                       [default: 64]
+  --mb-flush-micros T  flush a micro-batch T µs after its oldest sample
+                       (upper bound; an idle input flushes immediately).
+                       [default: 200]
+  --mb-queue-depth N   admit at most N samples (queued + in flight);
+                       beyond it requests are answered with a structured
+                       overload error instead of queueing without bound.
+                       [default: 8192]
+  --workers N          inference worker threads (0 = auto from available
+                       parallelism). [default: 0]";
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!(
-                "usage: boltd [--artifact BOLT.json] [--forest FOREST.json] \
-                 [--engine scikit|ranger|fp] [--calibration-csv FILE] \
-                 [--model NAME=KIND]... [--default NAME] \
-                 --socket PATH [--tcp ADDR]\n\
-                 KIND: bolt | artifact:PATH.blt | scikit | ranger | fp"
-            );
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Builds the serving mode from the parsed `--serving`/`--mb-*`/`--workers`
+/// flags, rejecting combinations that would silently do nothing.
+fn serving_mode(
+    serving: Option<&str>,
+    no_microbatch: bool,
+    flush_samples: Option<&str>,
+    flush_micros: Option<&str>,
+    queue_depth: Option<&str>,
+    workers: Option<&str>,
+) -> Result<ServingMode, String> {
+    let parse = |flag: &str, value: Option<&str>| -> Result<Option<u64>, String> {
+        value
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("{flag} wants a non-negative integer, got {v:?}"))
+            })
+            .transpose()
+    };
+    let flush_samples = parse("--mb-flush-samples", flush_samples)?;
+    let flush_micros = parse("--mb-flush-micros", flush_micros)?;
+    let queue_depth = parse("--mb-queue-depth", queue_depth)?;
+    let workers = parse("--workers", workers)?;
+    match serving.unwrap_or("event-loop") {
+        "threads" => {
+            if no_microbatch
+                || flush_samples.is_some()
+                || flush_micros.is_some()
+                || queue_depth.is_some()
+                || workers.is_some()
+            {
+                return Err(
+                    "micro-batching/worker flags only apply to --serving event-loop".to_owned(),
+                );
+            }
+            Ok(ServingMode::ThreadPerConnection)
+        }
+        "event-loop" => {
+            let defaults = MicroBatchConfig::default();
+            let opts = EventLoopOptions {
+                microbatch: MicroBatchConfig {
+                    enabled: !no_microbatch,
+                    flush_samples: flush_samples
+                        .map_or(defaults.flush_samples, |n| n.max(1) as usize),
+                    flush_wait: flush_micros.map_or(defaults.flush_wait, Duration::from_micros),
+                    queue_depth: queue_depth.map_or(defaults.queue_depth, |n| n.max(1) as usize),
+                },
+                workers: workers.unwrap_or(0) as usize,
+                ..EventLoopOptions::default()
+            };
+            Ok(ServingMode::EventLoop(opts))
+        }
+        other => Err(format!(
+            "unknown serving mode {other:?} (threads|event-loop)"
+        )),
     }
 }
 
@@ -185,8 +266,26 @@ fn run() -> Result<(), String> {
     let mut tcp = None;
     let mut models: Vec<(String, String)> = Vec::new();
     let mut default_model = None;
+    let mut serving = None;
+    let mut no_microbatch = false;
+    let mut flush_samples = None;
+    let mut flush_micros = None;
+    let mut queue_depth = None;
+    let mut workers = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        // Boolean flags first; everything else takes one value.
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            "--no-microbatch" => {
+                no_microbatch = true;
+                continue;
+            }
+            _ => {}
+        }
         let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
         match arg.as_str() {
             "--artifact" => artifact = Some(value),
@@ -197,9 +296,22 @@ fn run() -> Result<(), String> {
             "--tcp" => tcp = Some(value),
             "--model" => push_model(&mut models, &value)?,
             "--default" => default_model = Some(value),
+            "--serving" => serving = Some(value),
+            "--mb-flush-samples" => flush_samples = Some(value),
+            "--mb-flush-micros" => flush_micros = Some(value),
+            "--mb-queue-depth" => queue_depth = Some(value),
+            "--workers" => workers = Some(value),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    let mode = serving_mode(
+        serving.as_deref(),
+        no_microbatch,
+        flush_samples.as_deref(),
+        flush_micros.as_deref(),
+        queue_depth.as_deref(),
+        workers.as_deref(),
+    )?;
     let socket = socket.ok_or("need --socket")?;
     if models.is_empty() {
         // Legacy single-engine invocation: --artifact serves Bolt,
@@ -241,17 +353,45 @@ fn run() -> Result<(), String> {
         builder = builder.default_model(name);
     }
 
-    let registry_builder = builder;
+    let registry_builder = builder.serving(mode.clone());
     let server = registry_builder
         .bind_uds(&socket)
         .map_err(|e| format!("bind {socket}: {e}"))?;
     // Logged once at startup so operators can tell which scan backend the
-    // process resolved (BOLT_KERNEL override or CPU feature detection).
+    // process resolved (BOLT_KERNEL override or CPU feature detection),
+    // and how connections are scheduled.
     println!("boltd scan kernel: {}", bolt_core::Kernel::selected());
+    match &mode {
+        ServingMode::ThreadPerConnection => {
+            println!("boltd serving: one thread per connection (no batching)");
+        }
+        ServingMode::EventLoop(opts) if opts.microbatch.enabled => {
+            println!(
+                "boltd serving: event loop, micro-batch flush at {} samples / {} µs, \
+                 queue depth {}, workers {}",
+                opts.microbatch.flush_samples,
+                opts.microbatch.flush_wait.as_micros(),
+                opts.microbatch.queue_depth,
+                if opts.workers == 0 {
+                    "auto".to_owned()
+                } else {
+                    opts.workers.to_string()
+                }
+            );
+        }
+        ServingMode::EventLoop(opts) => {
+            println!(
+                "boltd serving: event loop, micro-batching off, queue depth {}",
+                opts.microbatch.queue_depth
+            );
+        }
+        _ => {}
+    }
     println!("boltd listening on {socket} (Ctrl-C to stop)");
     let _tcp_server = match tcp {
         Some(addr) => {
             let tcp_server = ServerBuilder::with_registry(server.registry())
+                .serving(mode)
                 .bind_tcp(&addr)
                 .map_err(|e| format!("bind tcp {addr}: {e}"))?;
             println!("boltd also listening on tcp {}", tcp_server.local_addr());
@@ -285,7 +425,57 @@ fn run() -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::push_model;
+    use super::{push_model, serving_mode};
+    use bolt_server::ServingMode;
+    use std::time::Duration;
+
+    #[test]
+    fn serving_defaults_to_event_loop_microbatching() {
+        let mode = serving_mode(None, false, None, None, None, None).unwrap();
+        match mode {
+            ServingMode::EventLoop(opts) => {
+                assert!(opts.microbatch.enabled);
+                assert_eq!(opts.microbatch.flush_samples, 64);
+                assert_eq!(opts.workers, 0);
+            }
+            other => panic!("expected event loop default, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serving_flags_parse_into_options() {
+        let mode = serving_mode(
+            Some("event-loop"),
+            true,
+            Some("128"),
+            Some("500"),
+            Some("1024"),
+            Some("4"),
+        )
+        .unwrap();
+        match mode {
+            ServingMode::EventLoop(opts) => {
+                assert!(!opts.microbatch.enabled);
+                assert_eq!(opts.microbatch.flush_samples, 128);
+                assert_eq!(opts.microbatch.flush_wait, Duration::from_micros(500));
+                assert_eq!(opts.microbatch.queue_depth, 1024);
+                assert_eq!(opts.workers, 4);
+            }
+            other => panic!("expected event loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_mode_rejects_microbatch_flags() {
+        assert!(matches!(
+            serving_mode(Some("threads"), false, None, None, None, None),
+            Ok(ServingMode::ThreadPerConnection)
+        ));
+        assert!(serving_mode(Some("threads"), true, None, None, None, None).is_err());
+        assert!(serving_mode(Some("threads"), false, Some("8"), None, None, None).is_err());
+        assert!(serving_mode(Some("warp"), false, None, None, None, None).is_err());
+        assert!(serving_mode(None, false, Some("not-a-number"), None, None, None).is_err());
+    }
 
     #[test]
     fn model_flags_parse_and_accumulate() {

@@ -2,6 +2,7 @@
 //! default model, then bind a Unix-domain-socket or TCP front-end (or
 //! both, sharing one registry).
 
+use crate::event_loop::ServingMode;
 use crate::registry::ModelRegistry;
 use crate::server::ClassificationServer;
 use crate::tcp::TcpClassificationServer;
@@ -44,6 +45,7 @@ use std::sync::Arc;
 pub struct ServerBuilder {
     registry: ModelRegistry,
     default_model: Option<String>,
+    serving: ServingMode,
 }
 
 impl ServerBuilder {
@@ -61,6 +63,7 @@ impl ServerBuilder {
         Self {
             registry,
             default_model: None,
+            serving: ServingMode::default(),
         }
     }
 
@@ -85,14 +88,23 @@ impl ServerBuilder {
         self
     }
 
+    /// Picks how connections are scheduled: the event-loop front-end with
+    /// adaptive micro-batching (the default), or one blocking thread per
+    /// connection (the paper's §6 methodology).
+    #[must_use]
+    pub fn serving(mut self, mode: ServingMode) -> Self {
+        self.serving = mode;
+        self
+    }
+
     /// Applies the chosen default and hands the registry out.
-    fn finish(self) -> std::io::Result<ModelRegistry> {
+    fn finish(self) -> std::io::Result<(ModelRegistry, ServingMode)> {
         if let Some(name) = &self.default_model {
             self.registry.set_default(name).map_err(|e| {
                 std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
             })?;
         }
-        Ok(self.registry)
+        Ok((self.registry, self.serving))
     }
 
     /// Binds a Unix-domain-socket server (removing any stale socket file)
@@ -103,8 +115,8 @@ impl ServerBuilder {
     /// Returns `InvalidInput` if the chosen default model is not
     /// registered, or the I/O error if the socket cannot be bound.
     pub fn bind_uds(self, path: impl AsRef<Path>) -> std::io::Result<ClassificationServer> {
-        let registry = self.finish()?;
-        ClassificationServer::bind_registry(path, registry)
+        let (registry, serving) = self.finish()?;
+        ClassificationServer::bind_registry(path, registry, serving)
     }
 
     /// Binds a TCP server (use port 0 for an ephemeral port) serving the
@@ -118,8 +130,8 @@ impl ServerBuilder {
         self,
         addr: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<TcpClassificationServer> {
-        let registry = self.finish()?;
-        TcpClassificationServer::bind_registry(addr, registry)
+        let (registry, serving) = self.finish()?;
+        TcpClassificationServer::bind_registry(addr, registry, serving)
     }
 }
 

@@ -67,6 +67,8 @@
 mod builder;
 mod client;
 mod engine;
+mod event_loop;
+mod microbatch;
 pub mod proto;
 mod registry;
 mod server;
@@ -75,6 +77,8 @@ mod tcp;
 pub use builder::ServerBuilder;
 pub use client::ClassificationClient;
 pub use engine::{ArtifactEngine, BoltEngine};
+pub use event_loop::{EventLoopOptions, ServingMode};
+pub use microbatch::MicroBatchConfig;
 pub use proto::{
     ClassifyBatchRequest, ClassifyBatchResponse, ClassifyBatchWithRequest, ClassifyRequest,
     ClassifyResponse, ClassifyWithRequest, ErrorFrame, ListModelsResponse, ModelInfo, ProtoError,

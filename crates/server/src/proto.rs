@@ -103,6 +103,14 @@ pub const ERR_NO_DEFAULT_MODEL: u8 = 3;
 /// Error code: the frame's version byte exceeds the server's
 /// [`PROTOCOL_VERSION`].
 pub const ERR_UNSUPPORTED_VERSION: u8 = 4;
+/// Error code: the frame was well-delimited but its payload decoded as no
+/// known message. Only the offending request fails; the connection (and
+/// any other requests in flight on it) survives.
+pub const ERR_MALFORMED_REQUEST: u8 = 5;
+/// Error code: the server's bounded request queue is full; the request was
+/// shed instead of queued. Retry after a backoff — the connection stays
+/// open.
+pub const ERR_OVERLOADED: u8 = 6;
 /// Error code: the server could not build a well-formed response (e.g. a
 /// model list too large for one frame).
 pub const ERR_INTERNAL: u8 = 255;

@@ -5,6 +5,7 @@ use crate::proto::{
     ListModelsResponse, ProtoError, Request, ERR_INTERNAL, ERR_NO_DEFAULT_MODEL, ERR_RETIRED_MODEL,
     ERR_UNKNOWN_MODEL, ERR_UNSUPPORTED_VERSION, PROTOCOL_VERSION,
 };
+use crate::event_loop::{self, EventLoopHandle, Listener, ServingMode};
 use crate::registry::{ModelHandle, ModelRegistry, RouteError};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -107,43 +108,78 @@ where
     }
 }
 
-/// A classification server on a Unix domain socket, one thread per
-/// connection (requests on a connection are processed sequentially, without
-/// batching, per §6's methodology). Hosts every model in its
-/// [`ModelRegistry`]; construct it with
+/// How a bound server front-end is being driven — and therefore how to
+/// tear it down.
+pub(crate) enum FrontEnd {
+    /// Blocking accept loop spawning one thread per connection.
+    Threads(Option<JoinHandle<()>>),
+    /// Event-loop thread plus worker pool ([`crate::event_loop`]).
+    Event(EventLoopHandle),
+}
+
+impl FrontEnd {
+    pub(crate) fn stop(&mut self) {
+        match self {
+            Self::Threads(handle) => {
+                if let Some(handle) = handle.take() {
+                    let _ = handle.join();
+                }
+            }
+            Self::Event(handle) => handle.stop(),
+        }
+    }
+}
+
+/// A classification server on a Unix domain socket. Hosts every model in
+/// its [`ModelRegistry`]; construct it with
 /// [`ServerBuilder`](crate::ServerBuilder).
+///
+/// The default [`ServingMode`] is the event-loop front-end with adaptive
+/// micro-batching; [`ServingMode::ThreadPerConnection`] restores the
+/// paper's §6 methodology (requests on a connection processed
+/// sequentially by a dedicated thread, without batching).
 pub struct ClassificationServer {
     shared: Arc<Shared>,
     path: PathBuf,
-    accept_thread: Option<JoinHandle<()>>,
+    front: FrontEnd,
 }
 
 impl ClassificationServer {
     /// Binds the socket (removing any stale file) and starts accepting,
-    /// serving the registry's models.
+    /// serving the registry's models under the given serving mode.
     pub(crate) fn bind_registry(
         path: impl AsRef<Path>,
         registry: ModelRegistry,
+        mode: ServingMode,
     ) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared::new(registry));
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || {
-            run_accept_loop(
-                &accept_shared,
-                || listener.accept().map(|(stream, _)| stream),
-                |stream, shared| {
-                    let _ = handle_connection(stream, shared);
-                },
-            );
-        });
+        let front = match mode {
+            ServingMode::ThreadPerConnection => {
+                let accept_shared = Arc::clone(&shared);
+                FrontEnd::Threads(Some(std::thread::spawn(move || {
+                    run_accept_loop(
+                        &accept_shared,
+                        || listener.accept().map(|(stream, _)| stream),
+                        |stream, shared| {
+                            let _ = handle_connection(stream, shared);
+                        },
+                    );
+                })))
+            }
+            ServingMode::EventLoop(opts) => FrontEnd::Event(event_loop::spawn(
+                Listener::Uds(listener),
+                Arc::clone(&shared),
+                opts,
+            )?),
+        };
         Ok(Self {
             shared,
             path,
-            accept_thread: Some(accept_thread),
+            front,
         })
     }
 
@@ -164,7 +200,7 @@ impl ClassificationServer {
         let registry = ModelRegistry::new();
         let name = engine.name().to_owned();
         registry.register(name, Arc::from(engine));
-        Self::bind_registry(path, registry)
+        Self::bind_registry(path, registry, ServingMode::default())
     }
 
     /// The socket path clients connect to.
@@ -201,9 +237,7 @@ impl ClassificationServer {
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
+        self.front.stop();
         let _ = std::fs::remove_file(&self.path);
     }
 }
@@ -230,7 +264,7 @@ fn handle_connection(stream: UnixStream, shared: &Shared) -> Result<(), ProtoErr
 }
 
 /// Translates a routing failure into its structured wire error.
-fn route_error_frame(error: &RouteError) -> ErrorFrame {
+pub(crate) fn route_error_frame(error: &RouteError) -> ErrorFrame {
     let code = match error {
         RouteError::UnknownModel(_) => ERR_UNKNOWN_MODEL,
         RouteError::RetiredModel(_) => ERR_RETIRED_MODEL,

@@ -5,18 +5,19 @@
 //! network to a front-end", Fig. 7). Same framing, same registry routing,
 //! same statistics — only the listener differs.
 
+use crate::event_loop::{self, Listener, ServingMode};
 use crate::registry::ModelRegistry;
-use crate::server::{handle_stream, run_accept_loop, Shared};
+use crate::server::{handle_stream, run_accept_loop, FrontEnd, Shared};
 use crate::ServerStats;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A classification server on a TCP socket, one thread per connection.
-/// Hosts every model in its [`ModelRegistry`]; construct it with
-/// [`ServerBuilder`](crate::ServerBuilder).
+/// A classification server on a TCP socket. Hosts every model in its
+/// [`ModelRegistry`]; construct it with
+/// [`ServerBuilder`](crate::ServerBuilder). Defaults to the event-loop
+/// front-end with adaptive micro-batching (see [`ServingMode`]).
 ///
 /// # Examples
 ///
@@ -40,37 +41,48 @@ use std::time::Duration;
 pub struct TcpClassificationServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    front: FrontEnd,
 }
 
 impl TcpClassificationServer {
     /// Binds the address (use port 0 for an ephemeral port) and starts
-    /// accepting, serving the registry's models.
+    /// accepting, serving the registry's models under the given serving
+    /// mode.
     pub(crate) fn bind_registry(
         addr: impl std::net::ToSocketAddrs,
         registry: ModelRegistry,
+        mode: ServingMode,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared::new(registry));
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || {
-            // Transient accept errors (EMFILE under connection load,
-            // aborted handshakes) are retried with backoff rather than
-            // killing the accept thread; see run_accept_loop.
-            run_accept_loop(
-                &accept_shared,
-                || listener.accept().map(|(stream, _)| stream),
-                |stream, shared| {
-                    let _ = serve_tcp_connection(stream, shared);
-                },
-            );
-        });
+        let front = match mode {
+            ServingMode::ThreadPerConnection => {
+                let accept_shared = Arc::clone(&shared);
+                // Transient accept errors (EMFILE under connection load,
+                // aborted handshakes) are retried with backoff rather than
+                // killing the accept thread; see run_accept_loop.
+                FrontEnd::Threads(Some(std::thread::spawn(move || {
+                    run_accept_loop(
+                        &accept_shared,
+                        || listener.accept().map(|(stream, _)| stream),
+                        |stream, shared| {
+                            let _ = serve_tcp_connection(stream, shared);
+                        },
+                    );
+                })))
+            }
+            ServingMode::EventLoop(opts) => FrontEnd::Event(event_loop::spawn(
+                Listener::Tcp(listener),
+                Arc::clone(&shared),
+                opts,
+            )?),
+        };
         Ok(Self {
             shared,
             local_addr,
-            accept_thread: Some(accept_thread),
+            front,
         })
     }
 
@@ -91,7 +103,7 @@ impl TcpClassificationServer {
         let registry = ModelRegistry::new();
         let name = engine.name().to_owned();
         registry.register(name, Arc::from(engine));
-        Self::bind_registry(addr, registry)
+        Self::bind_registry(addr, registry, ServingMode::default())
     }
 
     /// The bound address (useful with port 0).
@@ -127,9 +139,7 @@ impl TcpClassificationServer {
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
+        self.front.stop();
     }
 }
 

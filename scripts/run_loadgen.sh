@@ -2,10 +2,12 @@
 # Open-loop load-generator smoke test: train and compile a model, serve it
 # through a real boltd process on both transports, drive it with bolt-bench
 # over UDS and TCP, and validate the emitted BENCH_*.json snapshots against
-# the schema. Bounded request counts keep this inside CI budgets; the
-# numbers it produces are smoke-level, not publishable — use
-# `bolt-bench` (the self-hosted suite) on quiet hardware for trajectory
-# entries.
+# the schema. The event-loop front-end is exercised with micro-batching on
+# (boltd's default) AND off, and the two runs are diffed with
+# `bolt-bench --compare`, as are the committed results/ snapshots (schema +
+# plumbing check). Bounded request counts keep this inside CI budgets; the
+# numbers it produces are smoke-level, not publishable — use `bolt-bench`
+# (the self-hosted suite) on quiet hardware for trajectory entries.
 #
 # Usage: scripts/run_loadgen.sh [requests]
 #   requests — frames per workload (default 1500).
@@ -36,32 +38,70 @@ echo "== train + compile (lstw) =="
     --seed 7 --out "$FOREST"
 "$BOLTC" compile --forest "$FOREST" --threshold 2 --out "$MODEL"
 
-echo "== serve on UDS + TCP =="
-"$BOLTD" --model prod=artifact:"$MODEL" --default prod \
-    --socket "$SOCKET" --tcp "$TCP_ADDR" &
-BOLTD_PID=$!
-for _ in $(seq 1 50); do
-    [ -S "$SOCKET" ] && break
-    kill -0 "$BOLTD_PID" 2>/dev/null || { echo "boltd died" >&2; exit 1; }
-    sleep 0.1
-done
-[ -S "$SOCKET" ] || { echo "boltd never bound $SOCKET" >&2; exit 1; }
+# Starts boltd with the given extra serving flags and waits for the socket.
+start_boltd() {
+    "$BOLTD" --model prod=artifact:"$MODEL" --default prod \
+        --socket "$SOCKET" --tcp "$TCP_ADDR" "$@" &
+    BOLTD_PID=$!
+    for _ in $(seq 1 50); do
+        [ -S "$SOCKET" ] && break
+        kill -0 "$BOLTD_PID" 2>/dev/null || { echo "boltd died" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -S "$SOCKET" ] || { echo "boltd never bound $SOCKET" >&2; exit 1; }
+}
 
-echo "== open-loop load: UDS single + batch, TCP single =="
-# lstw matches the trained model's 11 features; the error mix proves the
-# unknown-model path stays structured under load.
-"$BENCH" --connect uds:"$SOCKET" --workload loadgen_uds_single --data lstw \
-    --requests "$REQUESTS" --rate 4000 --threads 4 --out "$WORKDIR/results"
-"$BENCH" --connect uds:"$SOCKET" --workload loadgen_uds_batch --data lstw \
-    --requests "$REQUESTS" --rate 2000 --threads 4 --batch 16 \
-    --out "$WORKDIR/results"
-"$BENCH" --connect tcp:"$TCP_ADDR" --workload loadgen_tcp_single --data lstw \
-    --requests "$REQUESTS" --rate 4000 --threads 4 --model prod \
-    --error-every 16 --out "$WORKDIR/results"
+stop_boltd() {
+    kill "$BOLTD_PID" 2>/dev/null || true
+    wait "$BOLTD_PID" 2>/dev/null || true
+    BOLTD_PID=""
+    rm -f "$SOCKET"
+}
+
+# Runs the workload mix against the live boltd into the given results dir:
+# UDS single + batch, a fixed-duration UDS run, and TCP single with error
+# traffic and reconnect churn.
+drive() {
+    out="$1"
+    "$BENCH" --connect uds:"$SOCKET" --workload loadgen_uds_single --data lstw \
+        --requests "$REQUESTS" --rate 4000 --threads 4 --out "$out"
+    "$BENCH" --connect uds:"$SOCKET" --workload loadgen_uds_batch --data lstw \
+        --requests "$REQUESTS" --rate 2000 --threads 4 --batch 16 \
+        --out "$out"
+    "$BENCH" --connect uds:"$SOCKET" --workload loadgen_uds_timed --data lstw \
+        --duration-secs 2 --rate 4000 --threads 4 --out "$out"
+    "$BENCH" --connect tcp:"$TCP_ADDR" --workload loadgen_tcp_single --data lstw \
+        --requests "$REQUESTS" --rate 4000 --threads 4 --model prod \
+        --error-every 16 --reconnect-every 8 --out "$out"
+}
+
+echo "== serve on UDS + TCP: event loop, micro-batching ON (default) =="
+start_boltd
+drive "$WORKDIR/results-mb-on"
+stop_boltd
+
+echo "== serve on UDS + TCP: event loop, micro-batching OFF =="
+start_boltd --no-microbatch
+drive "$WORKDIR/results-mb-off"
+stop_boltd
 
 echo "== validate snapshots against the schema =="
-"$BENCH" --check "$WORKDIR"/results/BENCH_loadgen_uds_single.json \
-    "$WORKDIR"/results/BENCH_loadgen_uds_batch.json \
-    "$WORKDIR"/results/BENCH_loadgen_tcp_single.json
+for dir in "$WORKDIR/results-mb-on" "$WORKDIR/results-mb-off"; do
+    "$BENCH" --check "$dir"/BENCH_loadgen_uds_single.json \
+        "$dir"/BENCH_loadgen_uds_batch.json \
+        "$dir"/BENCH_loadgen_uds_timed.json \
+        "$dir"/BENCH_loadgen_tcp_single.json
+done
 
-echo "Load-generator round trip OK: boltd served UDS + TCP open-loop traffic, snapshots validate."
+echo "== compare micro-batching off -> on =="
+# Informational on smoke hardware: a huge threshold keeps CI deterministic
+# while still proving the compare gate parses, matches, and verdicts.
+"$BENCH" --compare "$WORKDIR/results-mb-off" "$WORKDIR/results-mb-on" \
+    --threshold 10000
+
+echo "== compare the committed trajectory snapshots through the same gate =="
+# Self-comparison: zero deltas by construction, but every committed
+# BENCH_*.json must parse, validate, and match by workload.
+"$BENCH" --compare results results
+
+echo "Load-generator round trip OK: boltd served UDS + TCP open-loop traffic with micro-batching on and off; snapshots validate and compare."

@@ -1,0 +1,451 @@
+//! Minimal level-triggered readiness polling shim.
+//!
+//! Vendored so the workspace stays dependency-free, in the spirit of
+//! `vendor/mmap`: on Linux a [`Poller`] wraps the raw
+//! `epoll_create1(2)`/`epoll_ctl(2)`/`epoll_wait(2)` syscalls through a
+//! tiny `extern "C"` surface; on other unix targets the same API is backed
+//! by `poll(2)` over an internally tracked registration table. Both
+//! backends are **level-triggered**: a ready fd keeps reporting until it is
+//! drained, so callers read/write until `WouldBlock` without fear of lost
+//! wakeups.
+//!
+//! The shim deliberately exposes only what an event-loop server needs:
+//! register/re-register/deregister an fd under a `u64` token, and wait with
+//! an optional timeout. No ownership of the fds is taken — callers keep
+//! their `TcpStream`/`UnixStream` values and must deregister before close.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// What readiness a registration asks to be told about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the common state of an idle connection.
+    pub const READABLE: Self = Self {
+        readable: true,
+        writable: false,
+    };
+    /// Readable and writable — a connection with a backlogged write buffer.
+    pub const BOTH: Self = Self {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd has bytes to read (or the peer closed its write side).
+    pub readable: bool,
+    /// The fd can accept writes.
+    pub writable: bool,
+    /// The fd is in an error/hangup state (`EPOLLERR`/`EPOLLHUP`); the
+    /// connection should be torn down after draining.
+    pub error: bool,
+}
+
+/// Converts an optional wait budget into poll/epoll milliseconds:
+/// `None` blocks forever, zero returns immediately, and sub-millisecond
+/// remainders round *up* so a nearly-due deadline never busy-loops.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_millis();
+            let ms = if ms == 0 && t.as_nanos() > 0 { 1 } else { ms };
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Thin `extern "C"` surface over the libc already linked into every
+    //! Rust binary — no external crate needed.
+    #![allow(non_camel_case_types)]
+
+    pub type c_int = i32;
+
+    pub const EPOLL_CLOEXEC: c_int = 0x8_0000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Mirror of the kernel's `struct epoll_event`. The Linux UAPI packs
+    /// it on x86-64 (`__EPOLL_PACKED`) so the 64-bit data field sits at
+    /// offset 4; on every other architecture it is naturally aligned.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(
+            epfd: c_int,
+            op: c_int,
+            fd: c_int,
+            event: *mut epoll_event,
+        ) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Level-triggered readiness poller over `epoll(7)`.
+#[cfg(target_os = "linux")]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    /// Most events returned by one [`wait`](Self::wait) call.
+    pub const MAX_EVENTS: usize = 256;
+
+    /// Creates the epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 has no memory preconditions.
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { epfd })
+    }
+
+    fn ctl(&self, op: sys::c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut events = sys::EPOLLERR | sys::EPOLLHUP;
+        if interest.readable {
+            events |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if interest.writable {
+            events |= sys::EPOLLOUT;
+        }
+        let mut ev = sys::epoll_event {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `fd` under `token`.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Changes an existing registration's token/interest.
+    pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Stops watching `fd`. Call before closing the fd; a closed fd is
+    /// removed by the kernel anyway, but an explicit delete keeps the
+    /// table exact when fds are reused.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = sys::epoll_event { events: 0, data: 0 };
+        // SAFETY: a non-null event pointer keeps pre-2.6.9 kernels happy.
+        let rc = unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Waits for readiness, appending into `events` (cleared first). A
+    /// `None` timeout blocks indefinitely; `EINTR` returns an empty set
+    /// rather than an error so callers simply loop.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let mut raw = [sys::epoll_event { events: 0, data: 0 }; Self::MAX_EVENTS];
+        // SAFETY: `raw` is a valid buffer of MAX_EVENTS entries.
+        let n = unsafe {
+            sys::epoll_wait(
+                self.epfd,
+                raw.as_mut_ptr(),
+                Self::MAX_EVENTS as sys::c_int,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for ev in &raw[..n as usize] {
+            let bits = ev.events;
+            events.push(Event {
+                token: ev.data,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                error: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: epfd came from a successful epoll_create1 and is closed
+        // exactly once.
+        unsafe {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+// SAFETY: the epoll fd is just an integer handle; epoll_ctl/epoll_wait are
+// thread-safe per POSIX.
+#[cfg(target_os = "linux")]
+unsafe impl Send for Poller {}
+#[cfg(target_os = "linux")]
+unsafe impl Sync for Poller {}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod fallback_sys {
+    #![allow(non_camel_case_types)]
+
+    pub type c_int = i32;
+    pub type c_short = i16;
+    pub type nfds_t = usize;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    }
+}
+
+/// `poll(2)`-backed fallback with the same API, for unix targets without
+/// epoll (macOS and the BSDs). The registration table lives in userspace;
+/// every wait rebuilds the pollfd array, which is O(fds) but correct.
+#[cfg(all(unix, not(target_os = "linux")))]
+pub struct Poller {
+    registry: std::sync::Mutex<std::collections::BTreeMap<RawFd, (u64, Interest)>>,
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+impl Poller {
+    /// Most events returned by one [`wait`](Self::wait) call.
+    pub const MAX_EVENTS: usize = 256;
+
+    /// Creates an empty poller.
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            registry: std::sync::Mutex::new(std::collections::BTreeMap::new()),
+        })
+    }
+
+    /// Starts watching `fd` under `token`.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.registry
+            .lock()
+            .expect("poller registry")
+            .insert(fd, (token, interest));
+        Ok(())
+    }
+
+    /// Changes an existing registration's token/interest.
+    pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.register(fd, token, interest)
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.registry.lock().expect("poller registry").remove(&fd);
+        Ok(())
+    }
+
+    /// Waits for readiness, appending into `events` (cleared first).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let snapshot: Vec<(RawFd, u64, Interest)> = self
+            .registry
+            .lock()
+            .expect("poller registry")
+            .iter()
+            .map(|(&fd, &(token, interest))| (fd, token, interest))
+            .collect();
+        let mut fds: Vec<fallback_sys::pollfd> = snapshot
+            .iter()
+            .map(|&(fd, _, interest)| fallback_sys::pollfd {
+                fd,
+                events: if interest.readable {
+                    fallback_sys::POLLIN
+                } else {
+                    0
+                } | if interest.writable {
+                    fallback_sys::POLLOUT
+                } else {
+                    0
+                },
+                revents: 0,
+            })
+            .collect();
+        // SAFETY: `fds` is a valid array of pollfd for the call duration.
+        let n = unsafe {
+            fallback_sys::poll(fds.as_mut_ptr(), fds.len(), timeout_ms(timeout))
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for (pfd, &(_, token, _)) in fds.iter().zip(&snapshot) {
+            if pfd.revents == 0 || events.len() == Self::MAX_EVENTS {
+                continue;
+            }
+            events.push(Event {
+                token,
+                readable: pfd.revents & (fallback_sys::POLLIN | fallback_sys::POLLHUP) != 0,
+                writable: pfd.revents & fallback_sys::POLLOUT != 0,
+                error: pfd.revents & (fallback_sys::POLLERR | fallback_sys::POLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_event_fires_and_clears() {
+        let (mut a, mut b) = UnixStream::pair().expect("pair");
+        a.set_nonblocking(true).expect("nonblocking");
+        b.set_nonblocking(true).expect("nonblocking");
+        let poller = Poller::new().expect("poller");
+        poller
+            .register(a.as_raw_fd(), 7, Interest::READABLE)
+            .expect("register");
+        let mut events = Vec::new();
+        // Nothing to read yet: a zero timeout returns empty.
+        poller
+            .wait(&mut events, Some(Duration::ZERO))
+            .expect("wait");
+        assert!(events.is_empty());
+        b.write_all(b"x").expect("write");
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        // Level-triggered: still readable until drained.
+        poller
+            .wait(&mut events, Some(Duration::ZERO))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        let mut buf = [0u8; 8];
+        let n = a.read(&mut buf).expect("read");
+        assert_eq!(n, 1);
+        poller
+            .wait(&mut events, Some(Duration::ZERO))
+            .expect("wait");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn writable_interest_toggles_with_reregister() {
+        let (a, _b) = UnixStream::pair().expect("pair");
+        a.set_nonblocking(true).expect("nonblocking");
+        let poller = Poller::new().expect("poller");
+        poller
+            .register(a.as_raw_fd(), 1, Interest::READABLE)
+            .expect("register");
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::ZERO))
+            .expect("wait");
+        assert!(events.iter().all(|e| !e.writable));
+        // An idle socket with write interest reports writable immediately.
+        poller
+            .reregister(a.as_raw_fd(), 1, Interest::BOTH)
+            .expect("reregister");
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert!(events.iter().any(|e| e.writable && e.token == 1));
+        poller.deregister(a.as_raw_fd()).expect("deregister");
+        poller
+            .wait(&mut events, Some(Duration::ZERO))
+            .expect("wait");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn hangup_reports_readable_for_eof_detection() {
+        let (a, b) = UnixStream::pair().expect("pair");
+        a.set_nonblocking(true).expect("nonblocking");
+        let poller = Poller::new().expect("poller");
+        poller
+            .register(a.as_raw_fd(), 3, Interest::READABLE)
+            .expect("register");
+        drop(b);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        // The peer closing must surface as readable so the server reads
+        // the clean EOF instead of waiting forever.
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
+    }
+
+    #[test]
+    fn timeout_rounds_up_not_down() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_nanos(1))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(999))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(7))), 7);
+        assert_eq!(timeout_ms(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+}

@@ -5,9 +5,12 @@
 //! `impl ::serde::Deserialize` blocks as parsed code strings. Supports
 //! named-field structs and enums with unit, named-field, and tuple
 //! variants — the shapes this workspace derives on. Generic types are
-//! rejected with a compile-time panic. The only recognized helper
-//! attribute is `#[serde(skip)]`, which omits the field on serialize and
-//! restores it via `Default::default()` on deserialize.
+//! rejected with a compile-time panic. Two helper attributes are
+//! recognized: `#[serde(skip)]` omits the field on serialize and
+//! restores it via `Default::default()` on deserialize, and
+//! `#[serde(default)]` serializes normally but falls back to
+//! `Default::default()` when the field is absent on deserialize (so
+//! schemas can grow fields without invalidating older files).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
@@ -15,6 +18,7 @@ use std::fmt::Write as _;
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 enum VariantKind {
@@ -39,21 +43,22 @@ enum Item {
     },
 }
 
-/// Returns true when the bracketed attribute body is `serde(... skip ...)`.
-fn attr_is_serde_skip(body: &[TokenTree]) -> bool {
+/// Returns true when the bracketed attribute body is `serde(... <word> ...)`.
+fn attr_is_serde_word(body: &[TokenTree], word: &str) -> bool {
     match body {
         [TokenTree::Ident(i), TokenTree::Group(g)] if i.to_string() == "serde" => g
             .stream()
             .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == word)),
         _ => false,
     }
 }
 
 /// Consumes leading `#[...]` attributes; reports whether any was
-/// `#[serde(skip)]`.
-fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+/// `#[serde(skip)]` / `#[serde(default)]` as `(skip, default)`.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> (bool, bool) {
     let mut skip = false;
+    let mut default = false;
     while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
         if p.as_char() != '#' {
             break;
@@ -65,10 +70,11 @@ fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
             break;
         }
         let body: Vec<TokenTree> = g.stream().into_iter().collect();
-        skip |= attr_is_serde_skip(&body);
+        skip |= attr_is_serde_word(&body, "skip");
+        default |= attr_is_serde_word(&body, "default");
         *pos += 2;
     }
-    skip
+    (skip, default)
 }
 
 /// Consumes an optional `pub` / `pub(...)` visibility.
@@ -107,7 +113,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        let skip = eat_attrs(&tokens, &mut pos);
+        let (skip, default) = eat_attrs(&tokens, &mut pos);
         eat_vis(&tokens, &mut pos);
         let TokenTree::Ident(name) = &tokens[pos] else {
             panic!("serde_derive: expected field name, got {:?}", tokens[pos]);
@@ -115,6 +121,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name: name.to_string(),
             skip,
+            default,
         });
         pos += 1;
         match &tokens[pos] {
@@ -290,6 +297,14 @@ fn gen_named_field_build(type_name: &str, fields: &[Field], map_expr: &str) -> S
         let fname = &f.name;
         if f.skip {
             let _ = writeln!(out, "{fname}: ::core::default::Default::default(),");
+        } else if f.default {
+            let _ = write!(
+                out,
+                "{fname}: match ::serde::field({map_expr}, \"{fname}\") {{\n\
+                 Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                 None => ::core::default::Default::default(),\n\
+                 }},\n"
+            );
         } else {
             let _ = write!(
                 out,

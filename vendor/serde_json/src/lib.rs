@@ -439,4 +439,33 @@ mod tests {
         assert!(from_str::<bool>("truex").is_err());
         assert!(from_str::<String>("\"unterminated").is_err());
     }
+
+    #[test]
+    fn defaulted_fields_tolerate_absence_but_still_serialize() {
+        #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+        struct Grown {
+            required: u64,
+            #[serde(default)]
+            added_later: f64,
+            #[serde(default)]
+            also_added: u64,
+        }
+        // A file written before the fields existed still reads.
+        let old: Grown = from_str("{\"required\": 7}").unwrap();
+        assert_eq!(old.required, 7);
+        assert_eq!(old.added_later, 0.0);
+        assert_eq!(old.also_added, 0);
+        // A missing *required* field is still an error.
+        assert!(from_str::<Grown>("{\"added_later\": 1.0}").is_err());
+        // Round trip carries the defaulted fields like any other.
+        let text = to_string(&Grown {
+            required: 1,
+            added_later: 2.5,
+            also_added: 3,
+        })
+        .unwrap();
+        let back: Grown = from_str(&text).unwrap();
+        assert_eq!(back.added_later, 2.5);
+        assert_eq!(back.also_added, 3);
+    }
 }
