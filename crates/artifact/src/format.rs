@@ -132,6 +132,12 @@ pub struct Header {
     pub flags: u8,
     /// Number of entries in the section table.
     pub section_count: u32,
+    /// Deployment version of the *model* (not the format): the `V` in a
+    /// model store's `NAME@V.blt` naming, stamped by `boltc compile
+    /// --model-version`. Stored in previously-reserved header bytes, so
+    /// pre-versioning files read back as 0 ("unversioned") and the format
+    /// version stays [`FORMAT_VERSION`].
+    pub model_version: u32,
     /// Total file length in bytes, for truncation detection.
     pub file_len: u64,
 }
@@ -145,7 +151,7 @@ impl Header {
         out[6] = self.model_kind;
         out[7] = self.flags;
         out[8..12].copy_from_slice(&self.section_count.to_le_bytes());
-        // bytes 12..16 reserved (zero)
+        out[12..16].copy_from_slice(&self.model_version.to_le_bytes());
         // header_crc at 16..20 is zero while hashing
         out[24..32].copy_from_slice(&self.file_len.to_le_bytes());
         let crc = crc32(&out);
@@ -175,6 +181,7 @@ impl Header {
             model_kind: bytes[6],
             flags: bytes[7],
             section_count: u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            model_version: u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
             file_len: u64::from_le_bytes(bytes[24..32].try_into().unwrap()),
         })
     }
@@ -238,10 +245,14 @@ mod tests {
             model_kind: KIND_CLASSIFIER,
             flags: FLAG_HAS_BLOOM,
             section_count: 13,
+            model_version: 42,
             file_len: 123_456,
         };
         let bytes = h.to_bytes();
         assert_eq!(Header::from_bytes(&bytes), Some(h));
+        // The model version rides in the previously-reserved bytes, so a
+        // pre-versioning header (zeros there) parses as version 0.
+        assert_eq!(bytes[12..16], 42u32.to_le_bytes());
         // A single flipped bit must break the header CRC.
         let mut bad = bytes;
         bad[9] ^= 0x40;

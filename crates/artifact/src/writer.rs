@@ -16,9 +16,20 @@ pub struct ArtifactWriter;
 const META_LEN: usize = 64;
 
 impl ArtifactWriter {
-    /// Serializes a classification forest into `BLT1` bytes.
+    /// Serializes a classification forest into `BLT1` bytes with
+    /// [`Header::model_version`] zero ("unversioned"); see
+    /// [`serialize_forest_versioned`](Self::serialize_forest_versioned)
+    /// to stamp a deployment version for a model store.
     #[must_use]
     pub fn serialize_forest(bolt: &BoltForest) -> Vec<u8> {
+        Self::serialize_forest_versioned(bolt, 0)
+    }
+
+    /// Serializes a classification forest into `BLT1` bytes, stamping
+    /// `model_version` into the header — the `V` a model store expects to
+    /// match the artifact's `NAME@V.blt` file name.
+    #[must_use]
+    pub fn serialize_forest_versioned(bolt: &BoltForest, model_version: u32) -> Vec<u8> {
         let view = bolt.view();
         let dict = view.dict();
         let table = view.table();
@@ -69,12 +80,21 @@ impl ArtifactWriter {
         }
         sections.push((section::CONST, const_bytes));
 
-        assemble(format::KIND_CLASSIFIER, flags, &sections)
+        assemble(format::KIND_CLASSIFIER, flags, model_version, &sections)
     }
 
-    /// Serializes a regression forest into `BLT1` bytes.
+    /// Serializes a regression forest into `BLT1` bytes with
+    /// [`Header::model_version`] zero; see
+    /// [`serialize_regressor_versioned`](Self::serialize_regressor_versioned).
     #[must_use]
     pub fn serialize_regressor(bolt: &BoltRegressor) -> Vec<u8> {
+        Self::serialize_regressor_versioned(bolt, 0)
+    }
+
+    /// Serializes a regression forest into `BLT1` bytes, stamping
+    /// `model_version` into the header.
+    #[must_use]
+    pub fn serialize_regressor_versioned(bolt: &BoltRegressor, model_version: u32) -> Vec<u8> {
         let view = bolt.view();
         let dict = view.dict();
         let table = view.table();
@@ -120,7 +140,7 @@ impl ArtifactWriter {
         }
         sections.push((section::CONST, const_bytes));
 
-        assemble(format::KIND_REGRESSOR, flags, &sections)
+        assemble(format::KIND_REGRESSOR, flags, model_version, &sections)
     }
 
     /// Serializes a classification forest and writes it to `path`.
@@ -128,9 +148,35 @@ impl ArtifactWriter {
         write_atomic(path.as_ref(), &Self::serialize_forest(bolt))
     }
 
+    /// Serializes a classification forest with a stamped model version
+    /// and writes it to `path`.
+    pub fn write_forest_versioned(
+        bolt: &BoltForest,
+        model_version: u32,
+        path: impl AsRef<Path>,
+    ) -> io::Result<()> {
+        write_atomic(
+            path.as_ref(),
+            &Self::serialize_forest_versioned(bolt, model_version),
+        )
+    }
+
     /// Serializes a regression forest and writes it to `path`.
     pub fn write_regressor(bolt: &BoltRegressor, path: impl AsRef<Path>) -> io::Result<()> {
         write_atomic(path.as_ref(), &Self::serialize_regressor(bolt))
+    }
+
+    /// Serializes a regression forest with a stamped model version and
+    /// writes it to `path`.
+    pub fn write_regressor_versioned(
+        bolt: &BoltRegressor,
+        model_version: u32,
+        path: impl AsRef<Path>,
+    ) -> io::Result<()> {
+        write_atomic(
+            path.as_ref(),
+            &Self::serialize_regressor_versioned(bolt, model_version),
+        )
     }
 }
 
@@ -181,7 +227,7 @@ fn f64_bytes(values: &[f64]) -> Vec<u8> {
 }
 
 /// Lays out header + section table + aligned payloads and stamps CRCs.
-fn assemble(model_kind: u8, flags: u8, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+fn assemble(model_kind: u8, flags: u8, model_version: u32, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
     let table_end = format::HEADER_LEN + sections.len() * format::SECTION_ENTRY_LEN;
     let mut descs = Vec::with_capacity(sections.len());
     let mut cursor = table_end;
@@ -203,6 +249,7 @@ fn assemble(model_kind: u8, flags: u8, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
         model_kind,
         flags,
         section_count: sections.len() as u32,
+        model_version,
         file_len: file_len as u64,
     };
     out[..format::HEADER_LEN].copy_from_slice(&header.to_bytes());

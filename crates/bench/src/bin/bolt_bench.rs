@@ -29,8 +29,10 @@
 //! The suite covers the mixes the serving path must survive together:
 //! single vs `ClassifyBatch` frames on both transports, named-model
 //! fan-out via v2 `ClassifyWith`, deliberate unknown-model error traffic,
-//! and hot-swap churn re-registering a model under fire. Every response
-//! in self-hosted mode is checked bit-identical to the direct
+//! hot-swap churn re-registering a model under fire, and a model-churn
+//! fleet cycling 16 directory artifacts through a resident-bytes budget
+//! that admits 4 (evict + re-map on nearly every routed request). Every
+//! response in self-hosted mode is checked bit-identical to the direct
 //! `forest.predict` answer; any mismatch or protocol error fails the run.
 
 use bolt_baselines::ScikitLikeForest;
@@ -400,9 +402,15 @@ fn suite(cli: &Cli) -> Result<(), String> {
 
     // One registry behind both transports, as boltd deploys it.
     let registry = ModelRegistry::new();
-    registry.register("bolt", Arc::new(BoltEngine::new(Arc::clone(&bolt))));
-    registry.register("scikit", Arc::clone(&scikit) as Arc<_>);
-    registry.register("swap", Arc::new(BoltEngine::new(Arc::clone(&bolt))));
+    registry
+        .register("bolt", Arc::new(BoltEngine::new(Arc::clone(&bolt))))
+        .map_err(|e| format!("register bolt: {e}"))?;
+    registry
+        .register("scikit", Arc::clone(&scikit) as Arc<_>)
+        .map_err(|e| format!("register scikit: {e}"))?;
+    registry
+        .register("swap", Arc::new(BoltEngine::new(Arc::clone(&bolt))))
+        .map_err(|e| format!("register swap: {e}"))?;
     registry
         .set_default("bolt")
         .map_err(|e| format!("set default: {e}"))?;
@@ -415,6 +423,32 @@ fn suite(cli: &Cli) -> Result<(), String> {
         .map_err(|e| format!("bind tcp: {e}"))?;
     let uds_target = Target::Uds(uds_path.clone());
     let tcp_target = Target::Tcp(tcp.local_addr());
+
+    // Model-churn fleet: 16 copies of the compiled artifact served from
+    // a model directory through a resident-bytes budget that admits only
+    // 4 at once, so round-robin routing pays an evict + re-map on nearly
+    // every request. Identical trees in every artifact keep the
+    // bit-identical check meaningful no matter which model a frame
+    // lands on.
+    const CHURN_FLEET: usize = 16;
+    let churn_dir = std::env::temp_dir().join(format!("bolt-bench-models-{}", std::process::id()));
+    std::fs::create_dir_all(&churn_dir).map_err(|e| format!("churn model dir: {e}"))?;
+    let churn_artifact = bolt_artifact::ArtifactWriter::serialize_forest_versioned(&bolt, 1);
+    let churn_names: Vec<String> = (0..CHURN_FLEET).map(|i| format!("churn{i:02}")).collect();
+    for name in &churn_names {
+        std::fs::write(churn_dir.join(format!("{name}@1.blt")), &churn_artifact)
+            .map_err(|e| format!("write churn artifact: {e}"))?;
+    }
+    let churn_budget = churn_artifact.len() as u64 * 9 / 2;
+    let churn_sock =
+        std::env::temp_dir().join(format!("bolt-bench-churn-{}.sock", std::process::id()));
+    let churn_server = ServerBuilder::new()
+        .model_dir(&churn_dir)
+        .resident_bytes(churn_budget)
+        .bind_uds(&churn_sock)
+        .map_err(|e| format!("bind churn server: {e}"))?;
+    let churn_target = Target::Uds(churn_sock.clone());
+    let churn_refs: Vec<&str> = churn_names.iter().map(String::as_str).collect();
     let kernel = bolt_core::Kernel::selected().to_string();
     let rev = git_rev();
     println!(
@@ -435,6 +469,11 @@ fn suite(cli: &Cli) -> Result<(), String> {
     // frames, keeping accept/close hot for the whole run.
     let mut reconnect = mk("uds_reconnect", 1, &[], 0);
     reconnect.reconnect_every = 4;
+    // The evict + re-map path sustains roughly 1k fps; offer well under
+    // that so the snapshot records reload latency, not queueing backlog.
+    let mut model_churn = mk("model_churn", 1, &churn_refs, 0);
+    model_churn.rate = rate.min(600.0);
+    model_churn.requests = requests.min(3000);
     // (config, target, swap churn interval)
     let workloads: Vec<(OpenLoopConfig, &Target, u64)> = vec![
         (mk("uds_single", 1, &[], 0), &uds_target, 0),
@@ -445,6 +484,7 @@ fn suite(cli: &Cli) -> Result<(), String> {
         (mk("uds_errmix", 1, &[], 8), &uds_target, 0),
         (mk("uds_swap", 1, &["swap"], 0), &uds_target, 25),
         (reconnect, &uds_target, 0),
+        (model_churn, &churn_target, 0),
     ];
 
     let mut snapshots = Vec::new();
@@ -482,8 +522,18 @@ fn suite(cli: &Cli) -> Result<(), String> {
         ));
     }
 
+    // The churn fleet must have ended inside its budget with evictions
+    // actually exercised (resident bytes bounded, not the whole fleet).
+    let churn_resident = churn_server.store().resident_bytes();
+    if churn_resident > churn_budget {
+        failures.push(format!(
+            "model_churn: {churn_resident} resident bytes over the {churn_budget} budget"
+        ));
+    }
     uds.shutdown();
     tcp.shutdown();
+    churn_server.shutdown();
+    std::fs::remove_dir_all(&churn_dir).ok();
     print_reports(&snapshots);
     if failures.is_empty() {
         println!("suite clean: every response bit-identical, zero protocol errors");
@@ -511,9 +561,13 @@ fn spawn_swap_churn(
         let mut flip = false;
         while !thread_stop.load(Ordering::Acquire) {
             if flip {
-                registry.register("swap", Arc::clone(&scikit) as Arc<_>);
+                registry
+                    .swap("swap", Arc::clone(&scikit) as Arc<_>)
+                    .expect("hot-swap");
             } else {
-                registry.register("swap", Arc::new(BoltEngine::new(Arc::clone(&bolt))));
+                registry
+                    .swap("swap", Arc::new(BoltEngine::new(Arc::clone(&bolt))))
+                    .expect("hot-swap");
             }
             flip = !flip;
             std::thread::sleep(Duration::from_millis(interval_ms));

@@ -28,6 +28,18 @@
 //! boltd --model prod=artifact:model.blt --default prod --socket /tmp/bolt.sock
 //! ```
 //!
+//! For fleets of artifacts, point `--model-dir` at a directory of
+//! `NAME@VERSION.blt` files: every model is cataloged at startup, mapped
+//! lazily on first request, and (with `--resident-bytes`) evicted
+//! least-recently-used under a memory budget. Lifecycle operations are
+//! journaled to `registry.wal` in the directory and replayed after a
+//! crash or restart:
+//!
+//! ```text
+//! boltd --model-dir /var/lib/bolt/models --resident-bytes 64m \
+//!       --socket /tmp/bolt.sock
+//! ```
+//!
 //! The front-end hosts any engine, mirroring §4.5: "the
 //! front-end can connect to other forest implementations".
 
@@ -45,9 +57,22 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: boltd [--artifact BOLT.json] [--forest FOREST.json] \
 [--engine scikit|ranger|fp] [--calibration-csv FILE] \
-[--model NAME=KIND]... [--default NAME] \
+[--model NAME=KIND]... [--default NAME] [store flags] \
 --socket PATH [--tcp ADDR] [serving flags]
 KIND: bolt | artifact:PATH.blt | scikit | ranger | fp
+
+store flags (fleet-scale artifact serving):
+  --model-dir DIR      catalog every NAME@VERSION.blt in DIR at startup;
+                       each model is mapped lazily on its first request.
+                       Lifecycle ops are journaled to DIR/registry.wal
+                       and replayed on restart.
+  --resident-bytes N   keep at most N bytes of artifact data mapped;
+                       the least-recently-used model is evicted when the
+                       budget overflows (suffixes k/m/g accepted).
+                       [default: unlimited]
+  --keep-versions N    compact the registry log at startup, deleting
+                       superseded artifact versions beyond the newest N
+                       per model. Without this flag nothing is deleted.
 
 serving flags (event-loop front-end with adaptive micro-batching is the default):
   --serving threads|event-loop
@@ -236,10 +261,11 @@ impl EngineLoader {
     }
 }
 
-/// Parses one `--model NAME=KIND` value and appends it. Duplicate names are
-/// a hard error rather than silently last-wins: two registrations of the
-/// same name would make it ambiguous which engine answers, and the registry
-/// would quietly drop the earlier one.
+/// Parses one `--model NAME=KIND` value and appends it. Duplicate names
+/// are *not* checked here: the store's [`register`](bolt_server::ModelStore::register)
+/// refuses them with a typed error, so the rejection happens in one place
+/// for every caller (flags, library users, live reconfiguration) and
+/// surfaces from the bind call.
 fn push_model(models: &mut Vec<(String, String)>, value: &str) -> Result<(), String> {
     let (name, kind) = value
         .split_once('=')
@@ -247,14 +273,24 @@ fn push_model(models: &mut Vec<(String, String)>, value: &str) -> Result<(), Str
     if name.is_empty() {
         return Err("--model needs a non-empty NAME".to_owned());
     }
-    if let Some((_, existing)) = models.iter().find(|(n, _)| n == name) {
-        return Err(format!(
-            "duplicate --model name {name:?}: already registered with kind {existing:?}; \
-             model names must be unique"
-        ));
-    }
     models.push((name.to_owned(), kind.to_owned()));
     Ok(())
+}
+
+/// Parses a byte budget with an optional `k`/`m`/`g` suffix (powers of
+/// 1024), e.g. `64m`.
+fn parse_bytes(flag: &str, value: &str) -> Result<u64, String> {
+    let (digits, shift) = match value.as_bytes().last().map(u8::to_ascii_lowercase) {
+        Some(b'k') => (&value[..value.len() - 1], 10),
+        Some(b'm') => (&value[..value.len() - 1], 20),
+        Some(b'g') => (&value[..value.len() - 1], 30),
+        _ => (value, 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("{flag} wants BYTES[k|m|g], got {value:?}"))?;
+    n.checked_mul(1 << shift)
+        .ok_or_else(|| format!("{flag} overflows u64: {value:?}"))
 }
 
 fn run() -> Result<(), String> {
@@ -266,6 +302,9 @@ fn run() -> Result<(), String> {
     let mut tcp = None;
     let mut models: Vec<(String, String)> = Vec::new();
     let mut default_model = None;
+    let mut model_dir: Option<String> = None;
+    let mut resident_bytes = None;
+    let mut keep_versions: Option<String> = None;
     let mut serving = None;
     let mut no_microbatch = false;
     let mut flush_samples = None;
@@ -296,6 +335,9 @@ fn run() -> Result<(), String> {
             "--tcp" => tcp = Some(value),
             "--model" => push_model(&mut models, &value)?,
             "--default" => default_model = Some(value),
+            "--model-dir" => model_dir = Some(value),
+            "--resident-bytes" => resident_bytes = Some(parse_bytes("--resident-bytes", &value)?),
+            "--keep-versions" => keep_versions = Some(value),
             "--serving" => serving = Some(value),
             "--mb-flush-samples" => flush_samples = Some(value),
             "--mb-flush-micros" => flush_micros = Some(value),
@@ -313,7 +355,17 @@ fn run() -> Result<(), String> {
         workers.as_deref(),
     )?;
     let socket = socket.ok_or("need --socket")?;
-    if models.is_empty() {
+    let keep_versions = keep_versions
+        .as_deref()
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--keep-versions wants a non-negative integer, got {v:?}"))
+        })
+        .transpose()?;
+    if model_dir.is_none() && (resident_bytes.is_some() || keep_versions.is_some()) {
+        return Err("--resident-bytes/--keep-versions only apply with --model-dir".to_owned());
+    }
+    if models.is_empty() && model_dir.is_none() {
         // Legacy single-engine invocation: --artifact serves Bolt,
         // --forest [--engine KIND] serves a baseline; the model name is
         // the engine's platform name and it becomes the default.
@@ -322,10 +374,12 @@ fn run() -> Result<(), String> {
         } else if forest_path.is_some() {
             engine_name.clone().unwrap_or_else(|| "scikit".to_owned())
         } else {
-            return Err("need --model NAME=KIND flags, --artifact, or --forest".to_owned());
+            return Err(
+                "need --model NAME=KIND flags, --model-dir, --artifact, or --forest".to_owned(),
+            );
         };
         models.push((String::new(), kind)); // name filled from the engine below
-    } else if engine_name.is_some() {
+    } else if !models.is_empty() && engine_name.is_some() {
         return Err("--engine mixes with the legacy single-model flags only; \
                     with --model, spell the kind as NAME=KIND"
             .to_owned());
@@ -339,6 +393,15 @@ fn run() -> Result<(), String> {
         built: BTreeMap::new(),
     };
     let mut builder = ServerBuilder::new();
+    if let Some(dir) = &model_dir {
+        builder = builder.model_dir(dir);
+        if let Some(budget) = resident_bytes {
+            builder = builder.resident_bytes(budget);
+        }
+        if let Some(n) = keep_versions {
+            builder = builder.keep_versions(n);
+        }
+    }
     for (name, kind) in &models {
         let engine = loader.engine(kind)?;
         let name = if name.is_empty() {
@@ -357,6 +420,22 @@ fn run() -> Result<(), String> {
     let server = registry_builder
         .bind_uds(&socket)
         .map_err(|e| format!("bind {socket}: {e}"))?;
+    let store = server.store();
+    if let Some(dir) = &model_dir {
+        let listed = store.list();
+        println!(
+            "model directory {dir}: {} models cataloged{}",
+            listed.len(),
+            resident_bytes.map_or_else(String::new, |b| format!(", resident budget {b} bytes"))
+        );
+        if keep_versions.is_some() {
+            let stats = store.compact().map_err(|e| format!("compact {dir}: {e}"))?;
+            println!(
+                "compacted registry log: {} -> {} bytes, {} superseded artifact(s) deleted",
+                stats.wal_bytes_before, stats.wal_bytes_after, stats.files_deleted
+            );
+        }
+    }
     // Logged once at startup so operators can tell which scan backend the
     // process resolved (BOLT_KERNEL override or CPU feature detection),
     // and how connections are scheduled.
@@ -390,7 +469,9 @@ fn run() -> Result<(), String> {
     println!("boltd listening on {socket} (Ctrl-C to stop)");
     let _tcp_server = match tcp {
         Some(addr) => {
-            let tcp_server = ServerBuilder::with_registry(server.registry())
+            // Both transports share ONE store: one catalog, one
+            // write-ahead log, one resident budget.
+            let tcp_server = ServerBuilder::with_store(store.clone())
                 .serving(mode)
                 .bind_tcp(&addr)
                 .map_err(|e| format!("bind tcp {addr}: {e}"))?;
@@ -407,14 +488,22 @@ fn run() -> Result<(), String> {
         let stats = server.stats();
         if stats != last {
             println!(
-                "served {} requests, mean latency {:.3} µs",
+                "served {} requests, mean latency {:.3} µs ({} artifact bytes resident)",
                 stats.requests,
-                stats.mean_latency_ns() / 1000.0
+                stats.mean_latency_ns() / 1000.0,
+                store.resident_bytes()
             );
-            for model in server.registry().list() {
+            for model in store.list() {
                 let default = if model.is_default { " (default)" } else { "" };
+                let residency = if model.version == 0 {
+                    String::new() // in-memory engine, no artifact behind it
+                } else if model.resident {
+                    format!(" [v{} resident, {} bytes]", model.version, model.bytes)
+                } else {
+                    format!(" [v{} cold, {} bytes]", model.version, model.bytes)
+                };
                 println!(
-                    "  {}: {} requests via {}{default}",
+                    "  {}: {} requests via {}{residency}{default}",
                     model.name, model.requests, model.engine
                 );
             }
@@ -425,7 +514,7 @@ fn run() -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::{push_model, serving_mode};
+    use super::{parse_bytes, push_model, serving_mode};
     use bolt_server::ServingMode;
     use std::time::Duration;
 
@@ -494,19 +583,21 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_model_name_is_rejected_not_last_wins() {
+    fn duplicate_model_names_defer_to_the_store() {
+        // Flag parsing no longer second-guesses uniqueness: the store's
+        // register() is the one place duplicates are refused, so the
+        // parser just accumulates (the bind then fails with the typed
+        // error — covered by the builder's own tests).
         let mut models = Vec::new();
         push_model(&mut models, "prod=bolt").unwrap();
-        let err = push_model(&mut models, "prod=scikit").unwrap_err();
-        assert!(err.contains("duplicate --model name \"prod\""), "{err}");
-        assert!(
-            err.contains("\"bolt\""),
-            "error should name the earlier kind: {err}"
+        push_model(&mut models, "prod=scikit").unwrap();
+        assert_eq!(
+            models,
+            vec![
+                ("prod".to_owned(), "bolt".to_owned()),
+                ("prod".to_owned(), "scikit".to_owned()),
+            ]
         );
-        // The earlier registration survives untouched.
-        assert_eq!(models, vec![("prod".to_owned(), "bolt".to_owned())]);
-        // Same name with the *same* kind is still a duplicate.
-        assert!(push_model(&mut models, "prod=bolt").is_err());
     }
 
     #[test]
@@ -515,5 +606,16 @@ mod tests {
         assert!(push_model(&mut models, "no-equals-sign").is_err());
         assert!(push_model(&mut models, "=bolt").is_err());
         assert!(models.is_empty());
+    }
+
+    #[test]
+    fn byte_budgets_parse_with_binary_suffixes() {
+        assert_eq!(parse_bytes("--resident-bytes", "4096").unwrap(), 4096);
+        assert_eq!(parse_bytes("--resident-bytes", "8k").unwrap(), 8 << 10);
+        assert_eq!(parse_bytes("--resident-bytes", "64M").unwrap(), 64 << 20);
+        assert_eq!(parse_bytes("--resident-bytes", "2g").unwrap(), 2 << 30);
+        assert!(parse_bytes("--resident-bytes", "lots").is_err());
+        assert!(parse_bytes("--resident-bytes", "64q").is_err());
+        assert!(parse_bytes("--resident-bytes", "99999999999999999999g").is_err());
     }
 }

@@ -9,9 +9,10 @@
 //! ```
 //!
 //! Prints `class <N> (<latency> us via <model>)` for a classification, or
-//! one `NAME ENGINE REQUESTS [default]` line per model for `--list`, and
-//! exits nonzero on any error — so shell scripts can assert on both the
-//! exit code and the output.
+//! one `NAME ENGINE REQUESTS [vV resident|cold BYTES] [default]` line per
+//! model for `--list` (the bracketed artifact columns appear for
+//! store-managed models on v3 servers), and exits nonzero on any error —
+//! so shell scripts can assert on both the exit code and the output.
 
 use bolt_server::ClassificationClient;
 use std::process::ExitCode;
@@ -64,7 +65,19 @@ fn run() -> Result<(), String> {
         let listing = client.list_models().map_err(|e| e.to_string())?;
         for m in listing.models {
             let default = if m.is_default { " default" } else { "" };
-            println!("{} {} {}{default}", m.name, m.engine, m.requests);
+            // version 0 marks a plain in-memory engine: no artifact, no
+            // residency story, so the columns would only mislead.
+            let artifact = if m.version == 0 {
+                String::new()
+            } else {
+                format!(
+                    " v{} {} {}",
+                    m.version,
+                    if m.resident { "resident" } else { "cold" },
+                    m.bytes
+                )
+            };
+            println!("{} {} {}{artifact}{default}", m.name, m.engine, m.requests);
         }
         return Ok(());
     }

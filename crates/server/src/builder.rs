@@ -1,16 +1,17 @@
-//! One builder for every transport: assemble a [`ModelRegistry`], pick a
+//! One builder for every transport: assemble a [`ModelStore`], pick a
 //! default model, then bind a Unix-domain-socket or TCP front-end (or
-//! both, sharing one registry).
+//! both, sharing one store).
 
 use crate::event_loop::ServingMode;
 use crate::registry::ModelRegistry;
 use crate::server::ClassificationServer;
+use crate::store::ModelStore;
 use crate::tcp::TcpClassificationServer;
 use bolt_baselines::InferenceEngine;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Builds classification servers over a shared model registry.
+/// Builds classification servers over a shared model store.
 ///
 /// Engines are registered as `Arc<dyn InferenceEngine>`, so one compiled
 /// forest can back multiple registered names — and multiple servers —
@@ -18,6 +19,13 @@ use std::sync::Arc;
 /// unless [`default_model`](Self::default_model) picks another; the
 /// default is what legacy (unrouted) `Classify`/`ClassifyBatch` frames
 /// fall back to.
+///
+/// Beyond in-memory engines, [`model_dir`](Self::model_dir) attaches a
+/// directory of compiled `NAME@VERSION.blt` artifacts: they are cataloged
+/// at bind time, mapped lazily on first request, and evicted
+/// least-recently-used when [`resident_bytes`](Self::resident_bytes) sets
+/// a budget. Lifecycle operations on such a store are journaled to a
+/// write-ahead log and survive a crash (see [`ModelStore`]).
 ///
 /// # Examples
 ///
@@ -41,10 +49,14 @@ use std::sync::Arc;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct ServerBuilder {
+    store: Option<ModelStore>,
     registry: ModelRegistry,
+    pending: Vec<(String, Arc<dyn InferenceEngine>)>,
     default_model: Option<String>,
+    model_dir: Option<PathBuf>,
+    resident_bytes: Option<u64>,
+    keep_versions: usize,
     serving: ServingMode,
 }
 
@@ -61,22 +73,74 @@ impl ServerBuilder {
     #[must_use]
     pub fn with_registry(registry: ModelRegistry) -> Self {
         Self {
+            store: None,
             registry,
+            pending: Vec::new(),
             default_model: None,
+            model_dir: None,
+            resident_bytes: None,
+            keep_versions: 0,
             serving: ServingMode::default(),
         }
     }
 
-    /// Registers `engine` under `name` (see
-    /// [`ModelRegistry::register`]; re-registering a name hot-swaps it).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `name` is empty or longer than
-    /// [`MAX_MODEL_NAME_BYTES`](crate::proto::MAX_MODEL_NAME_BYTES).
+    /// A builder over an existing store — use this to share one live
+    /// store (one model directory, one write-ahead log) between a UDS
+    /// and a TCP front-end. Mutually exclusive with
+    /// [`model_dir`](Self::model_dir): the store already has (or lacks)
+    /// a directory.
     #[must_use]
-    pub fn register(self, name: impl Into<String>, engine: Arc<dyn InferenceEngine>) -> Self {
-        self.registry.register(name, engine);
+    pub fn with_store(store: ModelStore) -> Self {
+        let registry = store.registry().clone();
+        Self {
+            store: Some(store),
+            registry,
+            pending: Vec::new(),
+            default_model: None,
+            model_dir: None,
+            resident_bytes: None,
+            keep_versions: 0,
+            serving: ServingMode::default(),
+        }
+    }
+
+    /// Queues `engine` for registration under `name` at bind time (see
+    /// [`ModelStore::register`]). Registration is deferred so errors
+    /// (duplicate or unaddressable names) surface as `InvalidInput` from
+    /// the bind call instead of panicking mid-chain.
+    #[must_use]
+    pub fn register(mut self, name: impl Into<String>, engine: Arc<dyn InferenceEngine>) -> Self {
+        self.pending.push((name.into(), engine));
+        self
+    }
+
+    /// Attaches a directory of compiled `NAME@VERSION.blt` artifacts: the
+    /// directory is scanned at bind time and each model is mapped lazily
+    /// on its first request. Lifecycle operations are journaled to
+    /// `registry.wal` inside the directory and replayed on restart.
+    #[must_use]
+    pub fn model_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.model_dir = Some(dir.into());
+        self
+    }
+
+    /// Caps the bytes of artifact data kept mapped at once; the
+    /// least-recently-used model is evicted when the budget overflows.
+    /// In-flight requests pin their engine alive regardless. No budget
+    /// (the default) means nothing is ever evicted.
+    #[must_use]
+    pub fn resident_bytes(mut self, budget: u64) -> Self {
+        self.resident_bytes = Some(budget);
+        self
+    }
+
+    /// How many superseded versions of each model
+    /// [`ModelStore::compact`] keeps on disk (beyond the serving
+    /// version). Default 0: compaction rewrites the log but deletes no
+    /// artifact files.
+    #[must_use]
+    pub fn keep_versions(mut self, n: usize) -> Self {
+        self.keep_versions = n;
         self
     }
 
@@ -97,47 +161,91 @@ impl ServerBuilder {
         self
     }
 
-    /// Applies the chosen default and hands the registry out.
-    fn finish(self) -> std::io::Result<(ModelRegistry, ServingMode)> {
-        if let Some(name) = &self.default_model {
-            self.registry.set_default(name).map_err(|e| {
-                std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
-            })?;
+    /// Assembles the store, applies queued registrations and the chosen
+    /// default, and hands the store out.
+    fn finish(self) -> std::io::Result<(ModelStore, ServingMode)> {
+        let invalid =
+            |e: crate::store::StoreError| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string());
+        let store = match self.store {
+            Some(store) => {
+                if self.model_dir.is_some() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "with_store and model_dir are mutually exclusive: \
+                         the store already owns its directory",
+                    ));
+                }
+                store
+            }
+            None => match self.model_dir {
+                Some(dir) => ModelStore::open(
+                    self.registry,
+                    &dir,
+                    self.resident_bytes,
+                    self.keep_versions,
+                )?,
+                None => ModelStore::detached(self.registry),
+            },
+        };
+        for (name, engine) in self.pending {
+            store.register(name, engine).map_err(invalid)?;
         }
-        Ok((self.registry, self.serving))
+        if let Some(name) = &self.default_model {
+            store.set_default(name).map_err(invalid)?;
+        }
+        Ok((store, self.serving))
     }
 
     /// Binds a Unix-domain-socket server (removing any stale socket file)
-    /// serving the assembled registry.
+    /// serving the assembled store.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidInput` if the chosen default model is not
-    /// registered, or the I/O error if the socket cannot be bound.
+    /// Returns `InvalidInput` if a queued registration or the chosen
+    /// default model is rejected, or the I/O error if the model directory
+    /// cannot be opened or the socket cannot be bound.
     pub fn bind_uds(self, path: impl AsRef<Path>) -> std::io::Result<ClassificationServer> {
-        let (registry, serving) = self.finish()?;
-        ClassificationServer::bind_registry(path, registry, serving)
+        let (store, serving) = self.finish()?;
+        ClassificationServer::bind_store(path, store, serving)
     }
 
     /// Binds a TCP server (use port 0 for an ephemeral port) serving the
-    /// assembled registry.
+    /// assembled store.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidInput` if the chosen default model is not
-    /// registered, or the I/O error if the address cannot be bound.
+    /// Returns `InvalidInput` if a queued registration or the chosen
+    /// default model is rejected, or the I/O error if the model directory
+    /// cannot be opened or the address cannot be bound.
     pub fn bind_tcp(
         self,
         addr: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<TcpClassificationServer> {
-        let (registry, serving) = self.finish()?;
-        TcpClassificationServer::bind_registry(addr, registry, serving)
+        let (store, serving) = self.finish()?;
+        TcpClassificationServer::bind_store(addr, store, serving)
     }
 }
 
 impl Default for ServerBuilder {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl std::fmt::Debug for ServerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerBuilder")
+            .field("registry", &self.registry)
+            .field(
+                "pending",
+                &self.pending.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
+            .field("default_model", &self.default_model)
+            .field("model_dir", &self.model_dir)
+            .field("resident_bytes", &self.resident_bytes)
+            .field("keep_versions", &self.keep_versions)
+            .field("serving", &self.serving)
+            .finish_non_exhaustive()
     }
 }
 
@@ -167,10 +275,24 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_registration_is_rejected_at_bind() {
+        let f = forest();
+        let err = ServerBuilder::new()
+            .register("m", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .register("m", Arc::new(RangerLikeForest::from_forest(&f)))
+            .bind_tcp("127.0.0.1:0")
+            .expect_err("duplicate name");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains('m'), "names the duplicate: {err}");
+    }
+
+    #[test]
     fn one_registry_backs_both_transports() {
         let f = forest();
         let registry = ModelRegistry::new();
-        registry.register("m", Arc::new(ScikitLikeForest::from_forest(&f)));
+        registry
+            .register("m", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("registers");
         let uds_path = std::env::temp_dir().join(format!(
             "bolt-test-builder-shared-{}.sock",
             std::process::id()
@@ -190,7 +312,8 @@ mod tests {
         assert_eq!(registry.stats("m").expect("stats").requests, 2);
         // Hot-swapping through either server's handle affects both.
         tcp.registry()
-            .register("m", Arc::new(RangerLikeForest::from_forest(&f)));
+            .swap("m", Arc::new(RangerLikeForest::from_forest(&f)))
+            .expect("swaps");
         assert_eq!(uds_client.classify(&[3.0]).expect("uds").class, want);
         assert_eq!(
             uds.registry()

@@ -189,13 +189,29 @@ impl ClassificationClient {
     /// Asks the server which models it currently serves (sorted by name,
     /// with engine platform, live request count, and the default flag).
     ///
+    /// Asks in protocol v3 first, which additionally carries each model's
+    /// artifact version, residency, and on-disk size; a server that only
+    /// speaks v2 answers *unsupported version* and the client silently
+    /// retries in v2 — the extended fields then hold their defaults
+    /// (`version` 0, `resident` true, `bytes` 0).
+    ///
     /// # Errors
     ///
     /// Returns a [`ProtoError`] on socket failure or a malformed
     /// response.
     pub fn list_models(&mut self) -> Result<ListModelsResponse, ProtoError> {
-        write_frame(&mut self.stream, &crate::proto::encode_list_models())?;
-        let payload = self.read_response()?;
+        write_frame(&mut self.stream, &crate::proto::encode_list_models_extended())?;
+        let payload = match self.read_response() {
+            Ok(payload) => payload,
+            Err(ProtoError::Rejected { code, .. })
+                if code == crate::proto::ERR_UNSUPPORTED_VERSION =>
+            {
+                // Pre-v3 server: fall back to the legacy listing shape.
+                write_frame(&mut self.stream, &crate::proto::encode_list_models())?;
+                self.read_response()?
+            }
+            Err(e) => return Err(e),
+        };
         match V2Response::decode(&payload)? {
             V2Response::Models(response) => Ok(response),
             other => Err(ProtoError::Malformed {

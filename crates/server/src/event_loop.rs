@@ -621,11 +621,11 @@ impl EventLoop {
             Ok(Request::BatchWith(request)) => {
                 self.submit_batch(index, Some(request.model), request.samples, true);
             }
-            Ok(Request::ListModels) => {
+            Ok(Request::ListModels { extended }) => {
                 let response = ListModelsResponse {
-                    models: self.shared.registry.list(),
+                    models: self.shared.store.list(),
                 };
-                let frame = match response.encode() {
+                let frame = match response.encode(if extended { 3 } else { 2 }) {
                     Ok(frame) => frame,
                     Err(e) => ErrorFrame {
                         code: ERR_INTERNAL,
@@ -666,7 +666,7 @@ impl EventLoop {
         features: Vec<f32>,
         v2: bool,
     ) {
-        let resolved = self.shared.registry.resolve(model.as_deref());
+        let resolved = self.shared.store.resolve(model.as_deref());
         let model = match resolved {
             Ok(model) => model,
             Err(e) => {
@@ -701,7 +701,7 @@ impl EventLoop {
         samples: Vec<Vec<f32>>,
         v2: bool,
     ) {
-        let resolved = self.shared.registry.resolve(model.as_deref());
+        let resolved = self.shared.store.resolve(model.as_deref());
         let model = match resolved {
             Ok(model) => model,
             Err(e) => {

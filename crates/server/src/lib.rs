@@ -72,6 +72,7 @@ mod microbatch;
 pub mod proto;
 mod registry;
 mod server;
+pub mod store;
 mod tcp;
 
 pub use builder::ServerBuilder;
@@ -87,4 +88,5 @@ pub use proto::{
 };
 pub use registry::{ModelHandle, ModelRegistry, RouteError};
 pub use server::{ClassificationServer, ServerStats};
+pub use store::{ModelStore, StoreError};
 pub use tcp::TcpClassificationServer;

@@ -224,7 +224,15 @@ mod tests {
     }
 
     fn handle(registry: &ModelRegistry, name: &str, class: u32) -> Arc<ModelHandle> {
-        registry.register(name, Arc::new(FixedEngine(class)));
+        // Register the first time, hot-swap thereafter.
+        if registry
+            .register(name, Arc::new(FixedEngine(class)))
+            .is_err()
+        {
+            registry
+                .swap(name, Arc::new(FixedEngine(class)))
+                .expect("swaps");
+        }
         registry.resolve(Some(name)).expect("registered")
     }
 

@@ -39,6 +39,16 @@
 //! connection stays up, so a newer client can downgrade and continue.
 //! Legacy (magic-less) `Classify`/`ClassifyBatch` frames remain valid
 //! forever and route to the server's *default* model.
+//!
+//! # Protocol v3 — store-aware model listing
+//!
+//! Version 3 changes nothing about classification. Its one addition is an
+//! *extended* `ListModels` shape: when the request frame carries version 3,
+//! each [`ModelInfo`] record in the response grows three trailing fields —
+//! `u32` artifact version, `u8` residency flag, and `u64` artifact bytes —
+//! so store-backed servers can report which models are mapped and at what
+//! cost. Responses always echo the *request's* version byte, so a v2
+//! client's strict decoder keeps working and never sees the v3 fields.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -67,7 +77,12 @@ pub const V2_MAGIC: u32 = 0xB017_C0DE;
 
 /// Highest protocol version this build speaks. Frames carrying a higher
 /// version byte are answered with [`ERR_UNSUPPORTED_VERSION`].
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
+
+/// Lowest versioned-frame protocol this build speaks. No v2-framed message
+/// was ever issued under a lower version, so anything below is corruption,
+/// not an old peer.
+pub const MIN_PROTOCOL_VERSION: u8 = 2;
 
 /// Longest model name accepted on the wire, in bytes.
 pub const MAX_MODEL_NAME_BYTES: usize = 64;
@@ -369,10 +384,14 @@ fn get_name(payload: &mut &[u8]) -> Result<String, ProtoError> {
 
 /// Starts a framed v2 payload: length placeholder is handled by the caller
 /// computing `payload_len`; this writes magic, version, and opcode.
-fn v2_header(buf: &mut BytesMut, payload_len: usize, opcode: u8) {
+///
+/// Responses pass the *request's* version so a strict older decoder on the
+/// peer keeps parsing; requests pass the lowest version whose shape they
+/// use.
+fn v2_header(buf: &mut BytesMut, payload_len: usize, opcode: u8, version: u8) {
     buf.put_u32_le(payload_len as u32);
     buf.put_u32_le(V2_MAGIC);
-    buf.put_u8(PROTOCOL_VERSION);
+    buf.put_u8(version);
     buf.put_u8(opcode);
 }
 
@@ -383,10 +402,22 @@ pub fn is_v2(payload: &[u8]) -> bool {
 }
 
 /// Serializes a framed `ListModels` request (bare v2 opcode, no body).
+/// The answer uses the legacy (version-2) record shape.
 #[must_use]
 pub fn encode_list_models() -> Bytes {
     let mut buf = BytesMut::with_capacity(4 + 6);
-    v2_header(&mut buf, 6, OP_LIST_MODELS);
+    v2_header(&mut buf, 6, OP_LIST_MODELS, 2);
+    buf.freeze()
+}
+
+/// Serializes a framed *extended* `ListModels` request (version 3). The
+/// answer carries per-model artifact version, residency, and byte size.
+/// Servers older than v3 reject it with [`ERR_UNSUPPORTED_VERSION`]; fall
+/// back to [`encode_list_models`] on that error.
+#[must_use]
+pub fn encode_list_models_extended() -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 6);
+    v2_header(&mut buf, 6, OP_LIST_MODELS, 3);
     buf.freeze()
 }
 
@@ -416,7 +447,7 @@ impl ClassifyWithRequest {
             });
         }
         let mut buf = BytesMut::with_capacity(4 + payload_len);
-        v2_header(&mut buf, payload_len, OP_CLASSIFY_WITH);
+        v2_header(&mut buf, payload_len, OP_CLASSIFY_WITH, 2);
         put_name(&mut buf, &self.model);
         buf.put_u32_le(self.features.len() as u32);
         for &f in &self.features {
@@ -484,7 +515,7 @@ impl ClassifyBatchWithRequest {
             });
         }
         let mut buf = BytesMut::with_capacity(4 + payload_len);
-        v2_header(&mut buf, payload_len, OP_CLASSIFY_BATCH_WITH);
+        v2_header(&mut buf, payload_len, OP_CLASSIFY_BATCH_WITH, 2);
         put_name(&mut buf, &self.model);
         buf.put_u32_le(self.samples.len() as u32);
         buf.put_u32_le(n_features as u32);
@@ -530,6 +561,10 @@ impl ClassifyBatchWithRequest {
 }
 
 /// One registered model, as reported by `ListModels`.
+///
+/// The trailing three fields travel only in the *extended* (version-3)
+/// record shape; a legacy (version-2) listing decodes them to their
+/// in-memory defaults (`version: 0`, `resident: true`, `bytes: 0`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ModelInfo {
     /// Name the model is registered under.
@@ -540,6 +575,15 @@ pub struct ModelInfo {
     pub requests: u64,
     /// Whether legacy (unrouted) frames fall back to this model.
     pub is_default: bool,
+    /// Artifact version serving the name (`0` = registered in memory, no
+    /// versioned artifact behind it). v3 only.
+    pub version: u32,
+    /// Whether the model is currently mapped and ready to serve without a
+    /// load. In-memory models are always resident. v3 only.
+    pub resident: bool,
+    /// Artifact size in bytes (mapped size when resident, on-disk size
+    /// when not; `0` for in-memory models). v3 only.
+    pub bytes: u64,
 }
 
 /// Response to `ListModels`: every registered model, sorted by name.
@@ -550,14 +594,17 @@ pub struct ListModelsResponse {
 }
 
 impl ListModelsResponse {
-    /// Serializes into a framed v2 byte buffer.
+    /// Serializes into a framed v2 byte buffer, echoing the request's
+    /// `version`: version 3 writes the extended per-model record (artifact
+    /// version, residency, bytes), version 2 the legacy shape.
     ///
     /// # Errors
     ///
     /// Returns [`ProtoError::FrameTooLarge`] if the model list overflows
     /// [`MAX_FRAME_BYTES`] and [`ProtoError::Malformed`] if a name is
     /// wire-invalid.
-    pub fn encode(&self) -> Result<Bytes, ProtoError> {
+    pub fn encode(&self, version: u8) -> Result<Bytes, ProtoError> {
+        let extended = version >= 3;
         let mut payload_len = 6 + 2;
         for m in &self.models {
             check_name(&m.name)?;
@@ -567,6 +614,9 @@ impl ListModelsResponse {
                 });
             }
             payload_len += 1 + m.name.len() + 1 + m.engine.len() + 8 + 1;
+            if extended {
+                payload_len += 4 + 1 + 8;
+            }
         }
         if payload_len > MAX_FRAME_BYTES || self.models.len() > usize::from(u16::MAX) {
             return Err(ProtoError::FrameTooLarge {
@@ -574,7 +624,7 @@ impl ListModelsResponse {
             });
         }
         let mut buf = BytesMut::with_capacity(4 + payload_len);
-        v2_header(&mut buf, payload_len, OP_LIST_MODELS_RESP);
+        v2_header(&mut buf, payload_len, OP_LIST_MODELS_RESP, version);
         buf.put_u16_le(self.models.len() as u16);
         for m in &self.models {
             put_name(&mut buf, &m.name);
@@ -582,12 +632,19 @@ impl ListModelsResponse {
             buf.put_slice(m.engine.as_bytes());
             buf.put_u64_le(m.requests);
             buf.put_u8(u8::from(m.is_default));
+            if extended {
+                buf.put_u32_le(m.version);
+                buf.put_u8(u8::from(m.resident));
+                buf.put_u64_le(m.bytes);
+            }
         }
         Ok(buf.freeze())
     }
 
-    /// Decodes the body (everything after the opcode byte).
-    fn decode_body(mut payload: &[u8]) -> Result<Self, ProtoError> {
+    /// Decodes the body (everything after the opcode byte). `version` is
+    /// the frame's version byte and selects the record shape.
+    fn decode_body(mut payload: &[u8], version: u8) -> Result<Self, ProtoError> {
+        let extended = version >= 3;
         if payload.remaining() < 2 {
             return Err(ProtoError::Malformed {
                 detail: "model list shorter than its count".into(),
@@ -603,7 +660,8 @@ impl ListModelsResponse {
                 });
             }
             let engine_len = payload.get_u8() as usize;
-            if payload.remaining() < engine_len + 9 {
+            let tail = if extended { 9 + 13 } else { 9 };
+            if payload.remaining() < engine_len + tail {
                 return Err(ProtoError::Malformed {
                     detail: "model list ends inside a model record".into(),
                 });
@@ -615,11 +673,23 @@ impl ListModelsResponse {
             })?;
             let requests = payload.get_u64_le();
             let is_default = payload.get_u8() != 0;
+            let (model_version, resident, bytes) = if extended {
+                (
+                    payload.get_u32_le(),
+                    payload.get_u8() != 0,
+                    payload.get_u64_le(),
+                )
+            } else {
+                (0, true, 0)
+            };
             models.push(ModelInfo {
                 name,
                 engine,
                 requests,
                 is_default,
+                version: model_version,
+                resident,
+                bytes,
             });
         }
         if payload.remaining() != 0 {
@@ -655,7 +725,9 @@ impl ErrorFrame {
         }
         let payload_len = 6 + 1 + 2 + detail.len();
         let mut buf = BytesMut::with_capacity(4 + payload_len);
-        v2_header(&mut buf, payload_len, OP_ERROR);
+        // Error frames keep the version-2 stamp: the shape never changed
+        // and the lowest stamp is the one every peer can parse.
+        v2_header(&mut buf, payload_len, OP_ERROR, 2);
         buf.put_u8(self.code);
         buf.put_u16_le(detail.len() as u16);
         buf.put_slice(detail.as_bytes());
@@ -709,8 +781,13 @@ pub enum Request {
     SingleWith(ClassifyWithRequest),
     /// Many samples routed to a named model (v2).
     BatchWith(ClassifyBatchWithRequest),
-    /// Enumerate registered models (v2).
-    ListModels,
+    /// Enumerate registered models (v2). `extended` is set when the frame
+    /// carried version 3: the response must use the extended record shape
+    /// (artifact version, residency, bytes) and echo version 3.
+    ListModels {
+        /// Whether the peer asked for the extended (v3) record shape.
+        extended: bool,
+    },
     /// A v2 frame whose version byte this build does not speak; the server
     /// answers with [`ERR_UNSUPPORTED_VERSION`] and keeps the connection.
     UnsupportedVersion {
@@ -738,7 +815,7 @@ impl Request {
             if version > PROTOCOL_VERSION {
                 return Ok(Self::UnsupportedVersion { requested: version });
             }
-            if version < PROTOCOL_VERSION {
+            if version < MIN_PROTOCOL_VERSION {
                 // No v2-framed message was ever issued under a lower
                 // version; this is a corrupt frame, not an old peer.
                 return Err(ProtoError::Malformed {
@@ -754,7 +831,9 @@ impl Request {
                 )),
                 OP_LIST_MODELS => {
                     if body.is_empty() {
-                        Ok(Self::ListModels)
+                        Ok(Self::ListModels {
+                            extended: version >= 3,
+                        })
                     } else {
                         Err(ProtoError::Malformed {
                             detail: format!("{} unexpected bytes in ListModels", body.len()),
@@ -801,7 +880,7 @@ impl V2Response {
             });
         }
         let version = payload[4];
-        if version != PROTOCOL_VERSION {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
             return Err(ProtoError::Malformed {
                 detail: format!("v2 response carries unsupported version {version}"),
             });
@@ -811,7 +890,9 @@ impl V2Response {
         match opcode {
             OP_CLASSIFY_RESP => Ok(Self::Classify(ClassifyResponse::decode_body(body)?)),
             OP_CLASSIFY_BATCH_RESP => Ok(Self::Batch(ClassifyBatchResponse::decode_body(body)?)),
-            OP_LIST_MODELS_RESP => Ok(Self::Models(ListModelsResponse::decode_body(body)?)),
+            OP_LIST_MODELS_RESP => Ok(Self::Models(ListModelsResponse::decode_body(
+                body, version,
+            )?)),
             OP_ERROR => Ok(Self::Error(ErrorFrame::decode_body(body)?)),
             other => Err(ProtoError::Malformed {
                 detail: format!("unknown v2 response opcode {other:#04x}"),
@@ -863,7 +944,7 @@ impl ClassifyResponse {
     pub fn encode_v2(&self) -> Bytes {
         let payload_len = 6 + 12;
         let mut buf = BytesMut::with_capacity(4 + payload_len);
-        v2_header(&mut buf, payload_len, OP_CLASSIFY_RESP);
+        v2_header(&mut buf, payload_len, OP_CLASSIFY_RESP, 2);
         buf.put_u32_le(self.class);
         buf.put_u64_le(self.latency_ns);
         buf.freeze()
@@ -939,7 +1020,7 @@ impl ClassifyBatchResponse {
     pub fn encode_v2(&self) -> Bytes {
         let payload_len = 6 + 4 + self.classes.len() * 4 + 8;
         let mut buf = BytesMut::with_capacity(4 + payload_len);
-        v2_header(&mut buf, payload_len, OP_CLASSIFY_BATCH_RESP);
+        v2_header(&mut buf, payload_len, OP_CLASSIFY_BATCH_RESP, 2);
         buf.put_u32_le(self.classes.len() as u32);
         for &c in &self.classes {
             buf.put_u32_le(c);
@@ -1384,15 +1465,19 @@ mod tests {
 
     #[test]
     fn list_models_roundtrip() {
-        // Request: bare opcode.
-        let mut buf = BytesMut::new();
-        v2_header(&mut buf, 6, OP_LIST_MODELS);
-        let framed = buf.freeze();
+        // Legacy (v2) request: bare opcode, extended flag off.
+        let framed = encode_list_models();
         assert_eq!(
             Request::decode(&framed[4..]).expect("decode"),
-            Request::ListModels
+            Request::ListModels { extended: false }
         );
-        // Response.
+        // Extended (v3) request sets the flag.
+        let framed = encode_list_models_extended();
+        assert_eq!(
+            Request::decode(&framed[4..]).expect("decode"),
+            Request::ListModels { extended: true }
+        );
+        // Response, extended shape: every field survives.
         let resp = ListModelsResponse {
             models: vec![
                 ModelInfo {
@@ -1400,18 +1485,60 @@ mod tests {
                     engine: "BOLT".into(),
                     requests: 41,
                     is_default: true,
+                    version: 7,
+                    resident: true,
+                    bytes: 4096,
                 },
                 ModelInfo {
                     name: "rf".into(),
                     engine: "Ranger".into(),
                     requests: 0,
                     is_default: false,
+                    version: 2,
+                    resident: false,
+                    bytes: 123_456,
                 },
             ],
         };
-        let framed = resp.encode().expect("encodes");
+        let framed = resp.encode(3).expect("encodes");
         match V2Response::decode(&framed[4..]).expect("decode") {
             V2Response::Models(decoded) => assert_eq!(decoded, resp),
+            other => panic!("wrong dispatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_list_models_shape_drops_extended_fields() {
+        // A version-2 listing must byte-compatibly match what a v2-only
+        // peer expects: the extended fields are absent from the wire and
+        // decode back as their in-memory defaults.
+        let resp = ListModelsResponse {
+            models: vec![ModelInfo {
+                name: "bolt".into(),
+                engine: "BOLT".into(),
+                requests: 41,
+                is_default: true,
+                version: 7,
+                resident: false,
+                bytes: 4096,
+            }],
+        };
+        let v2 = resp.encode(2).expect("encodes");
+        let v3 = resp.encode(3).expect("encodes");
+        assert_eq!(v3.len() - v2.len(), 13, "extended record adds 13 bytes");
+        assert_eq!(v2[4 + 4], 2, "version byte echoes the request");
+        assert_eq!(v3[4 + 4], 3);
+        match V2Response::decode(&v2[4..]).expect("decode") {
+            V2Response::Models(decoded) => {
+                let m = &decoded.models[0];
+                assert_eq!(m.name, "bolt");
+                assert_eq!(m.requests, 41);
+                assert!(m.is_default);
+                // Extended fields fall back to in-memory defaults.
+                assert_eq!(m.version, 0);
+                assert!(m.resident);
+                assert_eq!(m.bytes, 0);
+            }
             other => panic!("wrong dispatch: {other:?}"),
         }
     }
@@ -1507,7 +1634,7 @@ mod tests {
         assert!(matches!(long.encode(), Err(ProtoError::Malformed { .. })));
         // Zero-length name on the wire is rejected by the decoder too.
         let mut buf = BytesMut::new();
-        v2_header(&mut buf, 6 + 1 + 4, OP_CLASSIFY_WITH);
+        v2_header(&mut buf, 6 + 1 + 4, OP_CLASSIFY_WITH, 2);
         buf.put_u8(0);
         buf.put_u32_le(0);
         assert!(matches!(

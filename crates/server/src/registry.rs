@@ -7,20 +7,34 @@
 //! atomic hot-swap under live traffic, and a *default* model that legacy
 //! (unrouted) protocol frames fall back to.
 //!
+//! Lifecycle mutations are fallible and say why: [`register`]
+//! (ModelRegistry::register) refuses to silently overwrite an active
+//! name, [`swap`](ModelRegistry::swap) refuses to invent one, and
+//! [`retire`](ModelRegistry::retire) refuses to strand the default
+//! route — each failure is a typed [`StoreError`] the caller (boltd, the
+//! [`crate::store::ModelStore`], tests) can match on instead of
+//! re-deriving the check.
+//!
 //! Concurrency model: the registry holds one `RwLock` over its whole
 //! state. Request threads take a read lock only long enough to clone the
 //! resolved model's `Arc` handle, then classify and book statistics with
-//! no registry lock held — so a [`swap`](ModelRegistry::register) or
+//! no registry lock held — so a [`swap`](ModelRegistry::swap) or
 //! [`retire`](ModelRegistry::retire) never waits on in-flight inference,
 //! and in-flight requests hold the *old* engine alive until they finish.
+//! In front of the lock sits a shared, insert-only
+//! [`NameBloom`](crate::store::NameBloom): a name that was never
+//! registered (and is not in the model directory) is rejected from
+//! atomic reads alone, so unknown-model traffic costs O(1) and no lock.
 //! Statistics are keyed by model *name* and survive engine swaps, so a
 //! name's request count is the sum over every engine that ever served it.
 
 use crate::proto::{ModelInfo, MAX_MODEL_NAME_BYTES};
 use crate::server::ServerStats;
+use crate::store::{NameBloom, StoreError};
 use bolt_baselines::InferenceEngine;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Why a model lookup failed; maps 1:1 onto the protocol's structured
@@ -34,6 +48,9 @@ pub enum RouteError {
     RetiredModel(String),
     /// A default-model lookup was made but no default is configured.
     NoDefaultModel,
+    /// The model is cataloged but its artifact failed to map (I/O
+    /// error or corruption) — the server's fault, not the client's.
+    LoadFailed(String),
 }
 
 impl std::fmt::Display for RouteError {
@@ -42,6 +59,7 @@ impl std::fmt::Display for RouteError {
             Self::UnknownModel(name) => write!(f, "no model registered as {name:?}"),
             Self::RetiredModel(name) => write!(f, "model {name:?} has been retired"),
             Self::NoDefaultModel => write!(f, "no default model configured"),
+            Self::LoadFailed(detail) => write!(f, "model failed to load: {detail}"),
         }
     }
 }
@@ -56,6 +74,10 @@ impl std::error::Error for RouteError {}
 pub struct ModelHandle {
     engine: Arc<dyn InferenceEngine>,
     stats: Arc<Mutex<ServerStats>>,
+    /// Logical timestamp of the last resolve that returned this handle,
+    /// from the registry's [`ModelRegistry`] clock — the LRU recency the
+    /// store's eviction policy orders by.
+    last_used: AtomicU64,
 }
 
 impl ModelHandle {
@@ -99,6 +121,12 @@ struct RegistryState {
     /// accumulated statistics, so (a) lookups can distinguish "retired"
     /// from "never existed" and (b) totals stay conserved across retire.
     retired: BTreeMap<String, Arc<Mutex<ServerStats>>>,
+    /// Names the store evicted to reclaim resident bytes. Unlike
+    /// `retired`, a parked name is still routable — the store reloads it
+    /// from its artifact on the next request — so lookups report it as
+    /// *unknown* here (the store intercepts that), while its statistics
+    /// stay conserved and reattach on reload.
+    parked: BTreeMap<String, Arc<Mutex<ServerStats>>>,
     default_model: Option<String>,
 }
 
@@ -123,9 +151,9 @@ struct RegistryState {
 /// let engine: Arc<dyn InferenceEngine> = Arc::new(ScikitLikeForest::from_forest(&forest));
 ///
 /// let registry = ModelRegistry::new();
-/// registry.register("scikit", Arc::clone(&engine));
+/// registry.register("scikit", Arc::clone(&engine))?;
 /// // One engine can back many names without re-compilation:
-/// registry.register("scikit-alias", engine);
+/// registry.register("scikit-alias", engine)?;
 /// registry.set_default("scikit")?;
 /// let model = registry.resolve(Some("scikit-alias"))?;
 /// assert!(model.engine().classify(&[3.0]) < 2);
@@ -135,6 +163,11 @@ struct RegistryState {
 #[derive(Clone)]
 pub struct ModelRegistry {
     state: Arc<RwLock<RegistryState>>,
+    /// Insert-only filter over every name this process has ever known
+    /// (registered here or discovered in the store's model directory).
+    bloom: Arc<NameBloom>,
+    /// Monotone logical clock stamped into handles on resolve.
+    clock: Arc<AtomicU64>,
 }
 
 impl ModelRegistry {
@@ -145,87 +178,152 @@ impl ModelRegistry {
             state: Arc::new(RwLock::new(RegistryState {
                 models: BTreeMap::new(),
                 retired: BTreeMap::new(),
+                parked: BTreeMap::new(),
                 default_model: None,
             })),
+            bloom: Arc::new(NameBloom::new()),
+            clock: Arc::new(AtomicU64::new(1)),
         }
     }
 
-    /// Registers `engine` under `name`, hot-swapping atomically if the
-    /// name is already taken: requests resolved after this call see the
-    /// new engine, requests already in flight finish on the old one, and
-    /// the name's statistics carry over. The first registration becomes
-    /// the default model if none is configured yet. Re-registering a
-    /// retired name revives it (with its historical statistics).
+    fn check_name(name: &str) -> Result<(), StoreError> {
+        if name.is_empty() || name.len() > MAX_MODEL_NAME_BYTES {
+            return Err(StoreError::InvalidName(name.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Registers `engine` under a **new** (or previously retired) name.
+    /// The first registration becomes the default model if none is
+    /// configured yet. Re-registering a retired name revives it with its
+    /// historical statistics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` is empty or longer than [`MAX_MODEL_NAME_BYTES`]
-    /// bytes — such a name could never be addressed over the wire.
-    pub fn register(&self, name: impl Into<String>, engine: Arc<dyn InferenceEngine>) {
+    /// [`StoreError::Duplicate`] if the name is already serving (use
+    /// [`swap`](Self::swap) to replace a live model — the distinction is
+    /// the point: deploy tooling that *meant* to create must not
+    /// silently clobber), [`StoreError::InvalidName`] if the name is
+    /// empty or longer than [`MAX_MODEL_NAME_BYTES`] bytes — such a name
+    /// could never be addressed over the wire.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        engine: Arc<dyn InferenceEngine>,
+    ) -> Result<(), StoreError> {
         let name = name.into();
-        assert!(
-            !name.is_empty() && name.len() <= MAX_MODEL_NAME_BYTES,
-            "model name must be 1..={MAX_MODEL_NAME_BYTES} bytes, got {:?}",
-            name
-        );
+        Self::check_name(&name)?;
         let mut state = self.state.write();
+        if state.models.contains_key(&name) {
+            return Err(StoreError::Duplicate(name));
+        }
         let stats = state
             .retired
             .remove(&name)
-            .or_else(|| {
-                state
-                    .models
-                    .get(&name)
-                    .map(|handle| Arc::clone(&handle.stats))
-            })
+            .or_else(|| state.parked.remove(&name))
             .unwrap_or_else(|| Arc::new(Mutex::new(ServerStats::default())));
-        state
-            .models
-            .insert(name.clone(), Arc::new(ModelHandle { engine, stats }));
+        self.bloom.insert(&name);
+        state.models.insert(
+            name.clone(),
+            Arc::new(ModelHandle {
+                engine,
+                stats,
+                last_used: AtomicU64::new(0),
+            }),
+        );
         if state.default_model.is_none() {
             state.default_model = Some(name);
         }
+        Ok(())
+    }
+
+    /// Hot-swaps the engine behind an **existing** name, atomically:
+    /// requests resolved after this call see the new engine, requests
+    /// already in flight finish on the old one, and the name's
+    /// statistics carry over.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unknown`] if the name was never registered,
+    /// [`StoreError::Retired`] if it has been retired (revive it with
+    /// [`register`](Self::register) instead).
+    pub fn swap(&self, name: &str, engine: Arc<dyn InferenceEngine>) -> Result<(), StoreError> {
+        let mut state = self.state.write();
+        let Some(current) = state.models.get(name) else {
+            return Err(if state.retired.contains_key(name) {
+                StoreError::Retired(name.to_owned())
+            } else {
+                StoreError::Unknown(name.to_owned())
+            });
+        };
+        let stats = Arc::clone(&current.stats);
+        let last_used = current.last_used.load(Ordering::Relaxed);
+        state.models.insert(
+            name.to_owned(),
+            Arc::new(ModelHandle {
+                engine,
+                stats,
+                last_used: AtomicU64::new(last_used),
+            }),
+        );
+        Ok(())
     }
 
     /// Retires `name`: the model disappears from routing and listing, but
     /// requests that already resolved it finish unharmed, its statistics
     /// keep counting toward [`total_stats`](Self::total_stats), and later
-    /// lookups get the *retired* (not *unknown*) error. Retiring the
-    /// default model leaves the server with no default until
-    /// [`set_default`](Self::set_default) is called again.
+    /// lookups get the *retired* (not *unknown*) error.
     ///
-    /// Returns `false` if no such model is registered.
-    pub fn retire(&self, name: &str) -> bool {
+    /// # Errors
+    ///
+    /// [`StoreError::DefaultInUse`] if the name is the current default —
+    /// retiring it would break every legacy (unrouted) client, so the
+    /// caller must move or [`clear_default`](Self::clear_default) first.
+    /// [`StoreError::Retired`] if already retired, [`StoreError::Unknown`]
+    /// if never registered.
+    pub fn retire(&self, name: &str) -> Result<(), StoreError> {
         let mut state = self.state.write();
-        let Some(handle) = state.models.remove(name) else {
-            return false;
-        };
+        if state.default_model.as_deref() == Some(name) {
+            return Err(StoreError::DefaultInUse(name.to_owned()));
+        }
+        if !state.models.contains_key(name) {
+            return Err(if state.retired.contains_key(name) {
+                StoreError::Retired(name.to_owned())
+            } else {
+                StoreError::Unknown(name.to_owned())
+            });
+        }
+        let handle = state.models.remove(name).expect("checked above");
         state
             .retired
             .insert(name.to_owned(), Arc::clone(&handle.stats));
-        if state.default_model.as_deref() == Some(name) {
-            state.default_model = None;
-        }
-        true
+        Ok(())
     }
 
     /// Makes `name` the model legacy (unrouted) frames fall back to.
     ///
     /// # Errors
     ///
-    /// Returns [`RouteError::UnknownModel`] / [`RouteError::RetiredModel`]
-    /// if the name is not currently registered.
-    pub fn set_default(&self, name: &str) -> Result<(), RouteError> {
+    /// [`StoreError::Unknown`] / [`StoreError::Retired`] if the name is
+    /// not currently registered.
+    pub fn set_default(&self, name: &str) -> Result<(), StoreError> {
         let mut state = self.state.write();
         if !state.models.contains_key(name) {
             return Err(if state.retired.contains_key(name) {
-                RouteError::RetiredModel(name.to_owned())
+                StoreError::Retired(name.to_owned())
             } else {
-                RouteError::UnknownModel(name.to_owned())
+                StoreError::Unknown(name.to_owned())
             });
         }
         state.default_model = Some(name.to_owned());
         Ok(())
+    }
+
+    /// Removes the default route; legacy frames are answered with a
+    /// structured *no default model* error until a new default is set.
+    /// This is the sanctioned prelude to retiring the default model.
+    pub fn clear_default(&self) {
+        self.state.write().default_model = None;
     }
 
     /// The current default model's name, if one is configured.
@@ -243,6 +341,14 @@ impl ModelRegistry {
     /// Returns the [`RouteError`] matching the protocol's structured
     /// error codes.
     pub fn resolve(&self, name: Option<&str>) -> Result<Arc<ModelHandle>, RouteError> {
+        // Fast path: a name the process has never heard of (not
+        // registered, not retired, not in the model directory) fails the
+        // bloom check and is rejected without touching the lock.
+        if let Some(name) = name {
+            if !self.bloom.may_contain(name) {
+                return Err(RouteError::UnknownModel(name.to_owned()));
+            }
+        }
         let state = self.state.read();
         let name = match name {
             Some(name) => name,
@@ -251,17 +357,25 @@ impl ModelRegistry {
                 .as_deref()
                 .ok_or(RouteError::NoDefaultModel)?,
         };
-        state.models.get(name).map(Arc::clone).ok_or_else(|| {
+        let handle = state.models.get(name).map(Arc::clone).ok_or_else(|| {
             if state.retired.contains_key(name) {
                 RouteError::RetiredModel(name.to_owned())
             } else {
                 RouteError::UnknownModel(name.to_owned())
             }
-        })
+        })?;
+        handle.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        Ok(handle)
     }
 
     /// Every registered model, sorted by name, with live request counts —
-    /// the payload of the protocol's `ListModels` op.
+    /// the payload of the protocol's `ListModels` op. Plain registered
+    /// engines carry no artifact metadata (`version` 0, `bytes` 0,
+    /// `resident` true); the store's list overlays the real values for
+    /// directory-managed models.
     #[must_use]
     pub fn list(&self) -> Vec<ModelInfo> {
         let state = self.state.read();
@@ -273,11 +387,14 @@ impl ModelRegistry {
                 engine: handle.engine.name().to_owned(),
                 requests: handle.stats.lock().requests,
                 is_default: state.default_model.as_deref() == Some(name),
+                version: 0,
+                resident: true,
+                bytes: 0,
             })
             .collect()
     }
 
-    /// Snapshot of one model's statistics (active or retired).
+    /// Snapshot of one model's statistics (active, retired, or evicted).
     #[must_use]
     pub fn stats(&self, name: &str) -> Option<ServerStats> {
         let state = self.state.read();
@@ -286,11 +403,12 @@ impl ModelRegistry {
             .get(name)
             .map(|handle| *handle.stats.lock())
             .or_else(|| state.retired.get(name).map(|stats| *stats.lock()))
+            .or_else(|| state.parked.get(name).map(|stats| *stats.lock()))
     }
 
-    /// Aggregate statistics across every model, including retired ones —
-    /// total requests here always equals the sum of every request the
-    /// server ever booked.
+    /// Aggregate statistics across every model, including retired and
+    /// evicted ones — total requests here always equals the sum of every
+    /// request the server ever booked.
     #[must_use]
     pub fn total_stats(&self) -> ServerStats {
         let state = self.state.read();
@@ -300,6 +418,7 @@ impl ModelRegistry {
             .values()
             .map(|handle| &handle.stats)
             .chain(state.retired.values())
+            .chain(state.parked.values())
         {
             let stats = stats.lock();
             total.requests = total.requests.saturating_add(stats.requests);
@@ -310,6 +429,105 @@ impl ModelRegistry {
                 .saturating_add(stats.total_latency_ns);
         }
         total
+    }
+
+    /// The shared name filter; the store inserts directory-scan and
+    /// WAL-replay names so cold catalog models pass the resolve fast
+    /// path.
+    pub(crate) fn bloom(&self) -> &Arc<NameBloom> {
+        &self.bloom
+    }
+
+    /// Inserts a resident engine for `name` without lifecycle checks,
+    /// reattaching parked (evicted) or retired statistics. The store's
+    /// cold-load path: the catalog has already validated the lifecycle,
+    /// so a plain duplicate check would race reload against eviction.
+    pub(crate) fn insert_resident(&self, name: &str, engine: Arc<dyn InferenceEngine>) {
+        let mut state = self.state.write();
+        let stats = state
+            .parked
+            .remove(name)
+            .or_else(|| state.retired.remove(name))
+            .or_else(|| {
+                state
+                    .models
+                    .get(name)
+                    .map(|handle| Arc::clone(&handle.stats))
+            })
+            .unwrap_or_else(|| Arc::new(Mutex::new(ServerStats::default())));
+        self.bloom.insert(name);
+        state.models.insert(
+            name.to_owned(),
+            Arc::new(ModelHandle {
+                engine,
+                stats,
+                last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+            }),
+        );
+    }
+
+    /// Unmaps `name` from routing, parking its statistics for reload.
+    /// In-flight requests keep the engine alive through their `Arc`;
+    /// the artifact's mapping drops when the last clone does. The
+    /// default route is left pointing at the name — the store reloads
+    /// it on the next legacy frame. Returns whether the name was
+    /// resident.
+    pub(crate) fn remove_resident(&self, name: &str) -> bool {
+        let mut state = self.state.write();
+        let Some(handle) = state.models.remove(name) else {
+            return false;
+        };
+        state
+            .parked
+            .insert(name.to_owned(), Arc::clone(&handle.stats));
+        true
+    }
+
+    /// Points the default route at `name` without requiring residency —
+    /// WAL replay restores defaults whose artifact has not been mapped
+    /// yet (the store cold-loads on first use).
+    pub(crate) fn set_default_unchecked(&self, name: &str) {
+        self.state.write().default_model = Some(name.to_owned());
+    }
+
+    /// Retires `name` even when it is not resident (evicted or never
+    /// loaded) — WAL replay and store-level retire of cold catalog
+    /// entries. Statistics (live or parked) move to the retired ledger.
+    pub(crate) fn retire_unchecked(&self, name: &str) {
+        let mut state = self.state.write();
+        let stats = state
+            .models
+            .remove(name)
+            .map(|handle| Arc::clone(&handle.stats))
+            .or_else(|| state.parked.remove(name));
+        if let Some(stats) = stats {
+            state.retired.insert(name.to_owned(), stats);
+        } else if !state.retired.contains_key(name) {
+            state
+                .retired
+                .insert(name.to_owned(), Arc::new(Mutex::new(ServerStats::default())));
+        }
+        // A never-routable name must still answer "retired", so make
+        // sure the bloom filter passes it through to the real lookup.
+        self.bloom.insert(name);
+        if state.default_model.as_deref() == Some(name) {
+            state.default_model = None;
+        }
+    }
+
+    /// Un-retires a name's ledger entry so a later `Register` WAL record
+    /// (or store revival) can reuse it; no-op if not retired.
+    pub(crate) fn unretire(&self, name: &str) -> Option<Arc<Mutex<ServerStats>>> {
+        self.state.write().retired.remove(name)
+    }
+
+    /// The LRU recency stamp of a resident model, if resident.
+    pub(crate) fn last_used(&self, name: &str) -> Option<u64> {
+        self.state
+            .read()
+            .models
+            .get(name)
+            .map(|handle| handle.last_used.load(Ordering::Relaxed))
     }
 }
 
@@ -350,8 +568,12 @@ mod tests {
             RouteError::NoDefaultModel
         );
         let f = forest();
-        registry.register("a", Arc::new(ScikitLikeForest::from_forest(&f)));
-        registry.register("b", Arc::new(RangerLikeForest::from_forest(&f)));
+        registry
+            .register("a", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh name");
+        registry
+            .register("b", Arc::new(RangerLikeForest::from_forest(&f)))
+            .expect("fresh name");
         assert_eq!(registry.default_model().as_deref(), Some("a"));
         assert_eq!(
             registry.resolve(None).expect("default").engine().name(),
@@ -365,24 +587,82 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_register_is_refused_swap_is_not() {
+        let registry = ModelRegistry::new();
+        let f = forest();
+        registry
+            .register("m", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh name");
+        assert_eq!(
+            registry
+                .register("m", Arc::new(RangerLikeForest::from_forest(&f)))
+                .expect_err("duplicate"),
+            StoreError::Duplicate("m".into())
+        );
+        // The refused registration changed nothing.
+        assert_eq!(
+            registry.resolve(Some("m")).expect("still there").engine().name(),
+            "Scikit"
+        );
+        registry
+            .swap("m", Arc::new(RangerLikeForest::from_forest(&f)))
+            .expect("swap replaces");
+        assert_eq!(
+            registry.resolve(Some("m")).expect("swapped").engine().name(),
+            "Ranger"
+        );
+        // Swap demands an existing name.
+        assert_eq!(
+            registry
+                .swap("ghost", Arc::new(ScikitLikeForest::from_forest(&f)))
+                .expect_err("unknown"),
+            StoreError::Unknown("ghost".into())
+        );
+    }
+
+    #[test]
     fn unknown_vs_retired_are_distinct_errors() {
         let registry = ModelRegistry::new();
         let f = forest();
-        registry.register("m", Arc::new(ScikitLikeForest::from_forest(&f)));
+        registry
+            .register("m", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh name");
         assert_eq!(
             registry.resolve(Some("ghost")).expect_err("unknown"),
             RouteError::UnknownModel("ghost".into())
         );
-        assert!(registry.retire("m"));
-        assert!(!registry.retire("m"), "double retire is a no-op");
+        // "m" is the default; retiring it out from under legacy clients
+        // is refused until the default is moved away.
+        assert_eq!(
+            registry.retire("m").expect_err("default in use"),
+            StoreError::DefaultInUse("m".into())
+        );
+        registry.clear_default();
+        registry.retire("m").expect("retires");
+        assert_eq!(
+            registry.retire("m").expect_err("double retire"),
+            StoreError::Retired("m".into())
+        );
+        assert_eq!(
+            registry.retire("ghost").expect_err("never existed"),
+            StoreError::Unknown("ghost".into())
+        );
         assert_eq!(
             registry.resolve(Some("m")).expect_err("retired"),
             RouteError::RetiredModel("m".into())
         );
-        // Retiring the default leaves no default configured.
+        // The default was cleared before the retire.
         assert_eq!(
             registry.resolve(None).expect_err("no default"),
             RouteError::NoDefaultModel
+        );
+        // Swapping a retired name is refused too; revival is register's
+        // job.
+        assert_eq!(
+            registry
+                .swap("m", Arc::new(ScikitLikeForest::from_forest(&f)))
+                .expect_err("retired"),
+            StoreError::Retired("m".into())
         );
     }
 
@@ -390,11 +670,15 @@ mod tests {
     fn stats_survive_swap_and_retire() {
         let registry = ModelRegistry::new();
         let f = forest();
-        registry.register("m", Arc::new(ScikitLikeForest::from_forest(&f)));
+        registry
+            .register("m", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh name");
         let before_swap = registry.resolve(Some("m")).expect("resolves");
         before_swap.book(3, 300);
         // Hot-swap the engine behind the name.
-        registry.register("m", Arc::new(RangerLikeForest::from_forest(&f)));
+        registry
+            .swap("m", Arc::new(RangerLikeForest::from_forest(&f)))
+            .expect("swap");
         // A handle resolved before the swap still books into the name.
         before_swap.book(2, 200);
         assert_eq!(registry.stats("m").expect("stats").requests, 5);
@@ -407,21 +691,91 @@ mod tests {
             "Ranger"
         );
         // Retire: stats stay visible and conserved in the total.
-        assert!(registry.retire("m"));
+        registry.clear_default();
+        registry.retire("m").expect("retires");
         assert_eq!(registry.stats("m").expect("retired stats").requests, 5);
         assert_eq!(registry.total_stats().requests, 5);
         // Revival restores the historical counts.
-        registry.register("m", Arc::new(ScikitLikeForest::from_forest(&f)));
+        registry
+            .register("m", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("revival");
         assert_eq!(registry.stats("m").expect("revived stats").requests, 5);
         assert_eq!(registry.total_stats().requests, 5);
+    }
+
+    #[test]
+    fn eviction_parks_stats_and_reload_reattaches() {
+        let registry = ModelRegistry::new();
+        let f = forest();
+        registry
+            .register("m", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh name");
+        registry.resolve(Some("m")).expect("resolves").book(7, 70);
+        assert!(registry.remove_resident("m"));
+        assert!(!registry.remove_resident("m"), "already evicted");
+        // Evicted ≠ retired: the lookup reports unknown (the store
+        // intercepts and reloads), and the stats stay conserved.
+        assert_eq!(
+            registry.resolve(Some("m")).expect_err("not resident"),
+            RouteError::UnknownModel("m".into())
+        );
+        assert_eq!(registry.stats("m").expect("parked stats").requests, 7);
+        assert_eq!(registry.total_stats().requests, 7);
+        registry.insert_resident("m", Arc::new(ScikitLikeForest::from_forest(&f)));
+        assert_eq!(registry.stats("m").expect("reloaded").requests, 7);
+        registry.resolve(Some("m")).expect("routable again");
+    }
+
+    #[test]
+    fn unknown_names_fail_the_bloom_fast_path() {
+        let registry = ModelRegistry::new();
+        let f = forest();
+        registry
+            .register("real", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh name");
+        // Registered names pass; a name never seen anywhere is rejected
+        // by the filter alone (also exercised indirectly: the error is
+        // identical either way).
+        assert!(registry.bloom().may_contain("real"));
+        assert!(!registry.bloom().may_contain("bolt-bench-missing"));
+        assert_eq!(
+            registry.resolve(Some("bolt-bench-missing")).expect_err("unknown"),
+            RouteError::UnknownModel("bolt-bench-missing".into())
+        );
+    }
+
+    #[test]
+    fn resolve_stamps_lru_recency() {
+        let registry = ModelRegistry::new();
+        let f = forest();
+        registry
+            .register("a", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh");
+        registry
+            .register("b", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh");
+        registry.resolve(Some("a")).expect("a");
+        registry.resolve(Some("b")).expect("b");
+        let (a, b) = (
+            registry.last_used("a").expect("resident"),
+            registry.last_used("b").expect("resident"),
+        );
+        assert!(a < b, "b touched later: {a} vs {b}");
+        registry.resolve(Some("a")).expect("a again");
+        assert!(registry.last_used("a").expect("resident") > b);
+        assert_eq!(registry.last_used("ghost"), None);
     }
 
     #[test]
     fn list_is_sorted_and_flags_default() {
         let registry = ModelRegistry::new();
         let f = forest();
-        registry.register("zeta", Arc::new(ScikitLikeForest::from_forest(&f)));
-        registry.register("alpha", Arc::new(RangerLikeForest::from_forest(&f)));
+        registry
+            .register("zeta", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh name");
+        registry
+            .register("alpha", Arc::new(RangerLikeForest::from_forest(&f)))
+            .expect("fresh name");
         let listed = registry.list();
         assert_eq!(
             listed.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
@@ -430,6 +784,10 @@ mod tests {
         assert!(listed[1].is_default, "first registration is default");
         assert!(!listed[0].is_default);
         assert_eq!(listed[0].engine, "Ranger");
+        // Plain registered engines carry no artifact metadata.
+        assert_eq!(listed[0].version, 0);
+        assert!(listed[0].resident);
+        assert_eq!(listed[0].bytes, 0);
     }
 
     #[test]
@@ -437,8 +795,8 @@ mod tests {
         let registry = ModelRegistry::new();
         let f = forest();
         let engine: Arc<dyn InferenceEngine> = Arc::new(ScikitLikeForest::from_forest(&f));
-        registry.register("a", Arc::clone(&engine));
-        registry.register("b", engine);
+        registry.register("a", Arc::clone(&engine)).expect("fresh");
+        registry.register("b", engine).expect("fresh");
         let a = registry.resolve(Some("a")).expect("a");
         let b = registry.resolve(Some("b")).expect("b");
         assert!(Arc::ptr_eq(a.engine(), b.engine()), "no re-compilation");
@@ -452,8 +810,12 @@ mod tests {
     fn booking_saturates_instead_of_overflowing() {
         let registry = ModelRegistry::new();
         let f = forest();
-        registry.register("m", Arc::new(ScikitLikeForest::from_forest(&f)));
-        registry.register("n", Arc::new(ScikitLikeForest::from_forest(&f)));
+        registry
+            .register("m", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh name");
+        registry
+            .register("n", Arc::new(ScikitLikeForest::from_forest(&f)))
+            .expect("fresh name");
         let handle = registry.resolve(Some("m")).expect("resolves");
         // Drive the latency accumulator to the boundary, then past it:
         // pre-fix this panics in debug builds and wraps in release.
@@ -477,9 +839,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "model name must be")]
     fn unaddressable_name_is_rejected() {
         let registry = ModelRegistry::new();
-        registry.register("", Arc::new(ScikitLikeForest::from_forest(&forest())));
+        let f = forest();
+        assert_eq!(
+            registry
+                .register("", Arc::new(ScikitLikeForest::from_forest(&f)))
+                .expect_err("empty name"),
+            StoreError::InvalidName(String::new())
+        );
+        let long = "x".repeat(MAX_MODEL_NAME_BYTES + 1);
+        assert_eq!(
+            registry
+                .register(long.clone(), Arc::new(ScikitLikeForest::from_forest(&f)))
+                .expect_err("oversized name"),
+            StoreError::InvalidName(long)
+        );
     }
 }

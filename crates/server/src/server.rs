@@ -7,6 +7,7 @@ use crate::proto::{
 };
 use crate::event_loop::{self, EventLoopHandle, Listener, ServingMode};
 use crate::registry::{ModelHandle, ModelRegistry, RouteError};
+use crate::store::ModelStore;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,16 +37,22 @@ impl ServerStats {
 }
 
 pub(crate) struct Shared {
-    pub(crate) registry: ModelRegistry,
+    /// The model store every request resolves through. A detached store
+    /// (no model directory) degrades to a plain registry passthrough.
+    pub(crate) store: ModelStore,
     pub(crate) shutdown: AtomicBool,
 }
 
 impl Shared {
-    pub(crate) fn new(registry: ModelRegistry) -> Self {
+    pub(crate) fn new(store: ModelStore) -> Self {
         Self {
-            registry,
+            store,
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    pub(crate) fn registry(&self) -> &ModelRegistry {
+        self.store.registry()
     }
 }
 
@@ -146,17 +153,18 @@ pub struct ClassificationServer {
 
 impl ClassificationServer {
     /// Binds the socket (removing any stale file) and starts accepting,
-    /// serving the registry's models under the given serving mode.
-    pub(crate) fn bind_registry(
+    /// serving the store's models — registry-resident and lazily mapped
+    /// directory artifacts alike — under the given serving mode.
+    pub(crate) fn bind_store(
         path: impl AsRef<Path>,
-        registry: ModelRegistry,
+        store: ModelStore,
         mode: ServingMode,
     ) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         listener.set_nonblocking(true)?;
-        let shared = Arc::new(Shared::new(registry));
+        let shared = Arc::new(Shared::new(store));
         let front = match mode {
             ServingMode::ThreadPerConnection => {
                 let accept_shared = Arc::clone(&shared);
@@ -183,26 +191,6 @@ impl ClassificationServer {
         })
     }
 
-    /// Binds the socket with a single anonymous engine, registered under
-    /// its platform name and made the default model.
-    ///
-    /// # Errors
-    ///
-    /// Returns the I/O error if the socket cannot be bound.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ServerBuilder::new().register(..).bind_uds(..)"
-    )]
-    pub fn bind(
-        path: impl AsRef<Path>,
-        engine: Box<dyn bolt_baselines::InferenceEngine>,
-    ) -> std::io::Result<Self> {
-        let registry = ModelRegistry::new();
-        let name = engine.name().to_owned();
-        registry.register(name, Arc::from(engine));
-        Self::bind_registry(path, registry, ServingMode::default())
-    }
-
     /// The socket path clients connect to.
     #[must_use]
     pub fn path(&self) -> &Path {
@@ -213,20 +201,27 @@ impl ClassificationServer {
     /// and re-defaulting models while the server runs.
     #[must_use]
     pub fn registry(&self) -> ModelRegistry {
-        self.shared.registry.clone()
+        self.shared.registry().clone()
+    }
+
+    /// A handle to the live model store, for lifecycle operations
+    /// (activate, retire, set-default) that must survive a restart.
+    #[must_use]
+    pub fn store(&self) -> ModelStore {
+        self.shared.store.clone()
     }
 
     /// Snapshot of the aggregate statistics across every model (including
     /// retired ones).
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.shared.registry.total_stats()
+        self.shared.registry().total_stats()
     }
 
     /// Snapshot of one model's statistics.
     #[must_use]
     pub fn stats_for(&self, model: &str) -> Option<ServerStats> {
-        self.shared.registry.stats(model)
+        self.shared.registry().stats(model)
     }
 
     /// Stops accepting, waits for in-flight connections, and removes the
@@ -253,7 +248,7 @@ impl std::fmt::Debug for ClassificationServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClassificationServer")
             .field("path", &self.path)
-            .field("registry", &self.shared.registry)
+            .field("store", &self.shared.store)
             .finish()
     }
 }
@@ -269,6 +264,7 @@ pub(crate) fn route_error_frame(error: &RouteError) -> ErrorFrame {
         RouteError::UnknownModel(_) => ERR_UNKNOWN_MODEL,
         RouteError::RetiredModel(_) => ERR_RETIRED_MODEL,
         RouteError::NoDefaultModel => ERR_NO_DEFAULT_MODEL,
+        RouteError::LoadFailed(_) => ERR_INTERNAL,
     };
     ErrorFrame {
         code,
@@ -343,39 +339,39 @@ pub(crate) fn handle_stream<S: std::io::Read + std::io::Write>(
             Err(e) => return Err(e),
         };
         match Request::decode(&payload)? {
-            Request::Single(request) => match shared.registry.resolve(None) {
+            Request::Single(request) => match shared.store.resolve(None) {
                 Ok(model) => {
                     let response = classify_one(&model, &request.features);
                     write_frame(&mut stream, &response.encode())?;
                 }
                 Err(e) => write_frame(&mut stream, &route_error_frame(&e).encode())?,
             },
-            Request::Batch(request) => match shared.registry.resolve(None) {
+            Request::Batch(request) => match shared.store.resolve(None) {
                 Ok(model) => {
                     let response = classify_many(&model, &request.samples);
                     write_frame(&mut stream, &response.encode())?;
                 }
                 Err(e) => write_frame(&mut stream, &route_error_frame(&e).encode())?,
             },
-            Request::SingleWith(request) => match shared.registry.resolve(Some(&request.model)) {
+            Request::SingleWith(request) => match shared.store.resolve(Some(&request.model)) {
                 Ok(model) => {
                     let response = classify_one(&model, &request.features);
                     write_frame(&mut stream, &response.encode_v2())?;
                 }
                 Err(e) => write_frame(&mut stream, &route_error_frame(&e).encode())?,
             },
-            Request::BatchWith(request) => match shared.registry.resolve(Some(&request.model)) {
+            Request::BatchWith(request) => match shared.store.resolve(Some(&request.model)) {
                 Ok(model) => {
                     let response = classify_many(&model, &request.samples);
                     write_frame(&mut stream, &response.encode_v2())?;
                 }
                 Err(e) => write_frame(&mut stream, &route_error_frame(&e).encode())?,
             },
-            Request::ListModels => {
+            Request::ListModels { extended } => {
                 let response = ListModelsResponse {
-                    models: shared.registry.list(),
+                    models: shared.store.list(),
                 };
-                match response.encode() {
+                match response.encode(if extended { 3 } else { 2 }) {
                     Ok(framed) => write_frame(&mut stream, &framed)?,
                     Err(e) => {
                         // A registry too large to enumerate in one frame;
@@ -583,7 +579,9 @@ mod tests {
     #[test]
     fn accept_loop_survives_transient_accept_errors() {
         use std::sync::atomic::AtomicUsize;
-        let shared = Arc::new(Shared::new(crate::registry::ModelRegistry::new()));
+        let shared = Arc::new(Shared::new(ModelStore::detached(
+            crate::registry::ModelRegistry::new(),
+        )));
         let served = Arc::new(AtomicUsize::new(0));
         let loop_shared = Arc::clone(&shared);
         let loop_served = Arc::clone(&served);
@@ -630,21 +628,6 @@ mod tests {
         let path = unique_socket("stale");
         std::fs::write(&path, b"stale").expect("write stale file");
         let server = bolt_server(&path, bolt);
-        server.shutdown();
-    }
-
-    #[test]
-    fn deprecated_bind_still_serves() {
-        let (data, forest, bolt) = fixture();
-        let path = unique_socket("legacy-bind");
-        #[allow(deprecated)]
-        let server =
-            ClassificationServer::bind(&path, Box::new(BoltEngine::new(bolt))).expect("binds");
-        let mut client = ClassificationClient::connect(&path).expect("connects");
-        let response = client.classify(data.sample(0)).expect("classifies");
-        assert_eq!(response.class, forest.predict(data.sample(0)));
-        // The engine self-registered under its platform name.
-        assert_eq!(server.stats_for("BOLT").expect("registered").requests, 1);
         server.shutdown();
     }
 
@@ -709,9 +692,16 @@ mod tests {
             }
             other => panic!("expected unknown-model rejection, got {other:?}"),
         }
-        // Retire the only model: named lookups now say *retired*, and the
-        // default is gone, so even legacy frames get a structured error.
-        assert!(server.registry().retire("bolt"));
+        // Retire the only model: the registry refuses while it is the
+        // default (clients would silently lose service), so clear the
+        // default first. Named lookups then say *retired*, and legacy
+        // frames get a structured no-default error.
+        server
+            .registry()
+            .retire("bolt")
+            .expect_err("the default cannot be retired in place");
+        server.registry().clear_default();
+        server.registry().retire("bolt").expect("retires");
         match client.classify_with("bolt", sample) {
             Err(ProtoError::Rejected { code, .. }) => assert_eq!(code, ERR_RETIRED_MODEL),
             other => panic!("expected retired-model rejection, got {other:?}"),
@@ -720,11 +710,15 @@ mod tests {
             Err(ProtoError::Rejected { code, .. }) => assert_eq!(code, ERR_NO_DEFAULT_MODEL),
             other => panic!("expected no-default rejection, got {other:?}"),
         }
-        // The connection survived all three rejections.
-        server.registry().register(
-            "bolt",
-            Arc::new(BoltEngine::new(fixture().2)) as Arc<dyn bolt_baselines::InferenceEngine>,
-        );
+        // The connection survived all three rejections; registering the
+        // name anew revives it.
+        server
+            .registry()
+            .register(
+                "bolt",
+                Arc::new(BoltEngine::new(fixture().2)) as Arc<dyn bolt_baselines::InferenceEngine>,
+            )
+            .expect("revives the retired name");
         server.registry().set_default("bolt").expect("revived");
         assert!(client.classify(sample).is_ok());
         server.shutdown();
@@ -777,7 +771,7 @@ mod tests {
         match crate::proto::V2Response::decode(&reply).expect("decodes") {
             crate::proto::V2Response::Error(e) => {
                 assert_eq!(e.code, ERR_UNSUPPORTED_VERSION);
-                assert!(e.detail.contains('2'), "names the supported version");
+                assert!(e.detail.contains('3'), "names the supported version");
             }
             other => panic!("expected error frame, got {other:?}"),
         }

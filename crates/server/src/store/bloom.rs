@@ -1,0 +1,189 @@
+//! Lock-free bloom filter over model names.
+//!
+//! Unknown-model traffic (typos, retired fleets, hostile probes) must be
+//! rejected without touching the registry lock or the model directory.
+//! A fixed-size bloom filter answers "definitely not here" in O(1) from
+//! atomic reads; only names that *might* exist proceed to the real
+//! lookup. The filter is insert-only — retire and eviction never remove
+//! bits — so a stale positive costs one registry miss, while a negative
+//! is always authoritative.
+//!
+//! Hashing follows the xxh3-style double-hashing idiom: two independent
+//! 64-bit hashes of the name under fixed seeds, with probe `i` at
+//! `h_a.wrapping_add(i · h_b)`. Bits live in `AtomicU64` words, so
+//! concurrent insert and query need no lock at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Filter width in bits. 2^16 bits (8 KiB) holds thousands of model
+/// names below a ~1 % false-positive rate with [`N_HASHES`] probes —
+/// fleet-scale headroom for a structure this cheap.
+const N_BITS: u64 = 1 << 16;
+
+/// Probes per key.
+const N_HASHES: u64 = 4;
+
+/// Seed for the first hash stream.
+const SEED_A: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Seed for the second hash stream.
+const SEED_B: u64 = 0xc2b2_ae3d_27d4_eb4f;
+
+/// xxh3-style string hash: per-8-byte-lane multiply-fold under a seed,
+/// finished with an avalanche mix. Not the reference xxh3 (the workspace
+/// vendors no hash crate) but the same construction: seeded lane reads,
+/// wide multiplies, xor-shift finalization.
+fn hash_seeded(seed: u64, data: &[u8]) -> u64 {
+    const PRIME_1: u64 = 0x9e37_79b1_85eb_ca87;
+    const PRIME_2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+    const PRIME_3: u64 = 0x1656_67b1_9e37_79f9;
+    let mut acc = seed ^ (data.len() as u64).wrapping_mul(PRIME_1);
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        acc = acc
+            .wrapping_add(lane.wrapping_mul(PRIME_2))
+            .rotate_left(31)
+            .wrapping_mul(PRIME_1);
+    }
+    for &byte in chunks.remainder() {
+        acc = (acc ^ u64::from(byte).wrapping_mul(PRIME_3)).rotate_left(11);
+        acc = acc.wrapping_mul(PRIME_1);
+    }
+    // Avalanche: fold the high bits down so modular reduction sees them.
+    acc ^= acc >> 33;
+    acc = acc.wrapping_mul(PRIME_2);
+    acc ^= acc >> 29;
+    acc = acc.wrapping_mul(PRIME_3);
+    acc ^ (acc >> 32)
+}
+
+/// A concurrent, insert-only bloom filter keyed by model name.
+///
+/// Shared between the registry (which inserts on every registration)
+/// and the store (which inserts on directory scan and WAL replay), so a
+/// negative answer covers both resident models and cold catalog
+/// entries.
+pub struct NameBloom {
+    words: Vec<AtomicU64>,
+}
+
+impl NameBloom {
+    /// An empty filter.
+    #[must_use]
+    pub fn new() -> Self {
+        let words = (0..N_BITS / 64).map(|_| AtomicU64::new(0)).collect();
+        Self { words }
+    }
+
+    /// Bit positions probed for `name`.
+    fn probes(name: &str) -> [u64; N_HASHES as usize] {
+        let hash_a = hash_seeded(SEED_A, name.as_bytes());
+        let hash_b = hash_seeded(SEED_B, name.as_bytes()) | 1; // odd stride
+        let mut probes = [0u64; N_HASHES as usize];
+        for (i, probe) in probes.iter_mut().enumerate() {
+            *probe = hash_a.wrapping_add((i as u64).wrapping_mul(hash_b)) % N_BITS;
+        }
+        probes
+    }
+
+    /// Records `name` as present. Never blocks; concurrent inserts and
+    /// queries interleave freely.
+    pub fn insert(&self, name: &str) {
+        for bit in Self::probes(name) {
+            let word = &self.words[(bit / 64) as usize];
+            word.fetch_or(1 << (bit % 64), Ordering::Relaxed);
+        }
+    }
+
+    /// `false` means `name` was definitely never inserted; `true` means
+    /// it probably was (false positives possible, false negatives not).
+    #[must_use]
+    pub fn may_contain(&self, name: &str) -> bool {
+        Self::probes(name).into_iter().all(|bit| {
+            let word = self.words[(bit / 64) as usize].load(Ordering::Relaxed);
+            word & (1 << (bit % 64)) != 0
+        })
+    }
+}
+
+impl Default for NameBloom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_names_are_found() {
+        let bloom = NameBloom::new();
+        for i in 0..1000 {
+            bloom.insert(&format!("model-{i}"));
+        }
+        for i in 0..1000 {
+            assert!(bloom.may_contain(&format!("model-{i}")));
+        }
+    }
+
+    #[test]
+    fn absent_names_are_mostly_rejected() {
+        let bloom = NameBloom::new();
+        for i in 0..1000 {
+            bloom.insert(&format!("model-{i}"));
+        }
+        // With 4 k names' worth of bits set out of 65 536, the false
+        // positive rate should be far below 5 %; assert a loose bound so
+        // the test is hash-stable, not flaky.
+        let false_positives = (0..1000)
+            .filter(|i| bloom.may_contain(&format!("absent-{i}")))
+            .count();
+        assert!(
+            false_positives < 50,
+            "false positive rate too high: {false_positives}/1000"
+        );
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bloom = NameBloom::new();
+        assert!(!bloom.may_contain("anything"));
+        assert!(!bloom.may_contain(""));
+    }
+
+    #[test]
+    fn distinct_names_probe_distinct_bits() {
+        // Double hashing must not collapse: sibling names may not share
+        // all four probe positions.
+        let a = NameBloom::probes("model@1");
+        let b = NameBloom::probes("model@2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn concurrent_insert_and_query_are_safe() {
+        let bloom = std::sync::Arc::new(NameBloom::new());
+        let writer = {
+            let bloom = std::sync::Arc::clone(&bloom);
+            std::thread::spawn(move || {
+                for i in 0..10_000 {
+                    bloom.insert(&format!("c-{i}"));
+                }
+            })
+        };
+        // Queries race the writer; inserted names must never regress to
+        // negative once observed positive (insert-only monotonicity).
+        for i in 0..10_000 {
+            let name = format!("c-{i}");
+            if bloom.may_contain(&name) {
+                assert!(bloom.may_contain(&name));
+            }
+        }
+        writer.join().expect("writer");
+        for i in 0..10_000 {
+            assert!(bloom.may_contain(&format!("c-{i}")));
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Write-ahead registry log: crash-durable model lifecycle.
+//!
+//! Registry mutations (register a version, retire a name, move the
+//! default) die with the process unless they are logged first. The WAL
+//! makes them durable with the classic discipline: validate the op
+//! against current state, **append + fsync**, then apply in memory. On
+//! restart, replaying the log over the directory scan reconstructs the
+//! exact pre-crash registry — including which version of each model was
+//! active.
+//!
+//! ## Record format
+//!
+//! ```text
+//! ┌──────────┬────────────┬─────────────────────────────┐
+//! │ len: u32 │ crc32: u32 │ payload (len bytes)         │
+//! └──────────┴────────────┴─────────────────────────────┘
+//! payload = op: u8, then per-op body (names are u8-length-prefixed):
+//!   1 Register   { name_len: u8, name, version: u32 }
+//!   2 Retire     { name_len: u8, name }
+//!   3 SetDefault { name_len: u8, name }
+//! ```
+//!
+//! All integers little-endian. The CRC is `bolt_artifact`'s table-driven
+//! IEEE crc32 over the payload, so a torn or bit-flipped tail is
+//! detected; replay truncates the file at the first bad record (a crash
+//! mid-append loses only the op that never finished committing, which
+//! `append` correctly reported as failed).
+//!
+//! ## Compaction
+//!
+//! The log grows with every lifecycle op; most records are superseded
+//! (re-registrations of the same name, moved defaults). [`Wal::compact`]
+//! rewrites the log as the minimal record sequence for the live state —
+//! one `Register` per active name, one `Retire` per retired name that
+//! still has artifact versions on disk, one final `SetDefault` — using
+//! the same write-temp-then-rename discipline as artifact writes.
+
+use bolt_artifact::format::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Byte budget for one record payload; a name is ≤ 255 bytes and every
+/// body is a few more, so anything larger is corruption.
+const MAX_PAYLOAD: u32 = 512;
+
+/// One durable lifecycle operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// `name` now serves artifact `version` (registration or swap; the
+    /// newest record for a name wins).
+    Register {
+        /// Model name.
+        name: String,
+        /// Artifact version made active.
+        version: u32,
+    },
+    /// `name` stopped serving.
+    Retire {
+        /// Model name.
+        name: String,
+    },
+    /// `name` became the default route.
+    SetDefault {
+        /// Model name.
+        name: String,
+    },
+}
+
+impl WalOp {
+    /// Serializes the op payload (everything after len+crc).
+    fn encode(&self) -> Vec<u8> {
+        fn put_name(buf: &mut Vec<u8>, name: &str) {
+            debug_assert!(name.len() <= u8::MAX as usize);
+            buf.push(name.len() as u8);
+            buf.extend_from_slice(name.as_bytes());
+        }
+        let mut buf = Vec::with_capacity(2 + 255 + 4);
+        match self {
+            Self::Register { name, version } => {
+                buf.push(1);
+                put_name(&mut buf, name);
+                buf.extend_from_slice(&version.to_le_bytes());
+            }
+            Self::Retire { name } => {
+                buf.push(2);
+                put_name(&mut buf, name);
+            }
+            Self::SetDefault { name } => {
+                buf.push(3);
+                put_name(&mut buf, name);
+            }
+        }
+        buf
+    }
+
+    /// Parses one payload; `None` on any structural violation (replay
+    /// treats that the same as a bad CRC: stop and truncate).
+    fn decode(payload: &[u8]) -> Option<Self> {
+        fn get_name(body: &[u8]) -> Option<(String, &[u8])> {
+            let (&len, rest) = body.split_first()?;
+            if rest.len() < len as usize {
+                return None;
+            }
+            let (name, rest) = rest.split_at(len as usize);
+            let name = std::str::from_utf8(name).ok()?;
+            (!name.is_empty()).then(|| (name.to_owned(), rest))
+        }
+        let (&op, body) = payload.split_first()?;
+        match op {
+            1 => {
+                let (name, rest) = get_name(body)?;
+                let version = u32::from_le_bytes(rest.try_into().ok()?);
+                Some(Self::Register { name, version })
+            }
+            2 => {
+                let (name, rest) = get_name(body)?;
+                rest.is_empty().then_some(Self::Retire { name })
+            }
+            3 => {
+                let (name, rest) = get_name(body)?;
+                rest.is_empty().then_some(Self::SetDefault { name })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// An open, append-only registry log.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path` and replays it.
+    ///
+    /// Returns the handle positioned for appending plus every valid
+    /// record in order. A torn or corrupt tail is **truncated away** so
+    /// subsequent appends never land after garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be opened, read, or
+    /// truncated.
+    pub fn open(path: &Path) -> std::io::Result<(Self, Vec<WalOp>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+        let (ops, valid_len) = replay(&bytes);
+        if (valid_len as u64) < file.metadata()?.len() {
+            file.set_len(valid_len as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Self {
+                file,
+                path: path.to_owned(),
+            },
+            ops,
+        ))
+    }
+
+    /// Appends one record and fsyncs it. The op is durable — it will
+    /// survive a crash — exactly when this returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from the write or the fsync; on error the
+    /// record must be considered not written (replay's CRC check
+    /// discards a torn partial append).
+    pub fn append(&mut self, op: &WalOp) -> std::io::Result<()> {
+        let payload = op.encode();
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        self.file.write_all(&record)?;
+        self.file.sync_data()
+    }
+
+    /// Rewrites the log to exactly `ops` (the minimal sequence for the
+    /// live state), atomically: write a temp file, fsync, rename over
+    /// the log, then reopen the handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error on failure; the original log is intact
+    /// unless the rename itself succeeded.
+    pub fn compact(&mut self, ops: &[WalOp]) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("wal.tmp");
+        let mut out = File::create(&tmp)?;
+        for op in ops {
+            let payload = op.encode();
+            out.write_all(&(payload.len() as u32).to_le_bytes())?;
+            out.write_all(&crc32(&payload).to_le_bytes())?;
+            out.write_all(&payload)?;
+        }
+        out.sync_all()?;
+        drop(out);
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        Ok(())
+    }
+
+    /// Current log size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the metadata read fails.
+    pub fn len(&self) -> std::io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// Whether the log holds no records.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the metadata read fails.
+    pub fn is_empty(&self) -> std::io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// Walks `bytes` record by record, returning every valid op and the
+/// byte offset where validity ends (torn-tail truncation point).
+fn replay(bytes: &[u8]) -> (Vec<WalOp>, usize) {
+    let mut ops = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= 8 {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_PAYLOAD {
+            break;
+        }
+        let end = offset + 8 + len as usize;
+        if end > bytes.len() {
+            break; // torn tail: record promised more bytes than exist
+        }
+        let payload = &bytes[offset + 8..end];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Some(op) = WalOp::decode(payload) else {
+            break;
+        };
+        ops.push(op);
+        offset = end;
+    }
+    (ops, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bolt-wal-{tag}-{}.wal", std::process::id()))
+    }
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Register {
+                name: "fraud".into(),
+                version: 1,
+            },
+            WalOp::Register {
+                name: "spam".into(),
+                version: 3,
+            },
+            WalOp::SetDefault {
+                name: "fraud".into(),
+            },
+            WalOp::Retire {
+                name: "spam".into(),
+            },
+            WalOp::Register {
+                name: "spam".into(),
+                version: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let path = temp_wal("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, replayed) = Wal::open(&path).expect("open");
+        assert!(replayed.is_empty());
+        for op in sample_ops() {
+            wal.append(&op).expect("append");
+        }
+        drop(wal); // no clean shutdown step exists: reopen IS crash recovery
+        let (_, replayed) = Wal::open(&path).expect("reopen");
+        assert_eq!(replayed, sample_ops());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = temp_wal("torn");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).expect("open");
+        for op in sample_ops() {
+            wal.append(&op).expect("append");
+        }
+        drop(wal);
+        // Simulate a crash mid-append: chop bytes off the last record.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate");
+        let (wal, replayed) = Wal::open(&path).expect("reopen");
+        assert_eq!(replayed, sample_ops()[..4]);
+        // The torn record is physically gone: the file ends at the last
+        // valid record, so future appends are replayable.
+        assert_eq!(
+            wal.len().expect("len") as usize,
+            bytes.len() - record_len(&sample_ops()[4])
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    fn record_len(op: &WalOp) -> usize {
+        8 + op.encode().len()
+    }
+
+    #[test]
+    fn bitflip_stops_replay_at_the_flip() {
+        let path = temp_wal("bitflip");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).expect("open");
+        for op in sample_ops() {
+            wal.append(&op).expect("append");
+        }
+        drop(wal);
+        let mut bytes = std::fs::read(&path).expect("read");
+        // Flip a payload bit in the third record.
+        let offset: usize = sample_ops()[..2].iter().map(record_len).sum();
+        bytes[offset + 9] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write");
+        let (_, replayed) = Wal::open(&path).expect("reopen");
+        assert_eq!(replayed, sample_ops()[..2]);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn append_after_torn_tail_recovery_is_clean() {
+        let path = temp_wal("append-after");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).expect("open");
+        wal.append(&sample_ops()[0]).expect("append");
+        wal.append(&sample_ops()[1]).expect("append");
+        drop(wal);
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).expect("tear");
+        let (mut wal, replayed) = Wal::open(&path).expect("reopen");
+        assert_eq!(replayed.len(), 1);
+        wal.append(&sample_ops()[2]).expect("append after tear");
+        drop(wal);
+        let (_, replayed) = Wal::open(&path).expect("final open");
+        assert_eq!(replayed, vec![sample_ops()[0].clone(), sample_ops()[2].clone()]);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn compaction_preserves_replay_state_and_shrinks() {
+        let path = temp_wal("compact");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).expect("open");
+        // Many superseded records for one name.
+        for version in 1..=50 {
+            wal.append(&WalOp::Register {
+                name: "hot".into(),
+                version,
+            })
+            .expect("append");
+        }
+        let before = wal.len().expect("len");
+        let minimal = vec![WalOp::Register {
+            name: "hot".into(),
+            version: 50,
+        }];
+        wal.compact(&minimal).expect("compact");
+        let after = wal.len().expect("len");
+        assert!(after < before / 10, "{after} vs {before}");
+        // Appends after compaction land after the snapshot records.
+        wal.append(&WalOp::SetDefault { name: "hot".into() })
+            .expect("append");
+        drop(wal);
+        let (_, replayed) = Wal::open(&path).expect("reopen");
+        assert_eq!(
+            replayed,
+            vec![
+                WalOp::Register {
+                    name: "hot".into(),
+                    version: 50
+                },
+                WalOp::SetDefault { name: "hot".into() },
+            ]
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn hostile_length_field_does_not_allocate_or_loop() {
+        let path = temp_wal("hostile");
+        let _ = std::fs::remove_file(&path);
+        // A record claiming a 4 GiB payload.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(b"garbage");
+        std::fs::write(&path, &bytes).expect("write");
+        let (wal, replayed) = Wal::open(&path).expect("open");
+        assert!(replayed.is_empty());
+        assert_eq!(wal.len().expect("len"), 0); // truncated to nothing
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn decode_rejects_structural_garbage() {
+        assert_eq!(WalOp::decode(&[]), None);
+        assert_eq!(WalOp::decode(&[99, 1, b'x']), None); // unknown op
+        assert_eq!(WalOp::decode(&[1, 5, b'a']), None); // short name
+        assert_eq!(WalOp::decode(&[1, 0]), None); // empty name
+        assert_eq!(WalOp::decode(&[2, 1, b'a', 0xFF]), None); // trailing junk
+        assert_eq!(WalOp::decode(&[1, 1, b'a', 1, 0, 0]), None); // short version
+        // Valid ones for contrast.
+        assert_eq!(
+            WalOp::decode(&[1, 1, b'a', 7, 0, 0, 0]),
+            Some(WalOp::Register {
+                name: "a".into(),
+                version: 7
+            })
+        );
+        assert_eq!(
+            WalOp::decode(&[3, 1, b'a']),
+            Some(WalOp::SetDefault { name: "a".into() })
+        );
+    }
+}

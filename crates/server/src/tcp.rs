@@ -8,6 +8,7 @@
 use crate::event_loop::{self, Listener, ServingMode};
 use crate::registry::ModelRegistry;
 use crate::server::{handle_stream, run_accept_loop, FrontEnd, Shared};
+use crate::store::ModelStore;
 use crate::ServerStats;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
@@ -45,18 +46,18 @@ pub struct TcpClassificationServer {
 }
 
 impl TcpClassificationServer {
-    /// Binds the address (use port 0 for an ephemeral port) and starts
-    /// accepting, serving the registry's models under the given serving
-    /// mode.
-    pub(crate) fn bind_registry(
+    /// Binds the address and starts accepting, serving the store's models
+    /// — registry-resident and lazily mapped directory artifacts alike —
+    /// under the given serving mode.
+    pub(crate) fn bind_store(
         addr: impl std::net::ToSocketAddrs,
-        registry: ModelRegistry,
+        store: ModelStore,
         mode: ServingMode,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let shared = Arc::new(Shared::new(registry));
+        let shared = Arc::new(Shared::new(store));
         let front = match mode {
             ServingMode::ThreadPerConnection => {
                 let accept_shared = Arc::clone(&shared);
@@ -86,26 +87,6 @@ impl TcpClassificationServer {
         })
     }
 
-    /// Binds the address with a single anonymous engine, registered under
-    /// its platform name and made the default model.
-    ///
-    /// # Errors
-    ///
-    /// Returns the I/O error if the address cannot be bound.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ServerBuilder::new().register(..).bind_tcp(..)"
-    )]
-    pub fn bind(
-        addr: impl std::net::ToSocketAddrs,
-        engine: Box<dyn bolt_baselines::InferenceEngine>,
-    ) -> std::io::Result<Self> {
-        let registry = ModelRegistry::new();
-        let name = engine.name().to_owned();
-        registry.register(name, Arc::from(engine));
-        Self::bind_registry(addr, registry, ServingMode::default())
-    }
-
     /// The bound address (useful with port 0).
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
@@ -116,20 +97,27 @@ impl TcpClassificationServer {
     /// and re-defaulting models while the server runs.
     #[must_use]
     pub fn registry(&self) -> ModelRegistry {
-        self.shared.registry.clone()
+        self.shared.registry().clone()
+    }
+
+    /// A handle to the live model store, for lifecycle operations
+    /// (activate, retire, set-default) that must survive a restart.
+    #[must_use]
+    pub fn store(&self) -> ModelStore {
+        self.shared.store.clone()
     }
 
     /// Snapshot of the aggregate statistics across every model (including
     /// retired ones).
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.shared.registry.total_stats()
+        self.shared.registry().total_stats()
     }
 
     /// Snapshot of one model's statistics.
     #[must_use]
     pub fn stats_for(&self, model: &str) -> Option<ServerStats> {
-        self.shared.registry.stats(model)
+        self.shared.registry().stats(model)
     }
 
     /// Stops accepting and waits for in-flight connections.
@@ -154,7 +142,7 @@ impl std::fmt::Debug for TcpClassificationServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpClassificationServer")
             .field("local_addr", &self.local_addr)
-            .field("registry", &self.shared.registry)
+            .field("store", &self.shared.store)
             .finish()
     }
 }

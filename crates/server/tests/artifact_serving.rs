@@ -118,7 +118,7 @@ fn hot_swapping_freshly_mapped_artifacts_under_traffic_is_seamless() {
             1 => Arc::new(ArtifactEngine::open(&path_b).expect("map b")),
             _ => Arc::clone(&in_memory),
         };
-        registry.register("prod", engine);
+        registry.swap("prod", engine).expect("hot-swaps");
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
 

@@ -105,8 +105,12 @@ fn mixed_concurrent_load_on_both_transports_is_clean() {
 
     // One registry shared by both transports, as boltd deploys it.
     let registry = ModelRegistry::new();
-    registry.register("bolt", Arc::new(BoltEngine::new(Arc::clone(&bolt))));
-    registry.register("ranger", Arc::new(RangerLikeForest::from_forest(&forest)));
+    registry
+        .register("bolt", Arc::new(BoltEngine::new(Arc::clone(&bolt))))
+        .expect("registers");
+    registry
+        .register("ranger", Arc::new(RangerLikeForest::from_forest(&forest)))
+        .expect("registers");
     registry.set_default("bolt").expect("default");
     let path = std::env::temp_dir().join(format!(
         "bolt-test-concurrent-load-{}.sock",

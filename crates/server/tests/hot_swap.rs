@@ -82,7 +82,7 @@ fn hot_swap_under_concurrent_traffic_drops_nothing() {
         } else {
             Arc::clone(&bolt)
         };
-        registry.register("hot", engine);
+        registry.swap("hot", engine).expect("hot-swaps");
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
 

@@ -331,7 +331,8 @@ fn event_loop_tcp_pipelining_and_hot_swap() {
     // engine, stats carry over.
     server
         .registry()
-        .register("m", engine(Duration::from_micros(1)));
+        .swap("m", engine(Duration::from_micros(1)))
+        .expect("hot-swaps");
     stream
         .write_all(&ClassifyRequest { features: vec![12.0] }.encode())
         .expect("writes");

@@ -9,6 +9,11 @@
 # numbers it produces are smoke-level, not publishable — use `bolt-bench`
 # (the self-hosted suite) on quiet hardware for trajectory entries.
 #
+# The model-store leg serves a directory fleet through a resident-bytes
+# budget (evict + re-map under load), kills boltd with SIGKILL mid-churn,
+# and proves the restarted process recovers the same catalog from the
+# write-ahead log and serves the whole fleet clean.
+#
 # Usage: scripts/run_loadgen.sh [requests]
 #   requests — frames per workload (default 1500).
 set -euo pipefail
@@ -99,9 +104,84 @@ echo "== compare micro-batching off -> on =="
 "$BENCH" --compare "$WORKDIR/results-mb-off" "$WORKDIR/results-mb-on" \
     --threshold 10000
 
+echo "== model-churn: directory fleet through a resident-bytes budget =="
+MODELDIR="$WORKDIR/models"
+mkdir -p "$MODELDIR"
+FLEET=12
+CHURN_MODELS=()
+for i in $(seq 0 $((FLEET - 1))); do
+    name=$(printf 'churn%02d' "$i")
+    "$BOLTC" compile --forest "$FOREST" --threshold 2 --model-version 1 \
+        --out "$MODELDIR/$name@1.blt"
+    CHURN_MODELS+=(--model "$name")
+done
+# A newer version for the first few names: the store must catalog and
+# serve these, and startup compaction (--keep-versions 1) must delete the
+# superseded @1 files and journal the survivors to the WAL.
+for i in 0 1 2 3; do
+    name=$(printf 'churn%02d' "$i")
+    "$BOLTC" compile --forest "$FOREST" --threshold 2 --model-version 2 \
+        --out "$MODELDIR/$name@2.blt"
+done
+SIZE=$(stat -c %s "$MODELDIR/churn05@1.blt")
+BUDGET=$((SIZE * 9 / 2)) # admits 4 of the 12 models concurrently
+
+# Starts boltd in store mode (model directory, resident budget, version
+# retention) and logs its stdout so catalog counts can be compared across
+# a crash.
+start_boltd_dir() {
+    rm -f "$SOCKET"
+    "$BOLTD" --model-dir "$MODELDIR" --resident-bytes "$BUDGET" \
+        --keep-versions 1 --socket "$SOCKET" >"$1" &
+    BOLTD_PID=$!
+    for _ in $(seq 1 50); do
+        [ -S "$SOCKET" ] && break
+        kill -0 "$BOLTD_PID" 2>/dev/null || { echo "boltd died" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -S "$SOCKET" ] || { echo "boltd never bound $SOCKET" >&2; exit 1; }
+}
+
+start_boltd_dir "$WORKDIR/boltd-churn-1.log"
+"$BENCH" --connect uds:"$SOCKET" --workload loadgen_model_churn --data lstw \
+    --requests "$REQUESTS" --rate 500 --threads 4 "${CHURN_MODELS[@]}" \
+    --out "$WORKDIR/results-churn" &
+BENCH_PID=$!
+sleep 1
+echo "-- SIGKILL mid-churn --"
+kill -9 "$BOLTD_PID"
+wait "$BOLTD_PID" 2>/dev/null || true
+BOLTD_PID=""
+wait "$BENCH_PID" 2>/dev/null || true
+
+# The restarted process must replay the WAL to the same catalog and serve
+# every model in the fleet to completion with zero protocol errors.
+start_boltd_dir "$WORKDIR/boltd-churn-2.log"
+"$BENCH" --connect uds:"$SOCKET" --workload loadgen_model_churn --data lstw \
+    --requests "$REQUESTS" --rate 500 --threads 4 "${CHURN_MODELS[@]}" \
+    --out "$WORKDIR/results-churn"
+stop_boltd
+
+before=$(grep -o '[0-9]* models cataloged' "$WORKDIR/boltd-churn-1.log")
+after=$(grep -o '[0-9]* models cataloged' "$WORKDIR/boltd-churn-2.log")
+[ -n "$before" ] || { echo "boltd never cataloged the model dir" >&2; exit 1; }
+if [ "$before" != "$after" ]; then
+    echo "catalog diverged across SIGKILL: '$before' -> '$after'" >&2
+    exit 1
+fi
+for i in 0 1 2 3; do
+    name=$(printf 'churn%02d' "$i")
+    if [ -e "$MODELDIR/$name@1.blt" ]; then
+        echo "compaction left superseded $name@1.blt behind" >&2
+        exit 1
+    fi
+done
+"$BENCH" --check "$WORKDIR/results-churn"/BENCH_loadgen_model_churn.json
+echo "model-churn leg OK: $after survive SIGKILL, superseded versions pruned"
+
 echo "== compare the committed trajectory snapshots through the same gate =="
 # Self-comparison: zero deltas by construction, but every committed
 # BENCH_*.json must parse, validate, and match by workload.
 "$BENCH" --compare results results
 
-echo "Load-generator round trip OK: boltd served UDS + TCP open-loop traffic with micro-batching on and off; snapshots validate and compare."
+echo "Load-generator round trip OK: boltd served UDS + TCP open-loop traffic with micro-batching on and off, and a model-store fleet survived SIGKILL through the WAL; snapshots validate and compare."

@@ -68,8 +68,11 @@ const USAGE: &str = "usage:
   boltc train   (--workload mnist|lstw|yelp --samples N | --csv FILE)
                 [--trees N] [--height N] [--seed N] --out FOREST.json
   boltc compile --forest FOREST.json [--threshold N] [--bloom BITS_PER_KEY]
-                [--explanations] [--verify WORKLOAD] --out BOLT.json|MODEL.blt
-                (a .blt extension writes the binary BLT1 zero-copy artifact)
+                [--explanations] [--verify WORKLOAD] [--model-version V]
+                --out BOLT.json|MODEL.blt
+                (a .blt extension writes the binary BLT1 zero-copy artifact;
+                 --model-version stamps the header for boltd --model-dir
+                 fleets, which expect NAME@V.blt file naming)
   boltc inspect --blt MODEL.blt
   boltc verify  --blt MODEL.blt [--forest FOREST.json]
                 [--workload NAME] [--samples N] [--seed N]
@@ -79,7 +82,7 @@ const USAGE: &str = "usage:
                     [--trees N] [--height N] [--seed N] --out FOREST.json
                     (regression CSV: last column is the float target)
   boltc compile-reg --forest FOREST.json [--threshold N] [--bloom N]
-                    --out BOLT.json|MODEL.blt
+                    [--model-version V] --out BOLT.json|MODEL.blt
   boltc eval-reg    (--forest FOREST.json | --bolt BOLT.json|MODEL.blt)
                     (--workload trips --samples N [--seed N] | --csv FILE)";
 
@@ -177,11 +180,16 @@ fn compile(flags: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("verified safety property on {n} samples");
     }
+    let model_version = numeric(flags, "model-version", 0u32)?;
     if out.ends_with(".blt") {
-        ArtifactWriter::write_forest(&bolt, out).map_err(|e| format!("write {out}: {e}"))?;
+        ArtifactWriter::write_forest_versioned(&bolt, model_version, out)
+            .map_err(|e| format!("write {out}: {e}"))?;
         // Round-trip sanity: the artifact must map and validate cleanly.
         MappedForest::open(out).map_err(|e| format!("re-map {out}: {e}"))?;
     } else {
+        if model_version != 0 {
+            return Err("--model-version only applies to .blt artifacts".into());
+        }
         let json = serde_json::to_string(&bolt).map_err(|e| e.to_string())?;
         std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
     }
@@ -302,10 +310,15 @@ fn compile_reg(flags: &HashMap<String, String>) -> Result<(), String> {
         .with_cluster_threshold(numeric(flags, "threshold", 4)?)
         .with_bloom_bits_per_key(numeric(flags, "bloom", 10)?);
     let bolt = BoltRegressor::compile(&forest, &config).map_err(|e| e.to_string())?;
+    let model_version = numeric(flags, "model-version", 0u32)?;
     if out.ends_with(".blt") {
-        ArtifactWriter::write_regressor(&bolt, out).map_err(|e| format!("write {out}: {e}"))?;
+        ArtifactWriter::write_regressor_versioned(&bolt, model_version, out)
+            .map_err(|e| format!("write {out}: {e}"))?;
         MappedRegressor::open(out).map_err(|e| format!("re-map {out}: {e}"))?;
     } else {
+        if model_version != 0 {
+            return Err("--model-version only applies to .blt artifacts".into());
+        }
         let json = serde_json::to_string(&bolt).map_err(|e| e.to_string())?;
         std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
     }
@@ -369,8 +382,9 @@ fn inspect(flags: &HashMap<String, String>) -> Result<(), String> {
         _ => "unknown",
     };
     println!(
-        "{path}: BLT1 v{} {kind}, {} bytes, {} sections, {}",
+        "{path}: BLT1 v{} {kind}, model version {}, {} bytes, {} sections, {}",
         header.version,
+        header.model_version,
         header.file_len,
         header.section_count,
         if artifact.is_mapped() {
