@@ -15,7 +15,8 @@
 //! bolt-bench --connect uds:/tmp/bolt.sock --workload uds_smoke \
 //!            --data lstw --requests 2000 --rate 4000 --threads 4 \
 //!            [--batch N] [--model NAME]... [--error-every N] \
-//!            [--duration-secs S] [--reconnect-every N] [--out DIR]
+//!            [--duration-secs S] [--reconnect-every N] \
+//!            [--hostile-every N] [--out DIR]
 //!
 //! # Validate snapshot files against the current schema (CI):
 //! bolt-bench --check results/BENCH_uds_single.json ...
@@ -29,8 +30,11 @@
 //! The suite covers the mixes the serving path must survive together:
 //! single vs `ClassifyBatch` frames on both transports, named-model
 //! fan-out via v2 `ClassifyWith`, deliberate unknown-model error traffic,
-//! hot-swap churn re-registering a model under fire, and a model-churn
-//! fleet cycling 16 directory artifacts through a resident-bytes budget
+//! hot-swap churn re-registering a model under fire, a hostile mix
+//! interleaving fuzz-shaped frames on live data connections (the server
+//! must answer structured errors or drop the connection — never stall,
+//! never panic), and a model-churn fleet cycling 16 directory artifacts
+//! through a resident-bytes budget
 //! that admits 4 (evict + re-map on nearly every routed request). Every
 //! response in self-hosted mode is checked bit-identical to the direct
 //! `forest.predict` answer; any mismatch or protocol error fails the run.
@@ -69,7 +73,7 @@ fn main() -> ExitCode {
                  \x20      bolt-bench --connect uds:PATH|tcp:ADDR --workload NAME \
                  [--data lstw|mnist|yelp] [--samples N] [--requests N] [--rate R] \
                  [--threads N] [--batch N] [--model NAME]... [--error-every N] \
-                 [--duration-secs S] [--reconnect-every N] [--out DIR]\n\
+                 [--duration-secs S] [--reconnect-every N] [--hostile-every N] [--out DIR]\n\
                  \x20      bolt-bench --check FILE...\n\
                  \x20      bolt-bench --compare OLD NEW [--threshold PCT]   \
                  (OLD/NEW: BENCH_*.json files or directories)"
@@ -93,6 +97,7 @@ struct Cli {
     error_every: u64,
     duration_secs: f64,
     reconnect_every: u64,
+    hostile_every: u64,
     out: PathBuf,
     quick: bool,
 }
@@ -112,6 +117,7 @@ impl Cli {
             error_every: 0,
             duration_secs: 0.0,
             reconnect_every: 0,
+            hostile_every: 0,
             out: PathBuf::from("results"),
             quick: false,
         };
@@ -160,6 +166,9 @@ impl Cli {
                 }
                 "--reconnect-every" => {
                     cli.reconnect_every = parse_num(&value, "--reconnect-every")?;
+                }
+                "--hostile-every" => {
+                    cli.hostile_every = parse_num(&value, "--hostile-every")?;
                 }
                 "--out" => cli.out = PathBuf::from(value),
                 other => return Err(format!("unknown flag {other:?}")),
@@ -343,6 +352,7 @@ fn connect_run(cli: &Cli) -> Result<(), String> {
     cfg.error_every = cli.error_every;
     cfg.duration = (cli.duration_secs > 0.0).then(|| Duration::from_secs_f64(cli.duration_secs));
     cfg.reconnect_every = cli.reconnect_every;
+    cfg.hostile_every = cli.hostile_every;
     let report = bolt_bench::loadgen::run_open_loop(target, &samples, None, &cfg)
         .map_err(|e| format!("connect {target:?}: {e}"))?;
     let snapshot = BenchSnapshot::from_report(
@@ -469,6 +479,12 @@ fn suite(cli: &Cli) -> Result<(), String> {
     // frames, keeping accept/close hot for the whole run.
     let mut reconnect = mk("uds_reconnect", 1, &[], 0);
     reconnect.reconnect_every = 4;
+    // Hostile mix: every 4th arrival also injects a fuzz-shaped frame on
+    // a raw side connection. The well-formed traffic alongside must stay
+    // bit-identical; the garbage must be answered with structured errors
+    // or a dropped connection, never a stall.
+    let mut hostile = mk("uds_hostile", 1, &[], 0);
+    hostile.hostile_every = 4;
     // The evict + re-map path sustains roughly 1k fps; offer well under
     // that so the snapshot records reload latency, not queueing backlog.
     let mut model_churn = mk("model_churn", 1, &churn_refs, 0);
@@ -484,6 +500,7 @@ fn suite(cli: &Cli) -> Result<(), String> {
         (mk("uds_errmix", 1, &[], 8), &uds_target, 0),
         (mk("uds_swap", 1, &["swap"], 0), &uds_target, 25),
         (reconnect, &uds_target, 0),
+        (hostile, &uds_target, 0),
         (model_churn, &churn_target, 0),
     ];
 
@@ -503,6 +520,12 @@ fn suite(cli: &Cli) -> Result<(), String> {
                 "{}: {} protocol error(s), {} wrong class(es)",
                 cfg.name, report.protocol_errors, report.wrong_class
             ));
+        }
+        // The hostile mix must actually have injected garbage and seen
+        // every frame handled the acceptable way (misbehaviour already
+        // landed in protocol_errors above; this catches a silent no-op).
+        if cfg.hostile_every > 0 && report.hostile_sent == 0 {
+            failures.push(format!("{}: hostile mix injected nothing", cfg.name));
         }
         let snapshot =
             BenchSnapshot::from_report(&report, &rev, &kernel, trained.test.n_features(), swap_ms);

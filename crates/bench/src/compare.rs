@@ -197,6 +197,9 @@ mod tests {
             reconnects: 0,
             swap_interval_ms: 0,
             n_features: 11,
+            hostile_every: 0,
+            hostile_sent: 0,
+            hostile_handled: 0,
             frames_sent: 1000,
             responses_ok: 1000,
             expected_rejections: 0,

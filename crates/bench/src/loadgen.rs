@@ -22,8 +22,10 @@
 //! [`BenchSnapshot`]) so the perf trajectory across PRs is diffable.
 
 use crate::hist::LatencyHistogram;
-use bolt_server::{ClassificationClient, ProtoError};
+use bolt_server::proto::{read_frame, V2Response, ERR_MALFORMED_REQUEST, MAX_FRAME_BYTES, V2_MAGIC};
+use bolt_server::{ClassificationClient, ProtoError, PROTOCOL_VERSION};
 use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -35,6 +37,11 @@ pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
 /// Model name the error-traffic mix asks for; never registered, so the
 /// server must answer a structured unknown-model rejection.
 pub const MISSING_MODEL: &str = "bolt-bench-missing";
+
+/// How long a hostile exchange waits for the server's reaction before the
+/// server is declared stalled (the one outcome the hostile mix exists to
+/// rule out).
+const HOSTILE_READ_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Where the load generator connects.
 #[derive(Clone, Debug)]
@@ -66,7 +73,31 @@ impl Target {
             Self::Tcp(_) => "tcp",
         }
     }
+
+    /// Opens a raw byte stream to the target for hostile-frame injection,
+    /// bypassing the typed client so the bench can put arbitrary bytes on
+    /// a live data socket. Read-timeout-bounded so a stalled server shows
+    /// up as a failure instead of hanging the run.
+    fn connect_raw(&self) -> std::io::Result<Box<dyn RawStream>> {
+        match self {
+            Self::Uds(path) => {
+                let stream = std::os::unix::net::UnixStream::connect(path)?;
+                stream.set_read_timeout(Some(HOSTILE_READ_TIMEOUT))?;
+                Ok(Box::new(stream))
+            }
+            Self::Tcp(addr) => {
+                let stream = std::net::TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(HOSTILE_READ_TIMEOUT))?;
+                Ok(Box::new(stream))
+            }
+        }
+    }
 }
+
+/// Object-safe byte stream for hostile-frame injection.
+trait RawStream: Read + Write + Send {}
+impl<T: Read + Write + Send> RawStream for T {}
 
 /// One open-loop workload: how many threads, how fast, what mix.
 #[derive(Clone, Debug)]
@@ -98,6 +129,12 @@ pub struct OpenLoopConfig {
     /// connection after each N frames it sends (0 keeps connections for
     /// the whole run).
     pub reconnect_every: u64,
+    /// Hostile-frame mix: every Nth scheduled arrival *also* injects one
+    /// fuzz-shaped frame on a separate live data connection (0 disables).
+    /// The server must answer a structured error or drop that connection
+    /// — never stall, never corrupt the well-formed traffic running
+    /// alongside.
+    pub hostile_every: u64,
 }
 
 impl OpenLoopConfig {
@@ -114,6 +151,7 @@ impl OpenLoopConfig {
             error_every: 0,
             duration: None,
             reconnect_every: 0,
+            hostile_every: 0,
         }
     }
 }
@@ -177,6 +215,14 @@ pub struct LoadReport {
     pub protocol_errors: u64,
     /// Connections deliberately re-opened by the reconnect-storm mix.
     pub reconnects: u64,
+    /// Fuzz-shaped frames injected by the hostile mix.
+    pub hostile_sent: u64,
+    /// Hostile frames the server handled correctly: a structured error on
+    /// a surviving connection for well-delimited garbage, a dropped
+    /// connection for framing-level corruption. Anything else (a stall, a
+    /// classification of garbage, a frame after a must-drop) counts under
+    /// [`protocol_errors`](Self::protocol_errors) instead.
+    pub hostile_handled: u64,
     /// Wall-clock for the whole run, seconds.
     pub elapsed_s: f64,
     /// Client-observed latency (scheduled send → response decoded).
@@ -212,6 +258,8 @@ struct WorkerTally {
     wrong_class: u64,
     errors: u64,
     reconnects: u64,
+    hostile_sent: u64,
+    hostile_handled: u64,
 }
 
 /// What one scheduled request came back as.
@@ -264,6 +312,126 @@ fn issue(
         }
         Err(ProtoError::Rejected { .. }) if expect_rejection => Outcome::ExpectedRejection,
         Err(_) => Outcome::Error,
+    }
+}
+
+/// What a correct server must do with one hostile frame.
+enum HostileExpect {
+    /// The frame is well-delimited but decodes as garbage: the server must
+    /// answer a structured malformed-request error and keep the
+    /// connection.
+    StructuredError,
+    /// The framing itself is corrupt (oversized length declaration): no
+    /// trustworthy frame boundary remains, the server must drop the
+    /// connection.
+    Disconnect,
+}
+
+/// How one hostile exchange went.
+enum HostileOutcome {
+    /// Handled correctly, connection still usable.
+    Survived,
+    /// Handled correctly by dropping the connection (as required).
+    Dropped,
+    /// The server stalled, classified garbage, or answered when it had to
+    /// disconnect.
+    Misbehaved,
+}
+
+/// Builds the `k`-th fuzz-shaped frame (fully framed, length prefix
+/// included) and the reaction a correct server owes it. Variants rotate so
+/// every worker exercises all of them.
+fn hostile_frame(k: u64) -> (Vec<u8>, HostileExpect) {
+    match k % 3 {
+        0 => {
+            // Well-framed v2 header carrying an opcode no client ever
+            // sends, padded with junk.
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&V2_MAGIC.to_le_bytes());
+            payload.push(PROTOCOL_VERSION);
+            payload.push(0xEE);
+            payload.extend_from_slice(&[0xA5; 8]);
+            (frame_bytes(&payload), HostileExpect::StructuredError)
+        }
+        1 => {
+            // Legacy-shaped junk: byte length cannot reconcile with any
+            // feature count.
+            (frame_bytes(&[0xAB; 7]), HostileExpect::StructuredError)
+        }
+        _ => {
+            // Length prefix declaring a frame over the protocol cap; the
+            // bytes after it are never a parseable boundary again.
+            let mut framed = Vec::new();
+            framed.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+            framed.extend_from_slice(&[0xCD; 16]);
+            (framed, HostileExpect::Disconnect)
+        }
+    }
+}
+
+/// Prefixes a payload with its u32 LE length, like `write_frame` does.
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(payload);
+    framed
+}
+
+/// Sends one fuzz-shaped frame on a raw connection and checks the server
+/// reacted the only two acceptable ways: structured error (connection
+/// survives) or connection drop — never a stall, never a classification.
+fn hostile_exchange(stream: &mut dyn RawStream, k: u64) -> HostileOutcome {
+    let (framed, expect) = hostile_frame(k);
+    if stream.write_all(&framed).and_then(|()| stream.flush()).is_err() {
+        // The write itself failing is only acceptable when the server was
+        // required to drop us (it may race ahead of our write).
+        return match expect {
+            HostileExpect::Disconnect => HostileOutcome::Dropped,
+            HostileExpect::StructuredError => HostileOutcome::Misbehaved,
+        };
+    }
+    let response = read_frame(&mut { stream });
+    match expect {
+        HostileExpect::StructuredError => match response {
+            // The one correct answer: a structured malformed-request
+            // error, stream still in sync.
+            Ok(Some(payload)) => match V2Response::decode(&payload) {
+                Ok(V2Response::Error(frame)) if frame.code == ERR_MALFORMED_REQUEST => {
+                    HostileOutcome::Survived
+                }
+                _ => HostileOutcome::Misbehaved,
+            },
+            // EOF or transport error: dropping a recoverable frame is a
+            // (tolerated) overreaction in thread mode, but a *timeout*
+            // means the server swallowed the frame silently — the stall
+            // this mix exists to catch.
+            Ok(None) => HostileOutcome::Dropped,
+            Err(ProtoError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                HostileOutcome::Misbehaved
+            }
+            Err(_) => HostileOutcome::Dropped,
+        },
+        HostileExpect::Disconnect => match response {
+            // Any frame back means the server kept parsing past corrupt
+            // framing; any timeout means it is wedged holding the
+            // connection open.
+            Ok(Some(_)) => HostileOutcome::Misbehaved,
+            Ok(None) => HostileOutcome::Dropped,
+            Err(ProtoError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                HostileOutcome::Misbehaved
+            }
+            Err(_) => HostileOutcome::Dropped,
+        },
     }
 }
 
@@ -329,6 +497,8 @@ pub fn run_open_loop(
         tally.wrong_class += t.wrong_class;
         tally.errors += t.errors;
         tally.reconnects += t.reconnects;
+        tally.hostile_sent += t.hostile_sent;
+        tally.hostile_handled += t.hostile_handled;
     }
     Ok(LoadReport {
         config: cfg.clone(),
@@ -339,6 +509,8 @@ pub fn run_open_loop(
         wrong_class: tally.wrong_class,
         protocol_errors: tally.errors,
         reconnects: tally.reconnects,
+        hostile_sent: tally.hostile_sent,
+        hostile_handled: tally.hostile_handled,
         elapsed_s,
         client: client_hist,
         service: service_hist,
@@ -364,6 +536,11 @@ fn worker(
     // Thread t owns global sequence numbers t, t+threads, t+2·threads, …
     // at one global arrival every 1/rate seconds.
     let deadline = cfg.duration.map(|d| started + d);
+    // Hostile mix: a separate raw connection per worker carries the
+    // fuzz-shaped frames, so garbage and well-formed traffic hit the same
+    // server concurrently without the typed client losing its stream.
+    let mut hostile: Option<Box<dyn RawStream>> = None;
+    let mut hostile_seq = thread_idx as u64;
     let mut seq = thread_idx as u64;
     while cfg.requests == 0 || seq < cfg.requests {
         let sched = started + Duration::from_secs_f64(seq as f64 / cfg.rate);
@@ -382,6 +559,29 @@ fn worker(
         let base = (seq as usize).wrapping_mul(cfg.batch_size.max(1));
         for i in 0..cfg.batch_size.max(1) {
             batch.push(samples[(base + i) % samples.len()].as_slice());
+        }
+        // Inject one hostile frame alongside (not instead of) the
+        // scheduled request, so each injection also proves the
+        // well-formed traffic right next to it still answers correctly.
+        if cfg.hostile_every > 0 && seq % cfg.hostile_every == cfg.hostile_every - 1 {
+            if hostile.is_none() {
+                hostile = target.connect_raw().ok();
+            }
+            match hostile.take() {
+                Some(mut conn) => {
+                    tally.hostile_sent += 1;
+                    match hostile_exchange(conn.as_mut(), hostile_seq) {
+                        HostileOutcome::Survived => {
+                            tally.hostile_handled += 1;
+                            hostile = Some(conn); // keep riding the same socket
+                        }
+                        HostileOutcome::Dropped => tally.hostile_handled += 1,
+                        HostileOutcome::Misbehaved => tally.errors += 1,
+                    }
+                    hostile_seq += 1;
+                }
+                None => tally.errors += 1,
+            }
         }
         tally.sent += 1;
         match issue(&mut client, cfg, seq, &batch) {
@@ -471,6 +671,16 @@ pub struct BenchSnapshot {
     /// Connections re-opened by the reconnect-storm mix.
     #[serde(default)]
     pub reconnects: u64,
+    /// Hostile-frame injection period in arrivals (0 = none).
+    #[serde(default)]
+    pub hostile_every: u64,
+    /// Fuzz-shaped frames injected on live data connections.
+    #[serde(default)]
+    pub hostile_sent: u64,
+    /// Hostile frames the server answered with a structured error or a
+    /// clean connection drop (the only acceptable reactions).
+    #[serde(default)]
+    pub hostile_handled: u64,
     /// Hot-swap churn interval in milliseconds (0 = no churn thread).
     pub swap_interval_ms: u64,
     /// Feature dimensionality of the request samples.
@@ -523,6 +733,9 @@ impl BenchSnapshot {
             duration_s: report.config.duration.map_or(0.0, |d| d.as_secs_f64()),
             reconnect_every: report.config.reconnect_every,
             reconnects: report.reconnects,
+            hostile_every: report.config.hostile_every,
+            hostile_sent: report.hostile_sent,
+            hostile_handled: report.hostile_handled,
             swap_interval_ms,
             n_features: n_features as u64,
             frames_sent: report.frames_sent,
@@ -594,6 +807,9 @@ impl BenchSnapshot {
         {
             return Err("outcome counts exceed frames_sent".to_owned());
         }
+        if snapshot.hostile_handled > snapshot.hostile_sent {
+            return Err("hostile_handled exceeds hostile_sent".to_owned());
+        }
         let p = &snapshot.client_latency;
         if !(p.p50_ns <= p.p90_ns
             && p.p90_ns <= p.p99_ns
@@ -628,6 +844,7 @@ mod tests {
                 error_every: 8,
                 duration: None,
                 reconnect_every: 0,
+                hostile_every: 16,
             },
             transport: "uds".into(),
             frames_sent: 1000,
@@ -636,6 +853,8 @@ mod tests {
             wrong_class: 0,
             protocol_errors: 0,
             reconnects: 0,
+            hostile_sent: 62,
+            hostile_handled: 62,
             elapsed_s: 0.25,
             client,
             service,
@@ -680,6 +899,68 @@ mod tests {
         std::fs::write(&path, "{\"bench\": \"bolt-bench\"").expect("write");
         assert!(BenchSnapshot::validate_file(&path).is_err());
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn snapshot_carries_hostile_counters() {
+        let report = sample_report();
+        let snapshot = BenchSnapshot::from_report(&report, "abc1234", "avx2", 6, 0);
+        assert_eq!(snapshot.hostile_every, 16);
+        assert_eq!(snapshot.hostile_sent, 62);
+        assert_eq!(snapshot.hostile_handled, 62);
+        // Pre-hostile snapshots (no such fields) must keep parsing.
+        fn strip_u64_field(json: &str, key: &str) -> String {
+            let needle = format!("\"{key}\":");
+            let start = json.find(&needle).unwrap_or_else(|| panic!("{key} present"));
+            let bytes = json.as_bytes();
+            let mut end = start + needle.len();
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
+            }
+            let (s, e) = if bytes.get(end) == Some(&b',') {
+                (start, end + 1) // interior field: drop its trailing comma
+            } else {
+                (start - 1, end) // last field: drop the comma before it
+            };
+            format!("{}{}", &json[..s], &json[e..])
+        }
+        let mut text = serde_json::to_string(&snapshot).expect("encode");
+        for key in ["hostile_every", "hostile_sent", "hostile_handled"] {
+            text = strip_u64_field(&text, key);
+        }
+        let old: BenchSnapshot = serde_json::from_str(&text).expect("old-schema snapshot parses");
+        assert_eq!(old.hostile_every, 0);
+        assert_eq!(old.hostile_sent, 0);
+        assert_eq!(old.hostile_handled, 0);
+    }
+
+    #[test]
+    fn hostile_frames_cover_every_reaction() {
+        // The rotation must include both required server reactions.
+        let mut structured = 0;
+        let mut disconnect = 0;
+        for k in 0..6 {
+            let (framed, expect) = hostile_frame(k);
+            assert!(framed.len() >= 4, "frame {k} has a length prefix");
+            match expect {
+                HostileExpect::StructuredError => {
+                    // Well-delimited: the declared length matches reality
+                    // and stays under the protocol cap.
+                    let declared =
+                        u32::from_le_bytes(framed[..4].try_into().expect("prefix")) as usize;
+                    assert_eq!(declared, framed.len() - 4);
+                    assert!(declared <= MAX_FRAME_BYTES);
+                    structured += 1;
+                }
+                HostileExpect::Disconnect => {
+                    let declared =
+                        u32::from_le_bytes(framed[..4].try_into().expect("prefix")) as usize;
+                    assert!(declared > MAX_FRAME_BYTES);
+                    disconnect += 1;
+                }
+            }
+        }
+        assert!(structured > 0 && disconnect > 0);
     }
 
     #[test]

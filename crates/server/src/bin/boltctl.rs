@@ -1,0 +1,259 @@
+//! `boltctl` — fleet administration for a live `boltd`.
+//!
+//! One subcommand per admin opcode, driven over the daemon's local-only
+//! admin socket ([`bolt_server::admin`]). Mutations are journaled by the
+//! daemon before they apply, so anything `boltctl` reports as done
+//! survives a crash. Refused operations print the daemon's typed refusal
+//! and exit nonzero, so shell scripts can gate on success.
+
+use bolt_server::{AdminClient, AdminReply, AdminRequest};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+boltctl — administer a running boltd
+
+USAGE:
+    boltctl --socket PATH <COMMAND>
+
+OPTIONS:
+    --socket PATH        The daemon's admin socket (boltd --admin-socket;
+                         defaults to <model-dir>/admin.sock on the daemon)
+
+COMMANDS:
+    activate NAME@VERSION   Activate an artifact version from the model
+                            directory (also: activate NAME VERSION)
+    retire NAME             Retire a model (refused while it is the default)
+    set-default NAME        Route legacy (unnamed) requests to NAME
+    compact                 Compact the registry log, prune superseded files
+    rescan                  Pick up artifacts dropped into the model dir
+    status                  Store metrics and one row per servable model
+    drain-stats             Cumulative request/latency counters per model
+
+EXIT STATUS:
+    0 the operation succeeded; 1 the daemon refused it; 2 usage or
+    transport error
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("boltctl: {message}");
+            eprintln!("run `boltctl --help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut socket = None;
+    let mut rest = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--socket" {
+            socket = Some(iter.next().ok_or("--socket needs a path")?);
+        } else {
+            rest.push(arg);
+        }
+    }
+    let socket = socket.ok_or("--socket PATH is required")?;
+    let request = parse_command(&rest)?;
+
+    let mut client = AdminClient::connect(&socket)
+        .map_err(|e| format!("cannot connect to admin socket {socket}: {e}"))?;
+    let reply = client
+        .call(&request)
+        .map_err(|e| format!("admin call failed: {e}"))?;
+    Ok(render(&reply))
+}
+
+fn parse_command(rest: &[String]) -> Result<AdminRequest, String> {
+    let command = rest.first().map(String::as_str).ok_or("no command given")?;
+    let arity = |n: usize| -> Result<(), String> {
+        if rest.len() != n + 1 {
+            return Err(format!(
+                "`{command}` takes {n} argument(s), got {}",
+                rest.len() - 1
+            ));
+        }
+        Ok(())
+    };
+    match command {
+        "activate" => {
+            // Both `activate NAME@VERSION` (matching the artifact file
+            // name) and `activate NAME VERSION` are accepted.
+            let (name, version) = match rest.len() {
+                2 => rest[1]
+                    .rsplit_once('@')
+                    .ok_or("activate NAME@VERSION (or: activate NAME VERSION)")?,
+                3 => (rest[1].as_str(), rest[2].as_str()),
+                _ => return Err("activate NAME@VERSION (or: activate NAME VERSION)".into()),
+            };
+            let version: u32 = version
+                .parse()
+                .map_err(|_| format!("version `{version}` is not a u32"))?;
+            Ok(AdminRequest::Activate {
+                name: name.to_owned(),
+                version,
+            })
+        }
+        "retire" => {
+            arity(1)?;
+            Ok(AdminRequest::Retire(rest[1].clone()))
+        }
+        "set-default" => {
+            arity(1)?;
+            Ok(AdminRequest::SetDefault(rest[1].clone()))
+        }
+        "compact" => {
+            arity(0)?;
+            Ok(AdminRequest::Compact)
+        }
+        "rescan" => {
+            arity(0)?;
+            Ok(AdminRequest::Rescan)
+        }
+        "status" => {
+            arity(0)?;
+            Ok(AdminRequest::Status)
+        }
+        "drain-stats" => {
+            arity(0)?;
+            Ok(AdminRequest::DrainStats)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn render(reply: &AdminReply) -> ExitCode {
+    match reply {
+        AdminReply::Ok => {
+            println!("ok");
+            ExitCode::SUCCESS
+        }
+        AdminReply::Compacted(stats) => {
+            println!(
+                "compacted: wal {} -> {} bytes, {} superseded artifact(s) deleted",
+                stats.wal_bytes_before, stats.wal_bytes_after, stats.files_deleted
+            );
+            ExitCode::SUCCESS
+        }
+        AdminReply::Rescanned(stats) => {
+            println!(
+                "rescanned: {} new model(s), {} new artifact version(s)",
+                stats.names_added, stats.versions_added
+            );
+            ExitCode::SUCCESS
+        }
+        AdminReply::Status(report) => {
+            let m = &report.metrics;
+            println!(
+                "resident: {} model(s), {} bytes (high-water {}); evictions: {} ({} thrash reloads)",
+                m.resident_models, m.resident_bytes, m.resident_bytes_hwm, m.evictions,
+                m.thrash_reloads
+            );
+            println!(
+                "{:<24} {:>8} {:<10} {:>8} {:>12} {:>10}",
+                "MODEL", "VERSION", "ENGINE", "RESIDENT", "BYTES", "REQUESTS"
+            );
+            for model in &report.models {
+                println!(
+                    "{:<24} {:>8} {:<10} {:>8} {:>12} {:>10}{}",
+                    model.name,
+                    if model.version == 0 {
+                        "-".to_owned()
+                    } else {
+                        model.version.to_string()
+                    },
+                    model.engine,
+                    if model.resident { "yes" } else { "no" },
+                    model.bytes,
+                    model.requests,
+                    if model.is_default { "  (default)" } else { "" },
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        AdminReply::Stats(report) => {
+            println!(
+                "{:<24} {:>12} {:>16}",
+                "MODEL", "REQUESTS", "MEAN-LATENCY-NS"
+            );
+            for (name, stats) in &report.models {
+                println!(
+                    "{:<24} {:>12} {:>16.0}",
+                    name,
+                    stats.requests,
+                    stats.mean_latency_ns()
+                );
+            }
+            println!(
+                "{:<24} {:>12} {:>16.0}",
+                "TOTAL",
+                report.total.requests,
+                report.total.mean_latency_ns()
+            );
+            ExitCode::SUCCESS
+        }
+        AdminReply::Refused(error) => {
+            eprintln!("boltctl: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activate_parses_both_spellings() {
+        let at = parse_command(&["activate".into(), "fraud@7".into()]).expect("parses");
+        let two = parse_command(&["activate".into(), "fraud".into(), "7".into()]).expect("parses");
+        assert_eq!(
+            at,
+            AdminRequest::Activate {
+                name: "fraud".into(),
+                version: 7
+            }
+        );
+        assert_eq!(at, two);
+        // The *last* @ splits, so names containing @ keep working as long
+        // as the trailing segment is the version.
+        let nested = parse_command(&["activate".into(), "a@b@3".into()]).expect("parses");
+        assert_eq!(
+            nested,
+            AdminRequest::Activate {
+                name: "a@b".into(),
+                version: 3
+            }
+        );
+    }
+
+    #[test]
+    fn bad_commands_are_usage_errors() {
+        assert!(parse_command(&[]).is_err());
+        assert!(parse_command(&["explode".into()]).is_err());
+        assert!(parse_command(&["activate".into(), "noversion".into()]).is_err());
+        assert!(parse_command(&["activate".into(), "m@notanumber".into()]).is_err());
+        assert!(parse_command(&["retire".into()]).is_err());
+        assert!(parse_command(&["compact".into(), "extra".into()]).is_err());
+    }
+
+    #[test]
+    fn zero_arg_commands_parse() {
+        for (name, want) in [
+            ("compact", AdminRequest::Compact),
+            ("rescan", AdminRequest::Rescan),
+            ("status", AdminRequest::Status),
+            ("drain-stats", AdminRequest::DrainStats),
+        ] {
+            assert_eq!(parse_command(&[name.into()]).expect("parses"), want);
+        }
+    }
+}

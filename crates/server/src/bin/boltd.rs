@@ -74,6 +74,24 @@ store flags (fleet-scale artifact serving):
                        superseded artifact versions beyond the newest N
                        per model. Without this flag nothing is deleted.
 
+control-plane flags (fleet administration without a restart; see boltctl):
+  --admin-socket PATH  serve the admin protocol on a local-only, mode-0600
+                       Unix socket. [default: DIR/admin.sock when
+                       --model-dir DIR is set, otherwise off]
+  --no-admin-socket    do not bind an admin socket even with --model-dir.
+  --rescan-interval S  poll the model directory's mtime every S seconds
+                       and catalog newly dropped NAME@VERSION.blt files
+                       (boltctl rescan forces an immediate pickup).
+                       [default: off]
+  --compact-interval S compact the registry log (and prune superseded
+                       versions per --keep-versions) every S seconds in
+                       the background, replacing startup-only compaction.
+                       [default: off]
+  --warm-top K         pre-map the K most recently activated artifacts
+                       before the first listener accepts, so a restart
+                       does not serve its first requests cold.
+                       [default: 0]
+
 serving flags (event-loop front-end with adaptive micro-batching is the default):
   --serving threads|event-loop
                        threads: one blocking thread per connection, no
@@ -305,6 +323,11 @@ fn run() -> Result<(), String> {
     let mut model_dir: Option<String> = None;
     let mut resident_bytes = None;
     let mut keep_versions: Option<String> = None;
+    let mut admin_socket: Option<String> = None;
+    let mut no_admin_socket = false;
+    let mut rescan_interval: Option<String> = None;
+    let mut compact_interval: Option<String> = None;
+    let mut warm_top: Option<String> = None;
     let mut serving = None;
     let mut no_microbatch = false;
     let mut flush_samples = None;
@@ -323,6 +346,10 @@ fn run() -> Result<(), String> {
                 no_microbatch = true;
                 continue;
             }
+            "--no-admin-socket" => {
+                no_admin_socket = true;
+                continue;
+            }
             _ => {}
         }
         let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
@@ -338,6 +365,10 @@ fn run() -> Result<(), String> {
             "--model-dir" => model_dir = Some(value),
             "--resident-bytes" => resident_bytes = Some(parse_bytes("--resident-bytes", &value)?),
             "--keep-versions" => keep_versions = Some(value),
+            "--admin-socket" => admin_socket = Some(value),
+            "--rescan-interval" => rescan_interval = Some(value),
+            "--compact-interval" => compact_interval = Some(value),
+            "--warm-top" => warm_top = Some(value),
             "--serving" => serving = Some(value),
             "--mb-flush-samples" => flush_samples = Some(value),
             "--mb-flush-micros" => flush_micros = Some(value),
@@ -365,6 +396,48 @@ fn run() -> Result<(), String> {
     if model_dir.is_none() && (resident_bytes.is_some() || keep_versions.is_some()) {
         return Err("--resident-bytes/--keep-versions only apply with --model-dir".to_owned());
     }
+    let parse_secs = |flag: &str, v: Option<&str>| -> Result<Option<u64>, String> {
+        v.map(|v| {
+            v.parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{flag} wants a positive whole number of seconds, got {v:?}"))
+        })
+        .transpose()
+    };
+    let rescan_interval = parse_secs("--rescan-interval", rescan_interval.as_deref())?;
+    let compact_interval = parse_secs("--compact-interval", compact_interval.as_deref())?;
+    let warm_top = warm_top
+        .as_deref()
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--warm-top wants a non-negative integer, got {v:?}"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if model_dir.is_none()
+        && (rescan_interval.is_some() || compact_interval.is_some() || warm_top > 0)
+    {
+        return Err(
+            "--rescan-interval/--compact-interval/--warm-top only apply with --model-dir"
+                .to_owned(),
+        );
+    }
+    if no_admin_socket && admin_socket.is_some() {
+        return Err("--admin-socket and --no-admin-socket are mutually exclusive".to_owned());
+    }
+    // The admin socket defaults on for fleet (--model-dir) daemons: it
+    // lives inside the model directory, so its 0600 mode plus the
+    // directory's own permissions gate who can administer the fleet.
+    let admin_socket: Option<std::path::PathBuf> = if no_admin_socket {
+        None
+    } else {
+        admin_socket.map(std::path::PathBuf::from).or_else(|| {
+            model_dir
+                .as_ref()
+                .map(|dir| std::path::Path::new(dir).join("admin.sock"))
+        })
+    };
     if models.is_empty() && model_dir.is_none() {
         // Legacy single-engine invocation: --artifact serves Bolt,
         // --forest [--engine KIND] serves a baseline; the model name is
@@ -415,6 +488,12 @@ fn run() -> Result<(), String> {
     if let Some(name) = default_model {
         builder = builder.default_model(name);
     }
+    if let Some(path) = &admin_socket {
+        builder = builder.admin_socket(path);
+    }
+    if warm_top > 0 {
+        builder = builder.warm_top(warm_top);
+    }
 
     let registry_builder = builder.serving(mode.clone());
     let server = registry_builder
@@ -435,7 +514,35 @@ fn run() -> Result<(), String> {
                 stats.wal_bytes_before, stats.wal_bytes_after, stats.files_deleted
             );
         }
+        if warm_top > 0 {
+            let metrics = store.metrics();
+            println!(
+                "warmed up: {} artifact(s) resident ({} bytes) before first accept",
+                metrics.resident_models, metrics.resident_bytes
+            );
+        }
     }
+    if let Some(path) = server.admin_path() {
+        println!("boltd admin socket on {} (mode 0600; drive with boltctl)", path.display());
+    }
+    // Background maintenance: leaked for the daemon's lifetime (the serve
+    // loop below never returns).
+    let mut maintenance = Vec::new();
+    if let Some(secs) = rescan_interval {
+        println!("boltd rescan: polling the model directory every {secs}s");
+        maintenance.push(bolt_server::admin::spawn_rescan(
+            store.clone(),
+            Duration::from_secs(secs),
+        ));
+    }
+    if let Some(secs) = compact_interval {
+        println!("boltd compaction: every {secs}s in the background");
+        maintenance.push(bolt_server::admin::spawn_compactor(
+            store.clone(),
+            Duration::from_secs(secs),
+        ));
+    }
+    std::mem::forget(maintenance);
     // Logged once at startup so operators can tell which scan backend the
     // process resolved (BOLT_KERNEL override or CPU feature detection),
     // and how connections are scheduled.
@@ -505,6 +612,14 @@ fn run() -> Result<(), String> {
                 println!(
                     "  {}: {} requests via {}{residency}{default}",
                     model.name, model.requests, model.engine
+                );
+            }
+            let metrics = store.metrics();
+            if metrics.evictions > 0 {
+                println!(
+                    "  eviction pressure: {} eviction(s), {} thrash reload(s), \
+                     resident high-water {} bytes",
+                    metrics.evictions, metrics.thrash_reloads, metrics.resident_bytes_hwm
                 );
             }
             last = stats;

@@ -58,6 +58,8 @@ pub struct ServerBuilder {
     resident_bytes: Option<u64>,
     keep_versions: usize,
     serving: ServingMode,
+    admin_socket: Option<PathBuf>,
+    warm_top: usize,
 }
 
 impl ServerBuilder {
@@ -81,6 +83,8 @@ impl ServerBuilder {
             resident_bytes: None,
             keep_versions: 0,
             serving: ServingMode::default(),
+            admin_socket: None,
+            warm_top: 0,
         }
     }
 
@@ -101,6 +105,8 @@ impl ServerBuilder {
             resident_bytes: None,
             keep_versions: 0,
             serving: ServingMode::default(),
+            admin_socket: None,
+            warm_top: 0,
         }
     }
 
@@ -161,6 +167,26 @@ impl ServerBuilder {
         self
     }
 
+    /// Binds a local-only, mode-0600 admin socket alongside the data
+    /// socket and serves the control plane on it ([`crate::admin`]):
+    /// `boltctl` drives activate/retire/set-default/compact/rescan/status
+    /// against a live server without a restart.
+    #[must_use]
+    pub fn admin_socket(mut self, path: impl Into<PathBuf>) -> Self {
+        self.admin_socket = Some(path.into());
+        self
+    }
+
+    /// Pre-maps up to `k` directory artifacts — most recently activated
+    /// first, per the WAL-recovered activation order — before the
+    /// listener starts accepting, so a restarted daemon's first requests
+    /// do not pay the page-in cost ([`ModelStore::warm`]).
+    #[must_use]
+    pub fn warm_top(mut self, k: usize) -> Self {
+        self.warm_top = k;
+        self
+    }
+
     /// Assembles the store, applies queued registrations and the chosen
     /// default, and hands the store out.
     fn finish(self) -> std::io::Result<(ModelStore, ServingMode)> {
@@ -205,8 +231,15 @@ impl ServerBuilder {
     /// default model is rejected, or the I/O error if the model directory
     /// cannot be opened or the socket cannot be bound.
     pub fn bind_uds(self, path: impl AsRef<Path>) -> std::io::Result<ClassificationServer> {
+        let admin = self.admin_socket.clone();
+        let warm = self.warm_top;
         let (store, serving) = self.finish()?;
-        ClassificationServer::bind_store(path, store, serving)
+        if warm > 0 {
+            // Warm before the listener exists: the first accepted request
+            // finds its pages mapped.
+            let _ = store.warm(warm);
+        }
+        ClassificationServer::bind_store(path, store, serving, admin)
     }
 
     /// Binds a TCP server (use port 0 for an ephemeral port) serving the
@@ -221,8 +254,13 @@ impl ServerBuilder {
         self,
         addr: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<TcpClassificationServer> {
+        let admin = self.admin_socket.clone();
+        let warm = self.warm_top;
         let (store, serving) = self.finish()?;
-        TcpClassificationServer::bind_store(addr, store, serving)
+        if warm > 0 {
+            let _ = store.warm(warm);
+        }
+        TcpClassificationServer::bind_store(addr, store, serving, admin)
     }
 }
 
@@ -245,6 +283,8 @@ impl std::fmt::Debug for ServerBuilder {
             .field("resident_bytes", &self.resident_bytes)
             .field("keep_versions", &self.keep_versions)
             .field("serving", &self.serving)
+            .field("admin_socket", &self.admin_socket)
+            .field("warm_top", &self.warm_top)
             .finish_non_exhaustive()
     }
 }

@@ -43,6 +43,7 @@
 //! still tears the connection down, as no frame boundary can be trusted
 //! afterwards.
 
+use crate::admin::{self, AdminRequest};
 use crate::microbatch::{Completion, FlushGroup, MicroBatchConfig, MicroBatcher, QueuedSample};
 use crate::proto::{
     ClassifyBatchResponse, ErrorFrame, FrameReader, ListModelsResponse, ProtoError, Request,
@@ -191,6 +192,10 @@ impl Write for Stream {
 /// peer.
 const TOKEN_LISTENER: u64 = u32::MAX as u64;
 const TOKEN_WAKEUP: u64 = (1 << 32) | u32::MAX as u64;
+/// The control-plane listener: its own reserved token, so admin accepts
+/// are dispatched as a distinct listener class and never queue behind
+/// inference traffic.
+const TOKEN_ADMIN_LISTENER: u64 = (2 << 32) | u32::MAX as u64;
 
 fn pack_token(index: usize, generation: u32) -> u64 {
     (u64::from(generation) << 32) | index as u64
@@ -225,6 +230,9 @@ struct Conn {
     next_seq: u64,
     generation: u32,
     interest: Interest,
+    /// Accepted on the admin listener: frames decode as admin ops and
+    /// execute on the control thread, not the inference pool.
+    admin: bool,
 }
 
 impl Conn {
@@ -235,6 +243,14 @@ impl Conn {
     fn unflushed(&self) -> usize {
         self.out.len() - self.out_pos
     }
+}
+
+/// One decoded admin op bound for the control thread, with the slot its
+/// reply must fill.
+struct AdminJob {
+    token: u64,
+    slot: u64,
+    request: AdminRequest,
 }
 
 /// Work handed to the inference pool.
@@ -350,9 +366,14 @@ impl EventLoopHandle {
 }
 
 /// Binds the poller, wake pipe, and worker pool, then starts the loop
-/// thread over an already-listening socket.
+/// thread over an already-listening socket. When `admin` is given, its
+/// listener joins the same poller under [`TOKEN_ADMIN_LISTENER`] and a
+/// dedicated control thread executes the decoded ops — WAL fsyncs and
+/// compaction never run on the loop thread and never wait behind queued
+/// inference jobs.
 pub(crate) fn spawn(
     listener: Listener,
+    admin: Option<UnixListener>,
     shared: Arc<Shared>,
     opts: EventLoopOptions,
 ) -> std::io::Result<EventLoopHandle> {
@@ -363,6 +384,14 @@ pub(crate) fn spawn(
     listener_nonblocking(&listener)?;
     poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
     poller.register(wake_rx.as_raw_fd(), TOKEN_WAKEUP, Interest::READABLE)?;
+    let admin_listener = match admin {
+        Some(l) => {
+            l.set_nonblocking(true)?;
+            poller.register(l.as_raw_fd(), TOKEN_ADMIN_LISTENER, Interest::READABLE)?;
+            Some(Listener::Uds(l))
+        }
+        None => None,
+    };
 
     let worker_count = if opts.workers == 0 {
         std::thread::available_parallelism()
@@ -393,11 +422,42 @@ pub(crate) fn spawn(
         }));
     }
 
+    // The control thread: one per loop, executing admin ops serially in
+    // arrival order (activate-then-set-default scripts behave) and
+    // pushing replies through the ordinary completion path.
+    let admin_jobs = if admin_listener.is_some() {
+        let (admin_tx, admin_rx) = mpsc::channel::<AdminJob>();
+        let admin_shared = Arc::clone(&shared);
+        let admin_completions = Arc::clone(&completions);
+        let wake = wake_tx.try_clone()?;
+        workers.push(std::thread::spawn(move || {
+            // Sender dropped (loop thread exited) ⇒ stop.
+            while let Ok(job) = admin_rx.recv() {
+                let reply = admin::handle(&admin_shared.store, &job.request);
+                let done = Completion {
+                    token: job.token,
+                    slot: job.slot,
+                    frame: reply.encode(),
+                    samples: 0,
+                };
+                admin_completions
+                    .lock()
+                    .expect("completion queue")
+                    .push(done);
+                let _ = (&wake).write(&[1]);
+            }
+        }));
+        Some(admin_tx)
+    } else {
+        None
+    };
+
     let loop_shared = Arc::clone(&shared);
     let loop_thread = std::thread::spawn(move || {
         let mut event_loop = EventLoop {
             poller,
             listener,
+            admin_listener,
             shared: loop_shared,
             conns: Vec::new(),
             generations: Vec::new(),
@@ -405,6 +465,7 @@ pub(crate) fn spawn(
             active: 0,
             batcher: MicroBatcher::new(opts.microbatch.clone()),
             jobs: job_tx,
+            admin_jobs,
             completions,
             wake_rx,
             opts,
@@ -429,6 +490,8 @@ fn listener_nonblocking(listener: &Listener) -> std::io::Result<()> {
 struct EventLoop {
     poller: Poller,
     listener: Listener,
+    /// The control-plane listener, when an admin socket was configured.
+    admin_listener: Option<Listener>,
     shared: Arc<Shared>,
     /// Connection slab; `free` holds vacated indices for reuse.
     conns: Vec<Option<Conn>>,
@@ -439,6 +502,8 @@ struct EventLoop {
     active: usize,
     batcher: MicroBatcher,
     jobs: mpsc::Sender<Job>,
+    /// Channel to the control thread; `None` without an admin socket.
+    admin_jobs: Option<mpsc::Sender<AdminJob>>,
     completions: Arc<Mutex<Vec<Completion>>>,
     wake_rx: UnixStream,
     opts: EventLoopOptions,
@@ -464,7 +529,8 @@ impl EventLoop {
             let had_events = !events.is_empty();
             for &event in &events {
                 match event.token {
-                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_LISTENER => self.accept_ready(false),
+                    TOKEN_ADMIN_LISTENER => self.accept_ready(true),
                     TOKEN_WAKEUP => self.drain_wakeups(),
                     token => self.conn_event(token, event.readable, event.writable, event.error),
                 }
@@ -483,11 +549,23 @@ impl EventLoop {
         }
     }
 
-    fn accept_ready(&mut self) {
+    fn accept_ready(&mut self, admin: bool) {
         loop {
-            match self.listener.accept() {
+            let accepted = if admin {
+                let Some(listener) = &self.admin_listener else {
+                    return;
+                };
+                listener.accept()
+            } else {
+                self.listener.accept()
+            };
+            match accepted {
                 Ok(stream) => {
-                    if self.active >= self.opts.max_connections {
+                    // Admin connections are exempt from the data-plane
+                    // connection cap: the socket is local-only and mode
+                    // 0600, and an emergency `retire` must get through a
+                    // daemon that is drowning in data traffic.
+                    if !admin && self.active >= self.opts.max_connections {
                         // Best-effort structured refusal; a fresh socket
                         // buffer virtually always takes one small frame.
                         let frame = ErrorFrame {
@@ -502,7 +580,7 @@ impl EventLoop {
                         let _ = stream.write(&frame);
                         continue;
                     }
-                    self.insert_conn(stream);
+                    self.insert_conn(stream, admin);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 // Transient pressure (EMFILE, aborted handshake, EINTR):
@@ -514,7 +592,7 @@ impl EventLoop {
         }
     }
 
-    fn insert_conn(&mut self, stream: Stream) {
+    fn insert_conn(&mut self, stream: Stream, admin: bool) {
         let index = match self.free.pop() {
             Some(index) => index,
             None => {
@@ -534,6 +612,7 @@ impl EventLoop {
             next_seq: 0,
             generation,
             interest: Interest::READABLE,
+            admin,
         };
         let token = conn.token(index);
         let fd = conn.stream.as_raw_fd();
@@ -576,6 +655,7 @@ impl EventLoop {
             let Some(Some(conn)) = self.conns.get_mut(index) else {
                 return;
             };
+            let is_admin = conn.admin;
             let payload = match conn.frames.read_frame(&mut conn.stream) {
                 Ok(Some(payload)) => payload,
                 Ok(None) => {
@@ -600,7 +680,11 @@ impl EventLoop {
                     return;
                 }
             };
-            self.on_request(index, &payload);
+            if is_admin {
+                self.on_admin_request(index, &payload);
+            } else {
+                self.on_request(index, &payload);
+            }
             if self.conns.get(index).is_none_or(Option::is_none) {
                 return; // the request handler closed the connection
             }
@@ -656,6 +740,45 @@ impl EventLoop {
                 .encode();
                 self.respond_now(index, frame);
             }
+        }
+    }
+
+    /// Routes one admin frame: decode failures answer a typed refusal
+    /// inline (the connection survives — the frame was well-delimited);
+    /// decoded ops ship to the control thread, which fills the reserved
+    /// slot through the completion path like any inference reply.
+    fn on_admin_request(&mut self, index: usize, payload: &[u8]) {
+        let request = match AdminRequest::decode(payload) {
+            Ok(request) => request,
+            Err(e) => {
+                let frame = admin::malformed_reply(&e).encode();
+                self.respond_now(index, frame);
+                return;
+            }
+        };
+        let Some(Some(conn)) = self.conns.get_mut(index) else {
+            return;
+        };
+        let token = conn.token(index);
+        let slot = alloc_slot(conn);
+        let sent = self
+            .admin_jobs
+            .as_ref()
+            .is_some_and(|jobs| jobs.send(AdminJob { token, slot, request }).is_ok());
+        if !sent {
+            // Control thread gone — only during teardown. Fail the slot
+            // so the ordered queue does not wedge behind it.
+            let frame = admin::AdminReply::Refused(admin::AdminError {
+                code: admin::ADMIN_ERR_INTERNAL,
+                detail: "control thread unavailable".into(),
+            })
+            .encode();
+            let Some(Some(conn)) = self.conns.get_mut(index) else {
+                return;
+            };
+            fill_slot(conn, slot, frame);
+            drain_ready(conn);
+            self.flush_out(index);
         }
     }
 

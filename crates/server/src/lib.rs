@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 mod builder;
 mod client;
 mod engine;
@@ -75,6 +76,7 @@ mod server;
 pub mod store;
 mod tcp;
 
+pub use admin::{AdminClient, AdminError, AdminReply, AdminRequest, StatsReport, StatusReport};
 pub use builder::ServerBuilder;
 pub use client::ClassificationClient;
 pub use engine::{ArtifactEngine, BoltEngine};
@@ -88,5 +90,5 @@ pub use proto::{
 };
 pub use registry::{ModelHandle, ModelRegistry, RouteError};
 pub use server::{ClassificationServer, ServerStats};
-pub use store::{ModelStore, StoreError};
+pub use store::{ModelStore, RescanStats, StoreError, StoreMetrics};
 pub use tcp::TcpClassificationServer;

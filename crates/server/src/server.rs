@@ -118,8 +118,9 @@ where
 /// How a bound server front-end is being driven — and therefore how to
 /// tear it down.
 pub(crate) enum FrontEnd {
-    /// Blocking accept loop spawning one thread per connection.
-    Threads(Option<JoinHandle<()>>),
+    /// Blocking accept loops spawning one thread per connection (the data
+    /// listener, plus the admin listener when configured).
+    Threads(Vec<JoinHandle<()>>),
     /// Event-loop thread plus worker pool ([`crate::event_loop`]).
     Event(EventLoopHandle),
 }
@@ -127,8 +128,8 @@ pub(crate) enum FrontEnd {
 impl FrontEnd {
     pub(crate) fn stop(&mut self) {
         match self {
-            Self::Threads(handle) => {
-                if let Some(handle) = handle.take() {
+            Self::Threads(handles) => {
+                for handle in handles.drain(..) {
                     let _ = handle.join();
                 }
             }
@@ -148,27 +149,36 @@ impl FrontEnd {
 pub struct ClassificationServer {
     shared: Arc<Shared>,
     path: PathBuf,
+    /// The control-plane socket path, when one was bound; removed on stop.
+    admin_path: Option<PathBuf>,
     front: FrontEnd,
 }
 
 impl ClassificationServer {
     /// Binds the socket (removing any stale file) and starts accepting,
     /// serving the store's models — registry-resident and lazily mapped
-    /// directory artifacts alike — under the given serving mode.
+    /// directory artifacts alike — under the given serving mode. With
+    /// `admin`, a mode-0600 control socket is bound alongside and served
+    /// as its own listener class ([`crate::admin`]).
     pub(crate) fn bind_store(
         path: impl AsRef<Path>,
         store: ModelStore,
         mode: ServingMode,
+        admin: Option<PathBuf>,
     ) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         listener.set_nonblocking(true)?;
+        let admin_listener = match &admin {
+            Some(admin_path) => Some(crate::admin::bind(admin_path)?),
+            None => None,
+        };
         let shared = Arc::new(Shared::new(store));
         let front = match mode {
             ServingMode::ThreadPerConnection => {
                 let accept_shared = Arc::clone(&shared);
-                FrontEnd::Threads(Some(std::thread::spawn(move || {
+                let mut handles = vec![std::thread::spawn(move || {
                     run_accept_loop(
                         &accept_shared,
                         || listener.accept().map(|(stream, _)| stream),
@@ -176,10 +186,25 @@ impl ClassificationServer {
                             let _ = handle_connection(stream, shared);
                         },
                     );
-                })))
+                })];
+                if let Some(admin_listener) = admin_listener {
+                    admin_listener.set_nonblocking(true)?;
+                    let accept_shared = Arc::clone(&shared);
+                    handles.push(std::thread::spawn(move || {
+                        run_accept_loop(
+                            &accept_shared,
+                            || admin_listener.accept().map(|(stream, _)| stream),
+                            |stream, shared| {
+                                let _ = handle_admin_connection(stream, shared);
+                            },
+                        );
+                    }));
+                }
+                FrontEnd::Threads(handles)
             }
             ServingMode::EventLoop(opts) => FrontEnd::Event(event_loop::spawn(
                 Listener::Uds(listener),
+                admin_listener,
                 Arc::clone(&shared),
                 opts,
             )?),
@@ -187,6 +212,7 @@ impl ClassificationServer {
         Ok(Self {
             shared,
             path,
+            admin_path: admin,
             front,
         })
     }
@@ -195,6 +221,12 @@ impl ClassificationServer {
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The control-plane socket path, when one is bound.
+    #[must_use]
+    pub fn admin_path(&self) -> Option<&Path> {
+        self.admin_path.as_deref()
     }
 
     /// A handle to the live model registry, for hot-swapping, retiring,
@@ -234,6 +266,9 @@ impl ClassificationServer {
         self.shared.shutdown.store(true, Ordering::Release);
         self.front.stop();
         let _ = std::fs::remove_file(&self.path);
+        if let Some(admin_path) = &self.admin_path {
+            let _ = std::fs::remove_file(admin_path);
+        }
     }
 }
 
@@ -256,6 +291,11 @@ impl std::fmt::Debug for ClassificationServer {
 fn handle_connection(stream: UnixStream, shared: &Shared) -> Result<(), ProtoError> {
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     handle_stream(stream, shared)
+}
+
+fn handle_admin_connection(stream: UnixStream, shared: &Shared) -> Result<(), ProtoError> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    crate::admin::handle_admin_stream(stream, &shared.store, &shared.shutdown)
 }
 
 /// Translates a routing failure into its structured wire error.

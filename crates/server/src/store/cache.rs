@@ -53,6 +53,11 @@ impl ResidentCache {
         self.resident.values().fold(0u64, |a, &b| a.saturating_add(b))
     }
 
+    /// Resident (mapped) artifact count.
+    pub(crate) fn len(&self) -> usize {
+        self.resident.len()
+    }
+
     /// The next eviction victim, or `None` when the ledger fits the
     /// budget (or nothing but `protect` is left to evict).
     ///

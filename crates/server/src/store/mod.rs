@@ -39,7 +39,7 @@ use crate::registry::{ModelHandle, ModelRegistry, RouteError};
 use bolt_baselines::InferenceEngine;
 use cache::ResidentCache;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -108,7 +108,7 @@ impl From<std::io::Error> for StoreError {
 }
 
 /// What [`ModelStore::compact`] did.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CompactStats {
     /// WAL bytes before the rewrite.
     pub wal_bytes_before: u64,
@@ -116,6 +116,34 @@ pub struct CompactStats {
     pub wal_bytes_after: u64,
     /// Superseded artifact files deleted by the retention policy.
     pub files_deleted: usize,
+}
+
+/// What [`ModelStore::rescan`] found that the catalog did not have.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RescanStats {
+    /// Names that entered the catalog for the first time.
+    pub names_added: u32,
+    /// `NAME@VERSION.blt` files newly cataloged (across all names).
+    pub versions_added: u32,
+}
+
+/// Eviction-pressure counters for the resident-bytes budget, plus the
+/// current residency footprint. All counters are cumulative since the
+/// store opened; `resident_*` fields are the instantaneous state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreMetrics {
+    /// Artifacts unmapped by the LRU policy since startup.
+    pub evictions: u64,
+    /// Artifacts re-mapped after a prior eviction — the thrash signal: a
+    /// rising rate means the resident-bytes budget is too tight for the
+    /// working set.
+    pub thrash_reloads: u64,
+    /// Mapped artifact bytes right now.
+    pub resident_bytes: u64,
+    /// High-water mark of mapped artifact bytes since startup.
+    pub resident_bytes_hwm: u64,
+    /// Directory artifacts mapped right now.
+    pub resident_models: u64,
 }
 
 /// One name's footprint in the model directory.
@@ -150,6 +178,17 @@ struct StoreInner {
     catalog: BTreeMap<String, CatalogEntry>,
     cache: ResidentCache,
     keep_versions: usize,
+    /// Activation recency, oldest → newest, one entry per live name:
+    /// rebuilt from WAL replay order at open, maintained by live commits.
+    /// [`ModelStore::warm`] pre-maps from the tail.
+    recency: Vec<String>,
+    /// Names evicted by the LRU policy and not re-mapped since; a load of
+    /// one of these counts as a thrash reload.
+    evicted: BTreeSet<String>,
+    /// Cumulative eviction counters (see [`StoreMetrics`]).
+    evictions: u64,
+    thrash_reloads: u64,
+    resident_bytes_hwm: u64,
 }
 
 /// The unified model-lifecycle API: registry routing plus the durable,
@@ -204,6 +243,11 @@ impl ModelStore {
             catalog,
             cache: ResidentCache::new(resident_budget),
             keep_versions,
+            recency: Vec::new(),
+            evicted: BTreeSet::new(),
+            evictions: 0,
+            thrash_reloads: 0,
+            resident_bytes_hwm: 0,
         };
         let store = Self {
             registry,
@@ -258,12 +302,18 @@ impl ModelStore {
                 if self.registry.remove_resident(name) {
                     inner.cache.remove(name);
                 }
+                // Most recent activation moves to the recency tail, so a
+                // replayed log reconstructs the same warm-up order the
+                // live ops produced.
+                inner.recency.retain(|n| n != name);
+                inner.recency.push(name.clone());
             }
             WalOp::Retire { name } => {
                 if let Some(entry) = inner.catalog.get_mut(name) {
                     entry.retired = true;
                 }
                 inner.cache.remove(name);
+                inner.recency.retain(|n| n != name);
                 self.registry.retire_unchecked(name);
             }
             WalOp::SetDefault { name } => {
@@ -464,13 +514,19 @@ impl ModelStore {
         })?;
         let bytes = engine.model().artifact().bytes().len() as u64;
         self.registry.insert_resident(miss, Arc::new(engine));
+        if inner.evicted.remove(miss) {
+            inner.thrash_reloads += 1;
+        }
         inner.cache.insert(miss, bytes);
+        inner.resident_bytes_hwm = inner.resident_bytes_hwm.max(inner.cache.total_bytes());
         while let Some(victim) = inner
             .cache
             .victim(miss, |name| self.registry.last_used(name))
         {
             self.registry.remove_resident(&victim);
             inner.cache.remove(&victim);
+            inner.evictions += 1;
+            inner.evicted.insert(victim);
         }
         Ok(())
     }
@@ -479,13 +535,20 @@ impl ModelStore {
     /// in-memory engines and resident *and cold* directory artifacts,
     /// with version, residency, and mapped/on-disk byte size — the
     /// extended `ListModels` payload.
+    ///
+    /// The rows are a *point-in-time snapshot*: the whole listing —
+    /// registry residency, catalog versions, and cache byte sizes — is
+    /// gathered under one store-lock acquisition. Residency only changes
+    /// under that same lock ([`load_locked`](Self::load_locked) and WAL
+    /// apply), so no row can reflect an eviction that another row
+    /// predates.
     #[must_use]
     pub fn list(&self) -> Vec<ModelInfo> {
-        let mut infos = self.registry.list();
         let Some(inner) = &self.inner else {
-            return infos;
+            return self.registry.list();
         };
         let inner = inner.lock();
+        let mut infos = self.registry.list();
         let default = self.registry.default_model();
         for (name, entry) in &inner.catalog {
             if entry.retired {
@@ -520,6 +583,105 @@ impl ModelStore {
         self.inner
             .as_ref()
             .map_or(0, |inner| inner.lock().cache.total_bytes())
+    }
+
+    /// Eviction-pressure counters and the current residency footprint.
+    /// A detached store reports all zeros.
+    #[must_use]
+    pub fn metrics(&self) -> StoreMetrics {
+        let Some(inner) = &self.inner else {
+            return StoreMetrics::default();
+        };
+        let inner = inner.lock();
+        StoreMetrics {
+            evictions: inner.evictions,
+            thrash_reloads: inner.thrash_reloads,
+            resident_bytes: inner.cache.total_bytes(),
+            resident_bytes_hwm: inner.resident_bytes_hwm,
+            resident_models: inner.cache.len() as u64,
+        }
+    }
+
+    /// Re-scans the model directory and merges what it finds into the
+    /// live catalog: new `NAME@VERSION.blt` files become servable without
+    /// a restart (mapped lazily, like the startup scan). Existing catalog
+    /// state — active versions, retirement, residency — is untouched, and
+    /// **nothing is journaled**: only explicit [`activate`](Self::activate)
+    /// calls enter the WAL, so a half-written file that a later load
+    /// rejects leaves no durable trace.
+    ///
+    /// A new name with no activation serves its highest version on disk;
+    /// a new *version* of an explicitly activated name is cataloged but
+    /// not served until activated.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoDirectory`] without a model directory;
+    /// [`StoreError::Io`] if the directory cannot be read.
+    pub fn rescan(&self) -> Result<RescanStats, StoreError> {
+        let inner = self.inner.as_ref().ok_or(StoreError::NoDirectory)?;
+        let mut inner = inner.lock();
+        let scanned = scan_dir(&inner.dir)?;
+        let mut stats = RescanStats::default();
+        for (name, found) in scanned {
+            let is_new = !inner.catalog.contains_key(&name);
+            let entry = inner.catalog.entry(name.clone()).or_default();
+            for (version, path) in found.versions {
+                if entry.versions.insert(version, path).is_none() {
+                    stats.versions_added += 1;
+                }
+            }
+            if is_new {
+                stats.names_added += 1;
+                self.registry.bloom().insert(&name);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Pre-maps the top-`k` most recently activated models (WAL-recovered
+    /// recency, padded with cataloged names when fewer than `k` were ever
+    /// journaled) so the first requests after a restart hit warm mappings
+    /// instead of paying the mmap + validate cost inline. Loads run
+    /// coldest-first so the LRU budget, if tighter than `k` artifacts,
+    /// keeps the *most* recent ones resident.
+    ///
+    /// Returns the names actually mapped; artifacts that fail to load
+    /// (half-written drops, validation failures) are skipped, not errors.
+    /// A detached store warms nothing.
+    pub fn warm(&self, k: usize) -> Vec<String> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let candidates: Vec<String> = {
+            let inner = inner.lock();
+            let mut names: Vec<String> = inner.recency.iter().rev().cloned().collect();
+            for (name, entry) in &inner.catalog {
+                if !entry.retired
+                    && entry.serving_version().is_some()
+                    && !names.iter().any(|n| n == name)
+                {
+                    names.push(name.clone());
+                }
+            }
+            names.retain(|name| {
+                inner
+                    .catalog
+                    .get(name)
+                    .is_some_and(|e| !e.retired && e.serving_version().is_some())
+            });
+            names.truncate(k);
+            names
+        };
+        let mut warmed = Vec::new();
+        // Reverse: warm the coldest candidate first, the most recent
+        // last, so its resolve stamp is the newest when eviction bites.
+        for name in candidates.iter().rev() {
+            if self.resolve(Some(name)).is_ok() {
+                warmed.push(name.clone());
+            }
+        }
+        warmed
     }
 
     /// Compacts the WAL to the minimal record set for the live state

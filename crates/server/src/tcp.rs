@@ -42,21 +42,30 @@ use std::time::Duration;
 pub struct TcpClassificationServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
+    /// The control-plane socket path, when one was bound; removed on stop.
+    admin_path: Option<std::path::PathBuf>,
     front: FrontEnd,
 }
 
 impl TcpClassificationServer {
     /// Binds the address and starts accepting, serving the store's models
     /// — registry-resident and lazily mapped directory artifacts alike —
-    /// under the given serving mode.
+    /// under the given serving mode. The control plane, when configured,
+    /// stays a local Unix socket even for a TCP data plane: remote
+    /// operators go through the host, never the network.
     pub(crate) fn bind_store(
         addr: impl std::net::ToSocketAddrs,
         store: ModelStore,
         mode: ServingMode,
+        admin: Option<std::path::PathBuf>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let admin_listener = match &admin {
+            Some(admin_path) => Some(crate::admin::bind(admin_path)?),
+            None => None,
+        };
         let shared = Arc::new(Shared::new(store));
         let front = match mode {
             ServingMode::ThreadPerConnection => {
@@ -64,7 +73,7 @@ impl TcpClassificationServer {
                 // Transient accept errors (EMFILE under connection load,
                 // aborted handshakes) are retried with backoff rather than
                 // killing the accept thread; see run_accept_loop.
-                FrontEnd::Threads(Some(std::thread::spawn(move || {
+                let mut handles = vec![std::thread::spawn(move || {
                     run_accept_loop(
                         &accept_shared,
                         || listener.accept().map(|(stream, _)| stream),
@@ -72,10 +81,34 @@ impl TcpClassificationServer {
                             let _ = serve_tcp_connection(stream, shared);
                         },
                     );
-                })))
+                })];
+                if let Some(admin_listener) = admin_listener {
+                    admin_listener.set_nonblocking(true)?;
+                    let accept_shared = Arc::clone(&shared);
+                    handles.push(std::thread::spawn(move || {
+                        run_accept_loop(
+                            &accept_shared,
+                            || admin_listener.accept().map(|(stream, _)| stream),
+                            |stream, shared| {
+                                if stream
+                                    .set_read_timeout(Some(Duration::from_millis(200)))
+                                    .is_ok()
+                                {
+                                    let _ = crate::admin::handle_admin_stream(
+                                        stream,
+                                        &shared.store,
+                                        &shared.shutdown,
+                                    );
+                                }
+                            },
+                        );
+                    }));
+                }
+                FrontEnd::Threads(handles)
             }
             ServingMode::EventLoop(opts) => FrontEnd::Event(event_loop::spawn(
                 Listener::Tcp(listener),
+                admin_listener,
                 Arc::clone(&shared),
                 opts,
             )?),
@@ -83,6 +116,7 @@ impl TcpClassificationServer {
         Ok(Self {
             shared,
             local_addr,
+            admin_path: admin,
             front,
         })
     }
@@ -128,6 +162,9 @@ impl TcpClassificationServer {
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.front.stop();
+        if let Some(admin_path) = &self.admin_path {
+            let _ = std::fs::remove_file(admin_path);
+        }
     }
 }
 

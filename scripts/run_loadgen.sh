@@ -14,6 +14,13 @@
 # and proves the restarted process recovers the same catalog from the
 # write-ahead log and serves the whole fleet clean.
 #
+# The control-plane leg drives the admin socket with boltctl while load
+# (including fuzz-shaped hostile frames) sustains: a freshly dropped
+# artifact is rescanned and activated live with zero restarts, refused
+# ops exit nonzero, the background compactor prunes a superseded version
+# without a restart, --warm-top pre-maps artifacts before the first
+# accept, and a SIGKILL during admin churn replays the WAL cleanly.
+#
 # Usage: scripts/run_loadgen.sh [requests]
 #   requests — frames per workload (default 1500).
 set -euo pipefail
@@ -178,6 +185,122 @@ for i in 0 1 2 3; do
 done
 "$BENCH" --check "$WORKDIR/results-churn"/BENCH_loadgen_model_churn.json
 echo "model-churn leg OK: $after survive SIGKILL, superseded versions pruned"
+
+echo "== control plane: admin socket, warm-up, live activation, compaction =="
+BOLTCTL=./target/release/boltctl
+ADMIN_SOCK="$MODELDIR/admin.sock"
+
+# Store mode with the control plane fully on: admin socket (default path
+# under the model dir), warm-up of the 4 most recently activated
+# artifacts before the first accept, background compaction every second.
+start_boltd_admin() {
+    rm -f "$SOCKET"
+    "$BOLTD" --model-dir "$MODELDIR" --resident-bytes "$BUDGET" \
+        --keep-versions 1 --compact-interval 1 --warm-top 4 \
+        --socket "$SOCKET" >"$1" &
+    BOLTD_PID=$!
+    for _ in $(seq 1 50); do
+        [ -S "$SOCKET" ] && [ -S "$ADMIN_SOCK" ] && break
+        kill -0 "$BOLTD_PID" 2>/dev/null || { echo "boltd died" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -S "$ADMIN_SOCK" ] || { echo "boltd never bound $ADMIN_SOCK" >&2; exit 1; }
+}
+
+start_boltd_admin "$WORKDIR/boltd-admin-1.log"
+
+# --warm-top must have mapped artifacts before the listener accepted.
+warmed=""
+for _ in $(seq 1 20); do
+    if grep -q 'warmed up: ' "$WORKDIR/boltd-admin-1.log"; then warmed=yes; break; fi
+    sleep 0.1
+done
+[ -n "$warmed" ] || { echo "--warm-top produced no warm-up line" >&2; exit 1; }
+
+# The admin socket is owner-only: possession is the credential.
+perms=$(stat -c %a "$ADMIN_SOCK")
+[ "$perms" = "600" ] || { echo "admin socket mode $perms != 600" >&2; exit 1; }
+
+# Sustained load — with fuzz-shaped hostile frames interleaved on live
+# data connections — while the control plane is driven underneath it.
+"$BENCH" --connect uds:"$SOCKET" --workload loadgen_admin_churn --data lstw \
+    --duration-secs 6 --rate 500 --threads 4 "${CHURN_MODELS[@]}" \
+    --hostile-every 16 --out "$WORKDIR/results-admin" &
+BENCH_PID=$!
+sleep 1
+
+# Drop a brand-new artifact on the RUNNING daemon: rescan catalogs it,
+# activate serves it — zero restarts.
+"$BOLTC" compile --forest "$FOREST" --threshold 2 --model-version 1 \
+    --out "$MODELDIR/fresh@1.blt"
+"$BOLTCTL" --socket "$ADMIN_SOCK" rescan
+"$BOLTCTL" --socket "$ADMIN_SOCK" activate fresh@1
+"$BENCH" --connect uds:"$SOCKET" --workload loadgen_admin_fresh --data lstw \
+    --requests 200 --rate 500 --threads 2 --model fresh \
+    --out "$WORKDIR/results-admin"
+
+# Refused ops exit nonzero so scripts can gate on them: retiring the
+# default model must be refused.
+"$BOLTCTL" --socket "$ADMIN_SOCK" set-default fresh
+if "$BOLTCTL" --socket "$ADMIN_SOCK" retire fresh 2>/dev/null; then
+    echo "retiring the default model was not refused" >&2
+    exit 1
+fi
+"$BOLTCTL" --socket "$ADMIN_SOCK" status
+
+# Background compaction: activate a newer version, then watch the
+# periodic compactor — not a restart — delete the superseded artifact.
+"$BOLTC" compile --forest "$FOREST" --threshold 2 --model-version 2 \
+    --out "$MODELDIR/fresh@2.blt"
+"$BOLTCTL" --socket "$ADMIN_SOCK" rescan
+"$BOLTCTL" --socket "$ADMIN_SOCK" activate fresh@2
+for _ in $(seq 1 100); do
+    [ -e "$MODELDIR/fresh@1.blt" ] || break
+    sleep 0.1
+done
+if [ -e "$MODELDIR/fresh@1.blt" ]; then
+    echo "background compaction never pruned fresh@1.blt" >&2
+    exit 1
+fi
+
+wait "$BENCH_PID" || { echo "bolt-bench failed under admin churn" >&2; exit 1; }
+
+echo "-- SIGKILL mid-admin-op --"
+# Hammer WAL-journaled admin mutations and yank the daemon mid-stream:
+# the restart must replay to exactly before-or-after some operation.
+(
+    while true; do
+        "$BOLTCTL" --socket "$ADMIN_SOCK" set-default fresh >/dev/null 2>&1 || true
+        "$BOLTCTL" --socket "$ADMIN_SOCK" set-default churn00 >/dev/null 2>&1 || true
+        sleep 0.02
+    done
+) &
+CHURN_PID=$!
+sleep 1
+kill -9 "$BOLTD_PID"
+wait "$BOLTD_PID" 2>/dev/null || true
+BOLTD_PID=""
+kill "$CHURN_PID" 2>/dev/null || true
+wait "$CHURN_PID" 2>/dev/null || true
+
+start_boltd_admin "$WORKDIR/boltd-admin-2.log"
+default_row=$("$BOLTCTL" --socket "$ADMIN_SOCK" status | grep '(default)')
+case "$default_row" in
+    fresh*|churn00*) ;;
+    *)
+        echo "default after SIGKILL replay is neither candidate: $default_row" >&2
+        exit 1
+        ;;
+esac
+"$BENCH" --connect uds:"$SOCKET" --workload loadgen_admin_replay --data lstw \
+    --requests 200 --rate 500 --threads 2 --model fresh \
+    --out "$WORKDIR/results-admin"
+stop_boltd
+
+"$BENCH" --check "$WORKDIR/results-admin"/BENCH_loadgen_admin_churn.json \
+    "$WORKDIR/results-admin"/BENCH_loadgen_admin_fresh.json \
+    "$WORKDIR/results-admin"/BENCH_loadgen_admin_replay.json
+echo "control-plane leg OK: live activation with zero restarts, refused ops exit nonzero, background compaction pruned, warm-up ran, WAL replayed across SIGKILL mid-admin-op"
 
 echo "== compare the committed trajectory snapshots through the same gate =="
 # Self-comparison: zero deltas by construction, but every committed
