@@ -426,6 +426,31 @@ impl MappedForest {
         (0..samples.len()).map(|b| scratch.class(b)).collect()
     }
 
+    /// Batched vote vectors pinned to an explicit kernel, left in the
+    /// scratch arena — the differential harness's hook for sweeping every
+    /// batched SIMD backend over mapped bytes regardless of `BOLT_KERNEL`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is shorter than the universe's feature count or
+    /// the scratch came from a differently-shaped model.
+    pub fn batch_votes_with_kernel(
+        &self,
+        samples: &[&[f32]],
+        kernel: simd::Kernel,
+        scratch: &mut BatchScratch,
+    ) {
+        self.view()
+            .batch_votes_into_with_kernel(&self.universe, samples, kernel, scratch);
+    }
+
+    /// A batch scratch shaped for this model (see
+    /// [`BatchScratch::for_shape`]).
+    #[must_use]
+    pub fn batch_scratch(&self) -> BatchScratch {
+        BatchScratch::for_shape(self.meta.width as usize, self.meta.n_classes as usize)
+    }
+
     /// Sharded batched classification across scoped threads; results are
     /// identical to [`Self::classify_batch`] regardless of shard count.
     #[must_use]

@@ -33,6 +33,26 @@ fn assert_mapped_kernels_match(bolt: &BoltForest, mapped: &MappedForest, sample:
     }
 }
 
+/// The mapped artifact's *batched* path must produce vote vectors
+/// bit-identical to the owned model's forced-scalar batched engine under
+/// every batched kernel the host supports — the artifact leg of the
+/// batched-kernel differential.
+fn assert_mapped_batch_kernels_match(bolt: &BoltForest, mapped: &MappedForest, slices: &[&[f32]]) {
+    let mut owned_scratch = bolt.batch_scratch();
+    bolt.batch_votes_with_kernel(slices, Kernel::Scalar, &mut owned_scratch);
+    let mut mapped_scratch = mapped.batch_scratch();
+    for kernel in Kernel::all_supported() {
+        mapped.batch_votes_with_kernel(slices, kernel, &mut mapped_scratch);
+        for b in 0..slices.len() {
+            assert_eq!(
+                mapped_scratch.votes(b),
+                owned_scratch.votes(b),
+                "mapped batched {kernel} votes diverge from owned scalar on sample {b}"
+            );
+        }
+    }
+}
+
 fn temp_blt(tag: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!(
@@ -91,6 +111,7 @@ fn classifier_round_trip_is_bit_identical_across_config_matrix() {
                 refs,
                 "sharded, seed {seed} config {i}"
             );
+            assert_mapped_batch_kernels_match(&bolt, &mapped, &slices);
         }
     }
 }

@@ -5,7 +5,7 @@
 //! `extra_batching` prints that amortized table directly.
 
 use bolt_bench::{train_workload, Platforms};
-use bolt_core::{BoltConfig, BoltForest};
+use bolt_core::{BoltConfig, BoltForest, Kernel};
 use bolt_data::Workload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -37,6 +37,23 @@ fn bench_forest(c: &mut Criterion, group_name: &str, bolt: &BoltForest, samples:
                 black_box(out.last().copied())
             });
         });
+
+        // The fused batch kernels, pinned per ISA — the dispatched run
+        // above already uses the best of these; the forced legs expose
+        // where each ISA's width stops paying.
+        for kernel in Kernel::all_supported() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("entry_major_{kernel}"), batch),
+                &batch,
+                |b, _| {
+                    let mut scratch = bolt.batch_scratch();
+                    b.iter(|| {
+                        bolt.batch_votes_with_kernel(black_box(slice), kernel, &mut scratch);
+                        black_box(scratch.votes(batch - 1)[0])
+                    });
+                },
+            );
+        }
 
         group.bench_with_input(BenchmarkId::new("sharded_4", batch), &batch, |b, _| {
             b.iter(|| black_box(bolt.classify_batch_sharded(black_box(slice), 4)));

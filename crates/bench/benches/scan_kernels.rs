@@ -47,6 +47,31 @@ fn bench_scan_group(c: &mut Criterion, name: &str, trained: &TrainedWorkload, bo
     group.finish();
 }
 
+/// The fused batched kernels: full `batch_votes` pipeline (lane
+/// transposition + blocked lane scan + gathered addresses + keyed
+/// probes + vote arena) per forced ISA, at a kernel-sized batch.
+/// Same throughput unit as the single-sample groups: entries tested
+/// per second (entries × batch per iteration).
+fn bench_batch_group(c: &mut Criterion, name: &str, trained: &TrainedWorkload, bolt: &BoltForest) {
+    const BATCH: usize = 64;
+    let dict_len = bolt.view().dict().len();
+    let samples: Vec<&[f32]> = (0..trained.test.len().min(BATCH))
+        .map(|i| trained.test.sample(i))
+        .collect();
+    let mut group = c.benchmark_group(name);
+    group.throughput(Throughput::Elements((dict_len * samples.len()) as u64));
+    for kernel in Kernel::all_supported() {
+        group.bench_with_input(BenchmarkId::from_parameter(kernel), &kernel, |b, &k| {
+            let mut scratch = bolt.batch_scratch();
+            b.iter(|| {
+                bolt.batch_votes_with_kernel(black_box(&samples), k, &mut scratch);
+                black_box(scratch.votes(samples.len() - 1)[0])
+            });
+        });
+    }
+    group.finish();
+}
+
 fn compile_deep(trained: &TrainedWorkload) -> BoltForest {
     BoltForest::compile(
         &trained.forest,
@@ -70,6 +95,14 @@ fn bench_scan_kernels(c: &mut Criterion) {
     let deep = train_workload(Workload::LstwLike, 20, 8, 2000, 64);
     let bolt = compile_deep(&deep);
     bench_scan_group(c, "scan_kernels_lstw_20trees_h8_th0_large", &deep, &bolt);
+
+    bench_batch_group(
+        c,
+        "batch_kernels_lstw_20trees_h8_th0_small",
+        &small,
+        &small_bolt,
+    );
+    bench_batch_group(c, "batch_kernels_lstw_20trees_h8_th0_large", &deep, &bolt);
 
     // End-to-end single-sample classification under the dispatched kernel,
     // for the satellite question "what does the scan win buy the whole

@@ -96,8 +96,14 @@ pub fn compare(
             only_in_old.push(o.workload.clone());
             continue;
         };
-        let p50_pct = pct(o.client_latency.p50_ns as f64, n.client_latency.p50_ns as f64);
-        let p99_pct = pct(o.client_latency.p99_ns as f64, n.client_latency.p99_ns as f64);
+        let p50_pct = pct(
+            o.client_latency.p50_ns as f64,
+            n.client_latency.p50_ns as f64,
+        );
+        let p99_pct = pct(
+            o.client_latency.p99_ns as f64,
+            n.client_latency.p99_ns as f64,
+        );
         let fps_pct = pct(o.throughput_fps, n.throughput_fps);
         deltas.push(WorkloadDelta {
             workload: o.workload.clone(),
@@ -227,9 +233,15 @@ mod tests {
 
     #[test]
     fn threshold_trips_on_p99_growth_and_throughput_loss() {
-        let old = [snapshot("a", 1000, 1000, 1000.0), snapshot("b", 1000, 1000, 1000.0)];
+        let old = [
+            snapshot("a", 1000, 1000, 1000.0),
+            snapshot("b", 1000, 1000, 1000.0),
+        ];
         // a: p99 +50 % (regression); b: throughput −50 % (regression).
-        let new = [snapshot("a", 1000, 1500, 1000.0), snapshot("b", 1000, 1000, 500.0)];
+        let new = [
+            snapshot("a", 1000, 1500, 1000.0),
+            snapshot("b", 1000, 1000, 500.0),
+        ];
         let cmp = compare(&old, &new, 25.0).expect("compares");
         assert_eq!(cmp.regressions().len(), 2);
         // A generous threshold lets both pass.
@@ -239,8 +251,14 @@ mod tests {
 
     #[test]
     fn disjoint_sets_are_an_error_and_partial_overlap_is_reported() {
-        let old = [snapshot("gone", 1000, 1000, 1000.0), snapshot("kept", 1000, 1000, 1000.0)];
-        let new = [snapshot("kept", 1000, 1000, 1000.0), snapshot("added", 1000, 1000, 1000.0)];
+        let old = [
+            snapshot("gone", 1000, 1000, 1000.0),
+            snapshot("kept", 1000, 1000, 1000.0),
+        ];
+        let new = [
+            snapshot("kept", 1000, 1000, 1000.0),
+            snapshot("added", 1000, 1000, 1000.0),
+        ];
         let cmp = compare(&old, &new, 25.0).expect("compares");
         assert_eq!(cmp.deltas.len(), 1);
         assert_eq!(cmp.only_in_old, vec!["gone".to_owned()]);

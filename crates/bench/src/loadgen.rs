@@ -22,7 +22,9 @@
 //! [`BenchSnapshot`]) so the perf trajectory across PRs is diffable.
 
 use crate::hist::LatencyHistogram;
-use bolt_server::proto::{read_frame, V2Response, ERR_MALFORMED_REQUEST, MAX_FRAME_BYTES, V2_MAGIC};
+use bolt_server::proto::{
+    read_frame, V2Response, ERR_MALFORMED_REQUEST, MAX_FRAME_BYTES, V2_MAGIC,
+};
 use bolt_server::{ClassificationClient, ProtoError, PROTOCOL_VERSION};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -382,7 +384,11 @@ fn frame_bytes(payload: &[u8]) -> Vec<u8> {
 /// survives) or connection drop — never a stall, never a classification.
 fn hostile_exchange(stream: &mut dyn RawStream, k: u64) -> HostileOutcome {
     let (framed, expect) = hostile_frame(k);
-    if stream.write_all(&framed).and_then(|()| stream.flush()).is_err() {
+    if stream
+        .write_all(&framed)
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
         // The write itself failing is only acceptable when the server was
         // required to drop us (it may race ahead of our write).
         return match expect {
@@ -911,7 +917,9 @@ mod tests {
         // Pre-hostile snapshots (no such fields) must keep parsing.
         fn strip_u64_field(json: &str, key: &str) -> String {
             let needle = format!("\"{key}\":");
-            let start = json.find(&needle).unwrap_or_else(|| panic!("{key} present"));
+            let start = json
+                .find(&needle)
+                .unwrap_or_else(|| panic!("{key} present"));
             let bytes = json.as_bytes();
             let mut end = start + needle.len();
             while end < bytes.len() && bytes[end].is_ascii_digit() {

@@ -9,7 +9,11 @@ use bolt_server::ServerBuilder;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn serve() -> (bolt_server::TcpClassificationServer, Vec<Vec<f32>>, Vec<u32>) {
+fn serve() -> (
+    bolt_server::TcpClassificationServer,
+    Vec<Vec<f32>>,
+    Vec<u32>,
+) {
     let rows: Vec<Vec<f32>> = (0..120)
         .map(|i| vec![(i % 6) as f32, (i % 5) as f32])
         .collect();

@@ -22,6 +22,7 @@
 //! disjoint slices so aggregation is a single pass with no locking.
 
 use crate::engine::{argmax, BoltForest, ForestView};
+use crate::simd::{self, Kernel};
 use crate::table::Votes;
 use bolt_bitpack::Mask;
 use bolt_forest::PredicateUniverse;
@@ -37,10 +38,16 @@ pub struct BatchScratch {
     /// Lane-contiguous batch masks: word `w` of sample `b` at
     /// `lanes[w * n_samples + b]`.
     lanes: Vec<u64>,
-    /// Per-sample diff accumulators for the entry-major compare.
+    /// Per-sample diff accumulators for the entry-major compare
+    /// ([`simd::BLOCK`] `× n_samples`: the blocked kernels accumulate four
+    /// per-entry rows at once).
     diffs: Vec<u64>,
     /// Indices of samples matching the current entry.
     matched: Vec<u32>,
+    /// Gathered table addresses for the current entry's matched samples.
+    addresses: Vec<u64>,
+    /// Table keys hashed from `addresses` in one pass.
+    keys: Vec<u64>,
     /// Flat `n_samples × n_classes` vote arena.
     votes: Vec<f64>,
     /// Samples laid out by the most recent run.
@@ -59,6 +66,8 @@ impl BatchScratch {
             lanes: Vec::new(),
             diffs: Vec::new(),
             matched: Vec::new(),
+            addresses: Vec::new(),
+            keys: Vec::new(),
             votes: Vec::new(),
             n_samples: 0,
             n_classes,
@@ -70,7 +79,7 @@ impl BatchScratch {
         self.lanes.clear();
         self.lanes.resize(stride * n_samples, 0);
         self.diffs.clear();
-        self.diffs.resize(n_samples, 0);
+        self.diffs.resize(simd::BLOCK * n_samples, 0);
         self.votes.clear();
         self.votes.resize(n_samples * self.n_classes, 0.0);
     }
@@ -132,6 +141,23 @@ impl ForestView<'_> {
         samples: &[&[f32]],
         scratch: &mut BatchScratch,
     ) {
+        self.batch_votes_into_with_kernel(universe, samples, Kernel::selected(), scratch);
+    }
+
+    /// [`Self::batch_votes_into`] with an explicit kernel — the hook the
+    /// differential harness and benches use to pin every batched backend
+    /// against the scalar reference regardless of `BOLT_KERNEL`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::batch_votes_into`].
+    pub fn batch_votes_into_with_kernel(
+        &self,
+        universe: &PredicateUniverse,
+        samples: &[&[f32]],
+        kernel: Kernel,
+        scratch: &mut BatchScratch,
+    ) {
         let n = samples.len();
         assert_eq!(
             scratch.n_classes,
@@ -148,6 +174,8 @@ impl ForestView<'_> {
             ref mut lanes,
             ref mut diffs,
             ref mut matched,
+            ref mut addresses,
+            ref mut keys,
             ref mut votes,
             n_classes,
             ..
@@ -160,27 +188,38 @@ impl ForestView<'_> {
                 lanes[w * n + b] = word;
             }
         }
-        for votes in votes.chunks_exact_mut(n_classes) {
+        // Constant votes are sample-independent: build the first sample's
+        // row once, then replicate it with dense row copies (bit-identical
+        // to re-adding — every row starts from the same 0.0 base).
+        if !self.constant_votes().is_empty() && n_classes > 0 {
+            let (proto, rest) = votes.split_at_mut(n_classes);
             for &(class, weight) in self.constant_votes() {
-                votes[class as usize] += weight;
+                proto[class as usize] += weight;
+            }
+            for row in rest.chunks_exact_mut(n_classes) {
+                row.copy_from_slice(proto);
             }
         }
         // Entry-major: each entry's mask/key words are loaded once and
         // compared against all B samples; only matching samples gather an
-        // address and touch the bloom filter / table. Samples matching one
-        // entry usually share its table address (always, when the entry has
-        // no uncommon predicates), so the bloom probe + table lookup is
-        // memoized on the address — a second amortization the sample-major
-        // path cannot express.
-        dict.scan_lanes(lanes, n, diffs, matched, |entry_id, matched| {
+        // address and touch the bloom filter / table. The matched samples'
+        // addresses are gathered in one lane-parallel pass, then hashed
+        // into table keys in another, so the bloom probe and table probe
+        // both spend precomputed keys. Samples matching one entry usually
+        // share its table address (always, when the entry has no uncommon
+        // predicates), so the lookup is memoized on the address — a second
+        // amortization the sample-major path cannot express.
+        dict.scan_lanes_with_kernel(lanes, n, kernel, diffs, matched, |entry_id, matched| {
+            dict.addresses_of_lane_into(entry_id, kernel, lanes, n, matched, addresses);
+            simd::fill_table_keys(kernel, entry_id, addresses, keys);
             let mut last: Option<(u64, Votes<'_>)> = None;
-            for &b in matched {
+            for (j, &b) in matched.iter().enumerate() {
                 let b = b as usize;
-                let address = dict.address_of_lane(entry_id, lanes, n, b);
+                let address = addresses[j];
                 let cell = match last {
                     Some((a, cell)) if a == address => cell,
                     _ => {
-                        let cell = self.lookup_entry_votes(entry_id, address);
+                        let cell = self.lookup_entry_votes_keyed(entry_id, address, keys[j]);
                         last = Some((address, cell));
                         cell
                     }
@@ -212,6 +251,22 @@ impl BoltForest {
     pub fn batch_votes_with(&self, samples: &[&[f32]], scratch: &mut BatchScratch) {
         self.view()
             .batch_votes_into(self.universe(), samples, scratch);
+    }
+
+    /// [`Self::batch_votes_with`] pinned to an explicit kernel (see
+    /// [`ForestView::batch_votes_into_with_kernel`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::batch_votes_with`].
+    pub fn batch_votes_with_kernel(
+        &self,
+        samples: &[&[f32]],
+        kernel: Kernel,
+        scratch: &mut BatchScratch,
+    ) {
+        self.view()
+            .batch_votes_into_with_kernel(self.universe(), samples, kernel, scratch);
     }
 
     /// Allocation-free batched classification through a caller-owned
@@ -367,6 +422,31 @@ mod tests {
         for (b, sample) in samples.iter().enumerate() {
             let expected = bolt.votes_for_bits(&bolt.encode(sample));
             assert_eq!(scratch.votes(b), expected.as_slice(), "sample {b}");
+        }
+    }
+
+    #[test]
+    fn batch_votes_are_kernel_invariant() {
+        let (data, _, bolt) = fixture();
+        // Odd batch size: exercises every kernel's sample tail.
+        let samples: Vec<&[f32]> = (0..37).map(|i| data.sample(i)).collect();
+        let mut scratch = bolt.batch_scratch();
+        bolt.batch_votes_with_kernel(&samples, Kernel::Scalar, &mut scratch);
+        let reference: Vec<Vec<f64>> = (0..samples.len())
+            .map(|b| scratch.votes(b).to_vec())
+            .collect();
+        for kernel in Kernel::ALL {
+            if !kernel.is_available() {
+                continue;
+            }
+            bolt.batch_votes_with_kernel(&samples, kernel, &mut scratch);
+            for (b, expected) in reference.iter().enumerate() {
+                assert_eq!(
+                    scratch.votes(b),
+                    expected.as_slice(),
+                    "{kernel:?} sample {b}"
+                );
+            }
         }
     }
 

@@ -233,12 +233,24 @@ impl<'a> ForestView<'a> {
     #[inline]
     #[must_use]
     pub fn lookup_entry_votes(&self, entry_id: u32, address: u64) -> Votes<'a> {
+        self.lookup_entry_votes_keyed(entry_id, address, table_key(entry_id, address))
+    }
+
+    /// [`Self::lookup_entry_votes`] with the table key already computed:
+    /// the batched path hashes an entry's whole matched-address vector in
+    /// one SIMD pass ([`crate::simd::fill_table_keys`]) and spends the key
+    /// twice — bloom probe and table probe — without rehashing. `key`
+    /// **must** equal `table_key(entry_id, address)`.
+    #[inline]
+    #[must_use]
+    pub fn lookup_entry_votes_keyed(&self, entry_id: u32, address: u64, key: u64) -> Votes<'a> {
+        debug_assert_eq!(key, table_key(entry_id, address));
         if let Some(bloom) = &self.bloom {
-            if !bloom.contains(table_key(entry_id, address)) {
+            if !bloom.contains(key) {
                 return Votes::empty();
             }
         }
-        self.table.lookup(entry_id, address)
+        self.table.lookup_keyed(entry_id, address, key)
     }
 
     /// Classifies an encoded input through a caller-owned vote buffer,

@@ -19,6 +19,7 @@
 
 use crate::engine::BoltForest;
 use crate::filter::table_key;
+use crate::simd::{self, Kernel};
 use bolt_bitpack::{bits_for, BitVec, KneeCodec, Mask, PackedIntVec};
 
 /// Compressed vs decompressed byte counts for one layout section.
@@ -156,6 +157,12 @@ pub struct PackedBolt {
     /// Per entry: common mask/key words (reused from the dictionary layout).
     mask_words: Vec<u64>,
     key_words: Vec<u64>,
+    /// Entry-blocked SIMD mirror of the full blocks of
+    /// `mask_words`/`key_words` (see [`simd::interleave_blocked`]); the
+    /// packed engine scans it with the process-selected kernel and falls
+    /// back to the flat arrays for the tail.
+    blk_mask: Vec<u64>,
+    blk_key: Vec<u64>,
     stride: usize,
     /// Open-addressed packed table, same capacity/probing as the source.
     occupied: BitVec,
@@ -244,12 +251,16 @@ impl PackedBolt {
             }
         }
         slot_vote_offsets.push(classes.len() as u32);
+        let blk_mask = simd::interleave_blocked(&mask_words, stride);
+        let blk_key = simd::interleave_blocked(&key_words, stride);
         Self {
             width: dict.width(),
             entry_uncommon_offsets,
             uncommon_preds,
             mask_words,
             key_words,
+            blk_mask,
+            blk_key,
             stride,
             occupied,
             slot_entry_ids,
@@ -268,7 +279,9 @@ impl PackedBolt {
         self.entry_uncommon_offsets.len() - 1
     }
 
-    /// Classifies an encoded input from packed structures only.
+    /// Classifies an encoded input from packed structures only. Full
+    /// blocks of the mask/key columns are scanned through the
+    /// process-selected SIMD kernel; the tail takes the flat scalar loop.
     #[must_use]
     pub fn classify_bits(&self, bits: &Mask) -> u32 {
         let words = bits.as_words();
@@ -276,46 +289,29 @@ impl PackedBolt {
         for &(class, weight) in &self.constant_votes {
             votes[class as usize] += weight;
         }
-        for entry in 0..self.n_entries() {
+        let kernel = Kernel::selected();
+        let mut tail_start = 0usize;
+        if kernel != Kernel::Scalar && !self.blk_mask.is_empty() {
+            tail_start = (self.n_entries() / simd::BLOCK) * simd::BLOCK;
+            let words = &words[..words.len().min(self.stride)];
+            simd::scan_blocked(
+                kernel,
+                &self.blk_mask,
+                &self.blk_key,
+                self.stride,
+                words,
+                &mut |entry| self.accumulate_entry(entry as usize, bits, &mut votes),
+            );
+        }
+        for entry in tail_start..self.n_entries() {
             let base = entry * self.stride;
             let mut diff = 0u64;
             for w in 0..self.stride {
                 diff |= (words.get(w).copied().unwrap_or(0) & self.mask_words[base + w])
                     ^ self.key_words[base + w];
             }
-            if diff != 0 {
-                continue;
-            }
-            // Gather the packed uncommon predicates into an address.
-            let (start, end) = (
-                self.entry_uncommon_offsets[entry] as usize,
-                self.entry_uncommon_offsets[entry + 1] as usize,
-            );
-            let mut address = 0u64;
-            for (bit, i) in (start..end).enumerate() {
-                let pred = self.uncommon_preds.get(i).expect("offset in range") as usize;
-                address |= u64::from(bits.get(pred)) << bit;
-            }
-            // Probe the packed table.
-            let mut idx = table_key(entry as u32, address) & self.index_mask;
-            loop {
-                if self.occupied.get(idx as usize) != Some(true) {
-                    break;
-                }
-                let same = self.slot_entry_ids.get(idx as usize) == Some(entry as u64)
-                    && self.slot_addresses.get(idx as usize) == Some(address);
-                if same {
-                    let (vs, ve) = (
-                        self.slot_vote_offsets[idx as usize] as usize,
-                        self.slot_vote_offsets[idx as usize + 1] as usize,
-                    );
-                    for v in vs..ve {
-                        let class = self.vote_classes.get(v).expect("vote in range");
-                        votes[class as usize] += 1.0;
-                    }
-                    break;
-                }
-                idx = (idx + 1) & self.index_mask;
+            if diff == 0 {
+                self.accumulate_entry(entry, bits, &mut votes);
             }
         }
         let mut best = 0usize;
@@ -327,12 +323,48 @@ impl PackedBolt {
         best as u32
     }
 
+    /// Back half of the packed scan for one matched entry: gather the
+    /// packed uncommon predicates into an address and probe the packed
+    /// table, accumulating unit votes.
+    fn accumulate_entry(&self, entry: usize, bits: &Mask, votes: &mut [f64]) {
+        let (start, end) = (
+            self.entry_uncommon_offsets[entry] as usize,
+            self.entry_uncommon_offsets[entry + 1] as usize,
+        );
+        let mut address = 0u64;
+        for (bit, i) in (start..end).enumerate() {
+            let pred = self.uncommon_preds.get(i).expect("offset in range") as usize;
+            address |= u64::from(bits.get(pred)) << bit;
+        }
+        let mut idx = table_key(entry as u32, address) & self.index_mask;
+        loop {
+            if self.occupied.get(idx as usize) != Some(true) {
+                break;
+            }
+            let same = self.slot_entry_ids.get(idx as usize) == Some(entry as u64)
+                && self.slot_addresses.get(idx as usize) == Some(address);
+            if same {
+                let (vs, ve) = (
+                    self.slot_vote_offsets[idx as usize] as usize,
+                    self.slot_vote_offsets[idx as usize + 1] as usize,
+                );
+                for v in vs..ve {
+                    let class = self.vote_classes.get(v).expect("vote in range");
+                    votes[class as usize] += 1.0;
+                }
+                break;
+            }
+            idx = (idx + 1) & self.index_mask;
+        }
+    }
+
     /// Total packed heap bytes of the engine's data structures.
     #[must_use]
     pub fn packed_bytes(&self) -> usize {
         self.uncommon_preds.packed_bytes()
             + self.entry_uncommon_offsets.len() * 4
             + (self.mask_words.len() + self.key_words.len()) * 8
+            + (self.blk_mask.len() + self.blk_key.len()) * 8
             + self.occupied.packed_bytes()
             + self.slot_entry_ids.packed_bytes()
             + self.slot_addresses.packed_bytes()

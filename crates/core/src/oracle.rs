@@ -574,6 +574,44 @@ pub fn check_kernels(bolt: &BoltForest, samples: &[Vec<f32>]) -> Result<usize, S
     Ok(checked)
 }
 
+/// Pins every *batched* SIMD kernel the host supports to the forced-scalar
+/// batched engine: for batch slices of sizes 1, 5, and the full set, the
+/// per-sample vote vectors under each kernel must be **bit-identical** to
+/// the scalar kernel's (which [`check_batch`] in turn pins to the
+/// per-sample engine). Returns the number of (sample, batch-shape, kernel)
+/// checks performed.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence.
+pub fn check_batch_kernels(bolt: &BoltForest, samples: &[Vec<f32>]) -> Result<usize, String> {
+    use crate::simd::Kernel;
+    let refs: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
+    let mut scalar_scratch = bolt.batch_scratch();
+    let mut kernel_scratch = bolt.batch_scratch();
+    let mut checked = 0usize;
+    for batch_size in [1usize, 5, refs.len().max(1)] {
+        for chunk in refs.chunks(batch_size) {
+            bolt.batch_votes_with_kernel(chunk, Kernel::Scalar, &mut scalar_scratch);
+            for kernel in Kernel::all_supported() {
+                bolt.batch_votes_with_kernel(chunk, kernel, &mut kernel_scratch);
+                for (b, sample) in chunk.iter().enumerate() {
+                    if kernel_scratch.votes(b) != scalar_scratch.votes(b) {
+                        return Err(format!(
+                            "batched kernel {kernel}, batch size {batch_size}: votes \
+                             diverged on sample {sample:?}: {:?} vs scalar {:?}",
+                            kernel_scratch.votes(b),
+                            scalar_scratch.votes(b)
+                        ));
+                    }
+                    checked += 1;
+                }
+            }
+        }
+    }
+    Ok(checked)
+}
+
 /// The full compile-time configuration matrix the differential suite
 /// sweeps: every `cluster_threshold` in 1..=8 crossed with bloom filtering
 /// on/off and explanation payloads on/off (32 configurations).

@@ -64,6 +64,13 @@ fn random_forests_match_reference_across_config_matrix() {
                 .unwrap_or_else(|m| panic!("seed {seed}, config {config:?}, kernels: {m}"));
             combinations += kernel_checked;
 
+            // Batched kernel leg: every batched SIMD backend must produce
+            // vote vectors bit-identical to the forced-scalar batched
+            // engine across several batch shapes.
+            let batch_kernel_checked = oracle::check_batch_kernels(&bolt, &inputs)
+                .unwrap_or_else(|m| panic!("seed {seed}, config {config:?}, batched kernels: {m}"));
+            combinations += batch_kernel_checked;
+
             // Every 4th configuration also goes through serialize →
             // deserialize → rebuild, so the persisted artifact is held to
             // the same standard as the freshly compiled one.
@@ -115,6 +122,9 @@ fn trained_forests_match_reference_on_adversarial_inputs() {
                 .unwrap_or_else(|m| panic!("trained seed {seed}, config {config:?}, batched: {m}"));
             oracle::check_kernels(&bolt, &inputs)
                 .unwrap_or_else(|m| panic!("trained seed {seed}, config {config:?}, kernels: {m}"));
+            oracle::check_batch_kernels(&bolt, &inputs).unwrap_or_else(|m| {
+                panic!("trained seed {seed}, config {config:?}, batched kernels: {m}")
+            });
         }
     }
 }

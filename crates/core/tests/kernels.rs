@@ -150,6 +150,84 @@ proptest! {
         }
     }
 
+    /// Every supported *batched* kernel reports exactly the flat
+    /// entry-major reference's `(entry, matched samples)` stream — same
+    /// entries, same ascending sample lists, same order — and that stream
+    /// decomposes per sample into exactly the single-sample scalar scan.
+    /// Sample counts sweep 0 through 17 so every kernel's lane tail
+    /// (W = 2, 4, and 8) is exercised.
+    #[test]
+    fn batched_kernels_agree_with_flat_reference(
+        seed in any::<u64>(),
+        stride in 1usize..=5,
+        n_entries in 0usize..=13,
+        n_samples in 0usize..=17,
+        zero_mask in any::<bool>(),
+        corrupt in any::<bool>(),
+    ) {
+        let case = Case::build(seed, stride, n_entries, zero_mask, corrupt);
+        let offsets = vec![0u32; n_entries + 1];
+        let blk_mask = simd::interleave_blocked(&case.mask, stride);
+        let blk_key = simd::interleave_blocked(&case.key, stride);
+        let view = case.view(&offsets).with_blocked(&blk_mask, &blk_key);
+
+        // Lane-pack the batch; every third sample is an entry's own key so
+        // matches actually occur.
+        let mut lanes = vec![0u64; stride * n_samples];
+        for b in 0..n_samples {
+            let input = if n_entries > 0 && b % 3 == 0 {
+                case.key[(b % n_entries) * stride..][..stride].to_vec()
+            } else {
+                words(seed ^ (b as u64).wrapping_mul(0x1234_5679), stride)
+            };
+            for (w, &word) in input.iter().enumerate() {
+                lanes[w * n_samples + b] = word;
+            }
+        }
+
+        let collect = |kernel: Kernel| {
+            let mut diffs = vec![0u64; simd::BLOCK * n_samples];
+            let mut matched = Vec::new();
+            let mut hits: Vec<(u32, Vec<u32>)> = Vec::new();
+            view.scan_lanes_with_kernel(
+                &lanes,
+                n_samples,
+                kernel,
+                &mut diffs,
+                &mut matched,
+                |id, m| hits.push((id, m.to_vec())),
+            );
+            hits
+        };
+        let reference = collect(Kernel::Scalar);
+        for kernel in Kernel::all_supported() {
+            let got = collect(kernel);
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "batched kernel {} diverged (seed {seed}, stride {stride}, \
+                 {} entries, {} samples)",
+                kernel,
+                n_entries,
+                n_samples
+            );
+        }
+
+        // The entry-major stream regroups into the per-sample scalar scan.
+        for b in 0..n_samples {
+            let sample_words: Vec<u64> =
+                (0..stride).map(|w| lanes[w * n_samples + b]).collect();
+            let input = mask_from_words(&sample_words);
+            let expected = scan_ids(&view, &input, Kernel::Scalar);
+            let got: Vec<u32> = reference
+                .iter()
+                .filter(|(_, m)| m.contains(&(b as u32)))
+                .map(|(id, _)| *id)
+                .collect();
+            prop_assert_eq!(got, expected, "sample {} (seed {seed})", b);
+        }
+    }
+
     /// A view without the blocked layout silently degrades to the scalar
     /// path no matter which kernel is requested — same matches, same order.
     #[test]

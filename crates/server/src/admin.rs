@@ -55,8 +55,8 @@
 //! flag ([`BackgroundTask`]), cheap enough to leave running for the life
 //! of the daemon.
 
-use crate::proto::{FrameReader, ProtoError, MAX_MODEL_NAME_BYTES};
 use crate::proto::{write_frame, ModelInfo};
+use crate::proto::{FrameReader, ProtoError, MAX_MODEL_NAME_BYTES};
 use crate::server::ServerStats;
 use crate::store::{CompactStats, ModelStore, RescanStats, StoreError, StoreMetrics};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -291,6 +291,11 @@ pub struct StatusReport {
     pub metrics: StoreMetrics,
     /// One row per model, sorted by name.
     pub models: Vec<ModelInfo>,
+    /// The daemon's selected SIMD scan kernel (`scalar`/`sse2`/`avx2`/
+    /// `avx512`/`neon`). Empty when the serving daemon predates this
+    /// field — it rides at the end of the reply so old and new peers
+    /// interoperate.
+    pub kernel: String,
 }
 
 /// The `DrainStats` reply: cumulative request/latency counters, totaled
@@ -367,6 +372,7 @@ impl AdminReply {
                     body.put_u32_le(m.version);
                     body.put_u64_le(m.bytes);
                 }
+                put_short_str(&mut body, &report.kernel)?;
                 ADMIN_RESP_STATUS
             }
             Self::Stats(report) => {
@@ -456,7 +462,19 @@ impl AdminReply {
                         bytes: payload.get_u64_le(),
                     });
                 }
-                Ok(Self::Status(StatusReport { metrics, models }))
+                // Trailing kernel string: absent from daemons predating
+                // the field, so an exhausted payload decodes as empty
+                // rather than malformed.
+                let kernel = if payload.is_empty() {
+                    String::new()
+                } else {
+                    get_short_str(&mut payload, "kernel name")?
+                };
+                Ok(Self::Status(StatusReport {
+                    metrics,
+                    models,
+                    kernel,
+                }))
             }
             ADMIN_RESP_STATS => {
                 need(payload, 18, "stats reply")?;
@@ -583,15 +601,12 @@ pub fn handle(store: &ModelStore, request: &AdminRequest) -> AdminReply {
         AdminRequest::SetDefault(name) => store
             .set_default(name)
             .map_or_else(refused, |()| AdminReply::Ok),
-        AdminRequest::Compact => store
-            .compact()
-            .map_or_else(refused, |stats| AdminReply::Compacted(stats)),
-        AdminRequest::Rescan => store
-            .rescan()
-            .map_or_else(refused, |stats| AdminReply::Rescanned(stats)),
+        AdminRequest::Compact => store.compact().map_or_else(refused, AdminReply::Compacted),
+        AdminRequest::Rescan => store.rescan().map_or_else(refused, AdminReply::Rescanned),
         AdminRequest::Status => AdminReply::Status(StatusReport {
             metrics: store.metrics(),
             models: store.list(),
+            kernel: bolt_core::simd::Kernel::selected().name().to_string(),
         }),
         AdminRequest::DrainStats => {
             let registry = store.registry();
@@ -880,6 +895,7 @@ mod tests {
                     resident: true,
                     bytes: 9000,
                 }],
+                kernel: "avx512".into(),
             }),
             AdminReply::Stats(StatsReport {
                 total: ServerStats {

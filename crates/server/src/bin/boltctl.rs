@@ -152,6 +152,11 @@ fn render(reply: &AdminReply) -> ExitCode {
         }
         AdminReply::Status(report) => {
             let m = &report.metrics;
+            if report.kernel.is_empty() {
+                println!("scan kernel: unknown (daemon predates kernel reporting)");
+            } else {
+                println!("scan kernel: {}", report.kernel);
+            }
             println!(
                 "resident: {} model(s), {} bytes (high-water {}); evictions: {} ({} thrash reloads)",
                 m.resident_models, m.resident_bytes, m.resident_bytes_hwm, m.evictions,

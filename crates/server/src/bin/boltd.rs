@@ -398,10 +398,9 @@ fn run() -> Result<(), String> {
     }
     let parse_secs = |flag: &str, v: Option<&str>| -> Result<Option<u64>, String> {
         v.map(|v| {
-            v.parse::<u64>()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or_else(|| format!("{flag} wants a positive whole number of seconds, got {v:?}"))
+            v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                format!("{flag} wants a positive whole number of seconds, got {v:?}")
+            })
         })
         .transpose()
     };
@@ -523,7 +522,10 @@ fn run() -> Result<(), String> {
         }
     }
     if let Some(path) = server.admin_path() {
-        println!("boltd admin socket on {} (mode 0600; drive with boltctl)", path.display());
+        println!(
+            "boltd admin socket on {} (mode 0600; drive with boltctl)",
+            path.display()
+        );
     }
     // Background maintenance: leaked for the daemon's lifetime (the serve
     // loop below never returns).

@@ -190,8 +190,9 @@ impl ServerBuilder {
     /// Assembles the store, applies queued registrations and the chosen
     /// default, and hands the store out.
     fn finish(self) -> std::io::Result<(ModelStore, ServingMode)> {
-        let invalid =
-            |e: crate::store::StoreError| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string());
+        let invalid = |e: crate::store::StoreError| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+        };
         let store = match self.store {
             Some(store) => {
                 if self.model_dir.is_some() {
@@ -204,12 +205,9 @@ impl ServerBuilder {
                 store
             }
             None => match self.model_dir {
-                Some(dir) => ModelStore::open(
-                    self.registry,
-                    &dir,
-                    self.resident_bytes,
-                    self.keep_versions,
-                )?,
+                Some(dir) => {
+                    ModelStore::open(self.registry, &dir, self.resident_bytes, self.keep_versions)?
+                }
                 None => ModelStore::detached(self.registry),
             },
         };

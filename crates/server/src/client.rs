@@ -200,7 +200,10 @@ impl ClassificationClient {
     /// Returns a [`ProtoError`] on socket failure or a malformed
     /// response.
     pub fn list_models(&mut self) -> Result<ListModelsResponse, ProtoError> {
-        write_frame(&mut self.stream, &crate::proto::encode_list_models_extended())?;
+        write_frame(
+            &mut self.stream,
+            &crate::proto::encode_list_models_extended(),
+        )?;
         let payload = match self.read_response() {
             Ok(payload) => payload,
             Err(ProtoError::Rejected { code, .. })

@@ -47,8 +47,7 @@ use crate::admin::{self, AdminRequest};
 use crate::microbatch::{Completion, FlushGroup, MicroBatchConfig, MicroBatcher, QueuedSample};
 use crate::proto::{
     ClassifyBatchResponse, ErrorFrame, FrameReader, ListModelsResponse, ProtoError, Request,
-    ERR_INTERNAL, ERR_MALFORMED_REQUEST, ERR_OVERLOADED, ERR_UNSUPPORTED_VERSION,
-    PROTOCOL_VERSION,
+    ERR_INTERNAL, ERR_MALFORMED_REQUEST, ERR_OVERLOADED, ERR_UNSUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 use crate::registry::ModelHandle;
 use crate::server::{route_error_frame, Shared};
@@ -761,10 +760,14 @@ impl EventLoop {
         };
         let token = conn.token(index);
         let slot = alloc_slot(conn);
-        let sent = self
-            .admin_jobs
-            .as_ref()
-            .is_some_and(|jobs| jobs.send(AdminJob { token, slot, request }).is_ok());
+        let sent = self.admin_jobs.as_ref().is_some_and(|jobs| {
+            jobs.send(AdminJob {
+                token,
+                slot,
+                request,
+            })
+            .is_ok()
+        });
         if !sent {
             // Control thread gone — only during teardown. Fail the slot
             // so the ordered queue does not wedge behind it.
@@ -782,13 +785,7 @@ impl EventLoop {
         }
     }
 
-    fn submit_single(
-        &mut self,
-        index: usize,
-        model: Option<String>,
-        features: Vec<f32>,
-        v2: bool,
-    ) {
+    fn submit_single(&mut self, index: usize, model: Option<String>, features: Vec<f32>, v2: bool) {
         let resolved = self.shared.store.resolve(model.as_deref());
         let model = match resolved {
             Ok(model) => model,
@@ -859,14 +856,35 @@ impl EventLoop {
         let token = conn.token(index);
         let slot = alloc_slot(conn);
         // Client-submitted batches are already kernel-sized; hand them
-        // through whole instead of re-coalescing.
-        self.send_job(Job::Batch {
+        // through whole instead of re-coalescing. Batches at or above the
+        // flush threshold take the same-thread fast path: they gain
+        // nothing from coalescing, so the loop→worker handoff (queue,
+        // wake pipe, completion lock) is pure added latency for them —
+        // the `uds_batch` p99 regression recorded in EXPERIMENTS.md
+        // entry 2. Running the kernel inline trades one batch of loop
+        // availability for a shorter, lock-free response path.
+        let job = Job::Batch {
             model,
             token,
             slot,
             v2,
             samples,
-        });
+        };
+        if n >= self.batcher.flush_samples() {
+            let done = run_job(job);
+            self.batcher.release(n);
+            let Some(Some(conn)) = self.conns.get_mut(index) else {
+                return;
+            };
+            for completion in done {
+                fill_slot(conn, completion.slot, completion.frame);
+            }
+            drain_ready(conn);
+            self.flush_out(index);
+            self.update_interest(index);
+            return;
+        }
+        self.send_job(job);
     }
 
     fn dispatch(&mut self, groups: Vec<FlushGroup>) {

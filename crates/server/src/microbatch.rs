@@ -144,6 +144,13 @@ impl MicroBatcher {
         self.admitted
     }
 
+    /// The size threshold that trips a flush — also the bar a
+    /// client-submitted batch must clear to count as "already
+    /// kernel-sized" for the event loop's same-thread fast path.
+    pub(crate) fn flush_samples(&self) -> usize {
+        self.cfg.flush_samples
+    }
+
     /// Queues one *admitted* sample. Returns flush groups to dispatch when
     /// the size threshold trips (or immediately when coalescing is
     /// disabled); an empty vec means the sample is waiting on the timer.
@@ -192,10 +199,7 @@ impl MicroBatcher {
         self.since = None;
         let mut groups: Vec<FlushGroup> = Vec::new();
         for (model, sample) in self.pending.drain(..) {
-            match groups
-                .iter_mut()
-                .find(|g| Arc::ptr_eq(&g.model, &model))
-            {
+            match groups.iter_mut().find(|g| Arc::ptr_eq(&g.model, &model)) {
                 Some(group) => group.items.push(sample),
                 None => groups.push(FlushGroup {
                     model,

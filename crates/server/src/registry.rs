@@ -503,9 +503,10 @@ impl ModelRegistry {
         if let Some(stats) = stats {
             state.retired.insert(name.to_owned(), stats);
         } else if !state.retired.contains_key(name) {
-            state
-                .retired
-                .insert(name.to_owned(), Arc::new(Mutex::new(ServerStats::default())));
+            state.retired.insert(
+                name.to_owned(),
+                Arc::new(Mutex::new(ServerStats::default())),
+            );
         }
         // A never-routable name must still answer "retired", so make
         // sure the bloom filter passes it through to the real lookup.
@@ -601,14 +602,22 @@ mod tests {
         );
         // The refused registration changed nothing.
         assert_eq!(
-            registry.resolve(Some("m")).expect("still there").engine().name(),
+            registry
+                .resolve(Some("m"))
+                .expect("still there")
+                .engine()
+                .name(),
             "Scikit"
         );
         registry
             .swap("m", Arc::new(RangerLikeForest::from_forest(&f)))
             .expect("swap replaces");
         assert_eq!(
-            registry.resolve(Some("m")).expect("swapped").engine().name(),
+            registry
+                .resolve(Some("m"))
+                .expect("swapped")
+                .engine()
+                .name(),
             "Ranger"
         );
         // Swap demands an existing name.
@@ -739,7 +748,9 @@ mod tests {
         assert!(registry.bloom().may_contain("real"));
         assert!(!registry.bloom().may_contain("bolt-bench-missing"));
         assert_eq!(
-            registry.resolve(Some("bolt-bench-missing")).expect_err("unknown"),
+            registry
+                .resolve(Some("bolt-bench-missing"))
+                .expect_err("unknown"),
             RouteError::UnknownModel("bolt-bench-missing".into())
         );
     }

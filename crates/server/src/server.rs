@@ -1,11 +1,11 @@
 //! The classification front-end (Fig. 7), serving a [`ModelRegistry`].
 
+use crate::event_loop::{self, EventLoopHandle, Listener, ServingMode};
 use crate::proto::{
     write_frame, ClassifyBatchResponse, ClassifyResponse, ErrorFrame, FrameReader,
     ListModelsResponse, ProtoError, Request, ERR_INTERNAL, ERR_NO_DEFAULT_MODEL, ERR_RETIRED_MODEL,
     ERR_UNKNOWN_MODEL, ERR_UNSUPPORTED_VERSION, PROTOCOL_VERSION,
 };
-use crate::event_loop::{self, EventLoopHandle, Listener, ServingMode};
 use crate::registry::{ModelHandle, ModelRegistry, RouteError};
 use crate::store::ModelStore;
 use std::os::unix::net::{UnixListener, UnixStream};

@@ -50,7 +50,9 @@ impl ResidentCache {
 
     /// Total mapped bytes right now.
     pub(crate) fn total_bytes(&self) -> u64 {
-        self.resident.values().fold(0u64, |a, &b| a.saturating_add(b))
+        self.resident
+            .values()
+            .fold(0u64, |a, &b| a.saturating_add(b))
     }
 
     /// Resident (mapped) artifact count.
@@ -142,10 +144,7 @@ mod tests {
         cache.insert("warm", 8);
         cache.insert("never-touched", 8);
         let recency = |name: &str| (name == "warm").then_some(99);
-        assert_eq!(
-            cache.victim("x", recency).as_deref(),
-            Some("never-touched")
-        );
+        assert_eq!(cache.victim("x", recency).as_deref(), Some("never-touched"));
     }
 
     #[test]

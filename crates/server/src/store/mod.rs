@@ -91,7 +91,10 @@ impl std::fmt::Display for StoreError {
                 "model {name:?} is the default route; move the default before retiring it"
             ),
             Self::MissingArtifact { name, version } => {
-                write!(f, "no artifact file for {name}@{version} in the model directory")
+                write!(
+                    f,
+                    "no artifact file for {name}@{version} in the model directory"
+                )
             }
             Self::NoDirectory => write!(f, "store has no model directory"),
             Self::Io(e) => write!(f, "store i/o: {e}"),
@@ -508,10 +511,12 @@ impl ModelStore {
         let version = entry
             .serving_version()
             .ok_or_else(|| RouteError::UnknownModel(miss.to_owned()))?;
-        let path = entry.versions.get(&version).expect("serving version is on disk");
-        let engine = ArtifactEngine::open(path).map_err(|e| {
-            RouteError::LoadFailed(format!("{miss}@{version}: {e}"))
-        })?;
+        let path = entry
+            .versions
+            .get(&version)
+            .expect("serving version is on disk");
+        let engine = ArtifactEngine::open(path)
+            .map_err(|e| RouteError::LoadFailed(format!("{miss}@{version}: {e}")))?;
         let bytes = engine.model().artifact().bytes().len() as u64;
         self.registry.insert_resident(miss, Arc::new(engine));
         if inner.evicted.remove(miss) {
@@ -834,7 +839,10 @@ mod tests {
             store.activate("m", 1).expect_err("no directory"),
             StoreError::NoDirectory
         );
-        assert_eq!(store.compact().expect_err("no directory"), StoreError::NoDirectory);
+        assert_eq!(
+            store.compact().expect_err("no directory"),
+            StoreError::NoDirectory
+        );
         let listed = store.list();
         assert_eq!(listed.len(), 1);
         assert!(listed[0].resident);
@@ -864,7 +872,11 @@ mod tests {
             ["fraud", "spam", "tricky@name"]
         );
         assert_eq!(
-            catalog["fraud"].versions.keys().copied().collect::<Vec<_>>(),
+            catalog["fraud"]
+                .versions
+                .keys()
+                .copied()
+                .collect::<Vec<_>>(),
             [1, 2]
         );
         assert_eq!(catalog["fraud"].serving_version(), Some(2), "highest wins");

@@ -205,7 +205,10 @@ impl Wal {
         out.sync_all()?;
         drop(out);
         std::fs::rename(&tmp, &self.path)?;
-        let mut file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
         file.seek(SeekFrom::End(0))?;
         self.file = file;
         Ok(())
@@ -365,7 +368,10 @@ mod tests {
         wal.append(&sample_ops()[2]).expect("append after tear");
         drop(wal);
         let (_, replayed) = Wal::open(&path).expect("final open");
-        assert_eq!(replayed, vec![sample_ops()[0].clone(), sample_ops()[2].clone()]);
+        assert_eq!(
+            replayed,
+            vec![sample_ops()[0].clone(), sample_ops()[2].clone()]
+        );
         std::fs::remove_file(&path).expect("cleanup");
     }
 
@@ -432,7 +438,7 @@ mod tests {
         assert_eq!(WalOp::decode(&[1, 0]), None); // empty name
         assert_eq!(WalOp::decode(&[2, 1, b'a', 0xFF]), None); // trailing junk
         assert_eq!(WalOp::decode(&[1, 1, b'a', 1, 0, 0]), None); // short version
-        // Valid ones for contrast.
+                                                                 // Valid ones for contrast.
         assert_eq!(
             WalOp::decode(&[1, 1, b'a', 7, 0, 0, 0]),
             Some(WalOp::Register {

@@ -101,7 +101,10 @@ fn every_admin_opcode_round_trips_in_both_serving_modes() {
         // The socket is owner-only: possession is the credential.
         {
             use std::os::unix::fs::PermissionsExt;
-            let mode = std::fs::metadata(&admin_sock).expect("socket").permissions().mode();
+            let mode = std::fs::metadata(&admin_sock)
+                .expect("socket")
+                .permissions()
+                .mode();
             assert_eq!(mode & 0o777, 0o600, "admin socket must be 0600");
         }
 
@@ -165,7 +168,9 @@ fn every_admin_opcode_round_trips_in_both_serving_modes() {
             .call(&AdminRequest::Retire("fraud".into()))
             .expect("retire default")
         {
-            AdminReply::Refused(e) => assert_eq!(e.code, bolt_server::admin::ADMIN_ERR_DEFAULT_IN_USE),
+            AdminReply::Refused(e) => {
+                assert_eq!(e.code, bolt_server::admin::ADMIN_ERR_DEFAULT_IN_USE)
+            }
             other => panic!("expected Refused, got {other:?}"),
         }
         assert_eq!(

@@ -3,6 +3,7 @@
 //! bounded-queue overload shedding, reconnect churn, and the retained
 //! thread-per-connection mode.
 
+use bolt_baselines::InferenceEngine;
 use bolt_server::proto::{
     is_v2, read_frame, ClassifyBatchRequest, ClassifyRequest, ClassifyResponse, V2Response,
     ERR_MALFORMED_REQUEST, ERR_OVERLOADED,
@@ -10,7 +11,6 @@ use bolt_server::proto::{
 use bolt_server::{
     ClassificationClient, EventLoopOptions, MicroBatchConfig, ServerBuilder, ServingMode,
 };
-use bolt_baselines::InferenceEngine;
 use std::io::Write;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
@@ -114,10 +114,20 @@ fn malformed_request_fails_alone_and_the_connection_survives() {
     // 2-byte payload decodes as no message), valid. Only the middle
     // request may fail, and only with a structured error.
     let mut wire = Vec::new();
-    wire.extend_from_slice(&ClassifyRequest { features: vec![7.0] }.encode());
+    wire.extend_from_slice(
+        &ClassifyRequest {
+            features: vec![7.0],
+        }
+        .encode(),
+    );
     wire.extend_from_slice(&2u32.to_le_bytes());
     wire.extend_from_slice(&[0xFF, 0xFF]);
-    wire.extend_from_slice(&ClassifyRequest { features: vec![9.0] }.encode());
+    wire.extend_from_slice(
+        &ClassifyRequest {
+            features: vec![9.0],
+        }
+        .encode(),
+    );
     stream.write_all(&wire).expect("writes");
     assert_eq!(read_response(&mut stream).expect("first").class, 7);
     assert_eq!(
@@ -127,10 +137,19 @@ fn malformed_request_fails_alone_and_the_connection_survives() {
     assert_eq!(read_response(&mut stream).expect("third").class, 9);
     // The same connection keeps serving afterwards.
     stream
-        .write_all(&ClassifyRequest { features: vec![3.0] }.encode())
+        .write_all(
+            &ClassifyRequest {
+                features: vec![3.0],
+            }
+            .encode(),
+        )
         .expect("writes");
     assert_eq!(read_response(&mut stream).expect("fourth").class, 3);
-    assert_eq!(server.stats().requests, 3, "the malformed frame books nothing");
+    assert_eq!(
+        server.stats().requests,
+        3,
+        "the malformed frame books nothing"
+    );
     server.shutdown();
 }
 
@@ -179,9 +198,17 @@ fn overload_sheds_with_structured_errors_never_drops() {
     // Shedding drained: once in-flight work completes, the same
     // connection is admitted again.
     stream
-        .write_all(&ClassifyRequest { features: vec![4.0] }.encode())
+        .write_all(
+            &ClassifyRequest {
+                features: vec![4.0],
+            }
+            .encode(),
+        )
         .expect("writes");
-    assert_eq!(read_response(&mut stream).expect("served after shed").class, 4);
+    assert_eq!(
+        read_response(&mut stream).expect("served after shed").class,
+        4
+    );
     // A single batch frame larger than the whole queue is shed the same
     // structured way.
     let flood = ClassifyBatchRequest {
@@ -238,6 +265,68 @@ fn reconnect_churn_leaks_no_state() {
     // The server still serves after the churn.
     let mut client = ClassificationClient::connect(&path).expect("connects");
     assert_eq!(client.classify(&[5.0]).expect("classifies").class, 5);
+    server.shutdown();
+}
+
+#[test]
+fn kernel_sized_batches_take_the_same_thread_fast_path() {
+    let path = unique_socket("fastpath");
+    let server = ServerBuilder::new()
+        .register("m", engine(Duration::ZERO))
+        .serving(ServingMode::EventLoop(EventLoopOptions {
+            microbatch: MicroBatchConfig {
+                flush_samples: 4, // batches of >= 4 execute inline
+                ..MicroBatchConfig::default()
+            },
+            ..EventLoopOptions::default()
+        }))
+        .bind_uds(&path)
+        .expect("binds");
+    let mut stream = UnixStream::connect(&path).expect("connects");
+    // Pipeline a mix across the threshold — a single, an at-threshold
+    // batch (fast path), an under-threshold batch (worker path), and an
+    // over-threshold batch — without reading a response. Ordered delivery
+    // must hold across the inline and dispatched paths, and every class
+    // must be exact.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(
+        &ClassifyRequest {
+            features: vec![9.0],
+        }
+        .encode(),
+    );
+    let shapes: [&[u32]; 3] = [&[1, 2, 3, 4], &[5, 6], &[7, 8, 9, 10, 11]];
+    for samples in shapes {
+        wire.extend_from_slice(
+            &ClassifyBatchRequest {
+                samples: samples.iter().map(|&s| vec![s as f32]).collect(),
+            }
+            .encode()
+            .expect("encodes"),
+        );
+    }
+    stream.write_all(&wire).expect("writes");
+    assert_eq!(read_response(&mut stream).expect("single").class, 9);
+    for samples in shapes {
+        let payload = read_frame(&mut stream).expect("read").expect("frame");
+        let response =
+            bolt_server::proto::ClassifyBatchResponse::decode(&payload).expect("decodes");
+        let want: Vec<u32> = samples.to_vec();
+        assert_eq!(response.classes, want);
+        assert!(response.latency_ns > 0);
+    }
+    // The connection keeps serving after an inline batch.
+    stream
+        .write_all(
+            &ClassifyRequest {
+                features: vec![2.0],
+            }
+            .encode(),
+        )
+        .expect("writes");
+    assert_eq!(read_response(&mut stream).expect("after").class, 2);
+    // 1 + 4 + 2 + 5 batch samples + 1 trailing single.
+    assert_eq!(server.stats().requests, 13);
     server.shutdown();
 }
 
@@ -334,7 +423,12 @@ fn event_loop_tcp_pipelining_and_hot_swap() {
         .swap("m", engine(Duration::from_micros(1)))
         .expect("hot-swaps");
     stream
-        .write_all(&ClassifyRequest { features: vec![12.0] }.encode())
+        .write_all(
+            &ClassifyRequest {
+                features: vec![12.0],
+            }
+            .encode(),
+        )
         .expect("writes");
     let payload = read_frame(&mut stream).expect("read").expect("frame");
     assert_eq!(

@@ -171,10 +171,7 @@ fn lifecycle_survives_an_unclean_restart() {
         store.retire("old").expect("retire");
         assert_eq!(
             project(&store),
-            vec![
-                ("fraud".into(), 1, false),
-                ("spam".into(), 1, true),
-            ]
+            vec![("fraud".into(), 1, false), ("spam".into(), 1, true),]
         );
         // Dropped without any shutdown handshake: every op was fsync'd
         // at append time, so this models a crash.
@@ -183,10 +180,7 @@ fn lifecycle_survives_an_unclean_restart() {
     let store = ModelStore::open(ModelRegistry::new(), &dir, None, 0).expect("reopens");
     assert_eq!(
         project(&store),
-        vec![
-            ("fraud".into(), 1, false),
-            ("spam".into(), 1, true),
-        ],
+        vec![("fraud".into(), 1, false), ("spam".into(), 1, true),],
         "replayed state differs from pre-crash state"
     );
     assert!(
@@ -300,7 +294,9 @@ fn compaction_prunes_superseded_versions_and_shrinks_the_log() {
     store.activate("fraud", 3).expect("activate");
     store.activate("fraud", 1).expect("rollback");
     store.set_default("other").expect("default");
-    let wal_len = std::fs::metadata(dir.join("registry.wal")).expect("wal").len();
+    let wal_len = std::fs::metadata(dir.join("registry.wal"))
+        .expect("wal")
+        .len();
 
     let stats = store.compact().expect("compacts");
     // keep_versions = 1 keeps the newest version (3) plus the serving

@@ -99,12 +99,7 @@ mod sys {
 
     extern "C" {
         pub fn epoll_create1(flags: c_int) -> c_int;
-        pub fn epoll_ctl(
-            epfd: c_int,
-            op: c_int,
-            fd: c_int,
-            event: *mut epoll_event,
-        ) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
         pub fn epoll_wait(
             epfd: c_int,
             events: *mut epoll_event,
@@ -325,9 +320,7 @@ impl Poller {
             })
             .collect();
         // SAFETY: `fds` is a valid array of pollfd for the call duration.
-        let n = unsafe {
-            fallback_sys::poll(fds.as_mut_ptr(), fds.len(), timeout_ms(timeout))
-        };
+        let n = unsafe { fallback_sys::poll(fds.as_mut_ptr(), fds.len(), timeout_ms(timeout)) };
         if n < 0 {
             let err = io::Error::last_os_error();
             if err.kind() == io::ErrorKind::Interrupted {
